@@ -1,0 +1,33 @@
+"""Shared fixtures for the reproduction benches.
+
+Every bench regenerates one of the paper's tables/figures, saves the
+rendered output under ``benchmarks/results/`` and asserts the paper's
+qualitative shape (who wins, by roughly what factor).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Callable: save_result(name, text) -> Path; also echoes to stdout."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,49 @@
+"""Shared machinery for the Figure 5/6 sweep benches.
+
+Benches run the paper's 64-node platform over a 5-point load grid (the
+full 9-point §4 grid works too — it just takes ~2x longer; pass
+``loads=PAPER_LOADS``).
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import FigurePanel, SweepSpec, sweep_rows, write_csv
+from repro.metrics.collector import MeasurementPlan, RunResult
+
+BENCH_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+BENCH_PLAN = MeasurementPlan(warmup=8000.0, measure=10000.0, drain_limit=16000.0)
+
+
+def run_panel(pattern: str, loads: Sequence[float] = BENCH_LOADS) -> FigurePanel:
+    spec = SweepSpec(
+        pattern=pattern,
+        loads=tuple(loads),
+        boards=8,
+        nodes_per_board=8,
+        plan=BENCH_PLAN,
+    )
+    return FigurePanel.run(spec)
+
+
+def save_panel(panel: FigurePanel, name: str, save_result, results_dir) -> None:
+    save_result(name, panel.render())
+    write_csv(results_dir / f"{name}.csv", sweep_rows(panel.results))
+
+
+def mean_power(runs: List[RunResult]) -> float:
+    return sum(r.power_mw for r in runs) / len(runs)
+
+
+def peak_throughput(runs: List[RunResult]) -> float:
+    return max(r.throughput for r in runs)
+
+
+def shapes(panel: FigurePanel) -> Dict[str, Dict[str, float]]:
+    """Headline numbers per policy: peak throughput and mean power."""
+    return {
+        policy: {
+            "peak": peak_throughput(runs),
+            "power": mean_power(runs),
+        }
+        for policy, runs in panel.results.items()
+    }

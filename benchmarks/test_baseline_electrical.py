@@ -1,0 +1,66 @@
+"""Bench: the electrical-only comparator (§4 "compared to other electrical
+networks") and a kernel microbench.
+
+The electrical plane runs each board pair at a fixed 6.4 Gbps / ~86 mW
+link (~13.4 pJ/bit) with no reconfiguration; E-RAPID's optical plane moves
+the same traffic at 8.6 pJ/bit and can re-shape bandwidth.
+"""
+
+from repro import ERapidSystem, MeasurementPlan, WorkloadSpec
+from repro.baselines import run_electrical_baseline
+from repro.metrics import format_table
+from repro.sim import Simulator
+
+PLAN = MeasurementPlan(warmup=8000, measure=10000, drain_limit=16000)
+
+
+def test_baseline_electrical_vs_optical(benchmark, save_result):
+    def compare():
+        rows = []
+        for pattern in ("uniform", "complement"):
+            wl = WorkloadSpec(pattern=pattern, load=0.5, seed=1)
+            elec = run_electrical_baseline(wl, plan=PLAN)
+            opt = ERapidSystem.build(policy="NP-NB").run(wl, PLAN)
+            pb = ERapidSystem.build(policy="P-B").run(wl, PLAN)
+            for name, r in (("electrical", elec), ("E-RAPID NP-NB", opt),
+                            ("E-RAPID P-B", pb)):
+                rows.append(
+                    [pattern, name, r.throughput, r.power_mw,
+                     r.power_mw / r.throughput if r.throughput else 0.0]
+                )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = format_table(
+        ["pattern", "network", "throughput", "power_mW", "mW per unit thr"],
+        rows,
+        title="== electrical baseline vs E-RAPID ==",
+    )
+    save_result("baseline_electrical", table)
+    # Optical static beats electrical on power-per-throughput for uniform.
+    uniform = {r[1]: r for r in rows if r[0] == "uniform"}
+    assert uniform["E-RAPID NP-NB"][4] < uniform["electrical"][4]
+    # And P-B beats both.
+    assert uniform["E-RAPID P-B"][4] < uniform["E-RAPID NP-NB"][4]
+    # On complement, P-B's reconfiguration out-delivers the static planes.
+    comp = {r[1]: r for r in rows if r[0] == "complement"}
+    assert comp["E-RAPID P-B"][2] > 2.0 * comp["electrical"][2]
+
+
+def test_kernel_event_throughput(benchmark):
+    """Microbench: DES kernel event dispatch rate (the simulator's floor)."""
+
+    def run_events():
+        sim = Simulator()
+        count = 20_000
+
+        def chain(n):
+            if n > 0:
+                sim.schedule(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, count)
+        sim.run()
+        return sim.event_count
+
+    events = benchmark(run_events)
+    assert events >= 20_000

@@ -1,0 +1,41 @@
+"""Bench: Figure 1 — the static routing and wavelength assignment.
+
+Regenerates the R(1,4,4) wavelength map from the paper (both worked
+examples asserted) and the 8-board map the 64-node evaluation uses, and
+times the full-system RWA validation.
+"""
+
+from repro.optics import StaticRWA, SuperHighway
+from repro.network.topology import ERapidTopology
+
+
+def test_fig1_static_rwa(benchmark, save_result):
+    def regenerate():
+        rwa4 = StaticRWA(4)
+        rwa4.validate()
+        rwa8 = StaticRWA(8)
+        rwa8.validate()
+        return rwa4, rwa8
+
+    rwa4, rwa8 = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    # §2.1's worked examples.
+    assert rwa4.wavelength_for(1, 0) == 1
+    assert rwa4.wavelength_for(0, 1) == 3
+    text = (
+        "Figure 1 — static RWA for R(1,4,4):\n"
+        + rwa4.render_table()
+        + "\n\nStatic RWA for the 64-node R(1,8,8) evaluation platform:\n"
+        + rwa8.render_table()
+    )
+    save_result("fig1_rwa", text)
+
+
+def test_fig2_laser_plane_bringup(benchmark):
+    """Figure 2(b) structure: bring up the full SRS and validate couplers."""
+
+    def bringup():
+        srs = SuperHighway(ERapidTopology(boards=8, nodes_per_board=8))
+        return srs.validate()
+
+    channels = benchmark(bringup)
+    assert len(channels) == 8 * 7

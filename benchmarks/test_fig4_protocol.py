@@ -1,0 +1,61 @@
+"""Bench: Figure 4 — the 5-stage Lock-Step reconfiguration protocol.
+
+Runs P-B under complement traffic with protocol tracing and verifies the
+stage sequence and timing against ControlParams (Link Request ->
+Board Request -> Reconfigure -> Board Response -> Link Response), then
+saves the trace — the textual equivalent of the paper's protocol figure.
+"""
+
+from repro import ERapidSystem, MeasurementPlan, WorkloadSpec
+from repro.sim.trace import TraceLog
+
+
+def _run_traced():
+    trace = TraceLog(categories={"protocol"})
+    system = ERapidSystem.build(boards=4, nodes_per_board=4, policy="P-B")
+    plan = MeasurementPlan(warmup=6000, measure=4000, drain_limit=4000)
+    system.run(WorkloadSpec(pattern="complement", load=0.6, seed=1), plan, trace=trace)
+    return system, trace
+
+
+def test_fig4_protocol_stages(benchmark, save_result):
+    system, trace = benchmark.pedantic(_run_traced, rounds=1, iterations=1)
+    engine = system.last_engine
+    control = engine.config.control
+    topo = engine.topology
+    stages = control.dbr_stage_latencies(topo.boards, topo.nodes_per_board)
+
+    # The first bandwidth window for P-B is window 2 (even), at t = 4000.
+    t0 = 2 * control.window_cycles
+    recs = [r for r in trace.filter(category="protocol", entity="RC0")]
+    by_msg = {}
+    for r in recs:
+        by_msg.setdefault(r.message.split(";")[0], []).append(r.time)
+
+    assert any(abs(t - t0) < 1 for t in by_msg["Link_Request sent"])
+    t_link = t0 + stages["link_request"]
+    assert any(abs(t - t_link) < 1 for t in by_msg["outgoing link statistics updated"])
+    t_board = t_link + stages["board_request"]
+    assert any(abs(t - t_board) < 1 for t in by_msg["Board_Request completed"])
+    t_reconf = t_board + stages["reconfigure"]
+    assert any(abs(t - t_reconf) < 1 for t in by_msg["Reconfigure stage"])
+    t_resp = t_reconf + stages["board_response"]
+    assert any(abs(t - t_resp) < 1 for t in by_msg["Board_Response completed"])
+    # Grants actuate at the Link Response stage.
+    grant_times = [r.time for r in recs if r.message.startswith("grant")]
+    t_apply = t_resp + stages["link_response"]
+    assert grant_times and all(
+        any(abs(t - (t_apply + 2 * k * control.window_cycles)) < 1
+            for k in range(6))
+        for t in grant_times
+    )
+
+    # Lock-step alternation: power cycles on odd windows only.
+    power_times = [
+        r.time for r in recs if r.message.startswith("Power_Request sent")
+    ]
+    for t in power_times:
+        window_index = round(t / control.window_cycles)
+        assert window_index % 2 == 1
+
+    save_result("fig4_protocol", trace.format(category="protocol"))

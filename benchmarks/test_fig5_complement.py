@@ -1,0 +1,54 @@
+"""Bench: Figure 5 (right) — complement traffic, 64 nodes, all four configs.
+
+The paper's worst case: all of a board's traffic shares one static
+wavelength.  Shapes asserted:
+* NP-NB and P-NB saturate at the single-channel rate (≈ 0.125 N_c) with
+  ~equal power;
+* NP-B and P-B deliver a multiple (paper: ~4x) of the static throughput,
+  at a multiple (paper: ~4x for NP-B) of the static power;
+* P-B consumes less than NP-B at similar throughput (paper: ~25 % less).
+"""
+
+from panel_common import run_panel, save_panel, shapes
+
+
+def test_fig5_complement(benchmark, save_result, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_panel("complement"), rounds=1, iterations=1
+    )
+    s = shapes(panel)
+
+    # Static corners saturate at the one-channel bound.
+    one_channel = 1 / 40.96 / 8  # mu_opt / nodes-per-board
+    assert s["NP-NB"]["peak"] < 1.15 * one_channel
+    assert s["P-NB"]["peak"] < 1.15 * one_channel
+    # NP-NB ≈ P-NB power (the saturated link runs at P_high either way).
+    assert abs(s["P-NB"]["power"] - s["NP-NB"]["power"]) < 0.2 * s["NP-NB"]["power"]
+
+    # Reconfigured corners: several-fold throughput at several-fold power.
+    assert s["NP-B"]["peak"] > 3.0 * s["NP-NB"]["peak"]
+    assert s["P-B"]["peak"] > 3.0 * s["NP-NB"]["peak"]
+    assert s["NP-B"]["power"] > 2.0 * s["NP-NB"]["power"]
+
+    # P-B cheaper than NP-B at comparable delivered traffic.  Compare at
+    # the mid loads where both deliver the full offered rate (the sweep
+    # mean is polluted at >= 0.7 N_c, where the two policies drain
+    # different warm-up backlogs through the measurement window).
+    loads = list(panel.spec.loads)
+    for load in (0.3, 0.5):
+        i = loads.index(load)
+        np_b = panel.results["NP-B"][i]
+        p_b = panel.results["P-B"][i]
+        assert p_b.throughput > 0.95 * np_b.throughput, load
+        assert p_b.power_mw < 0.95 * np_b.power_mw, load
+    # At 0.3 N_c the paper's ~25 % saving is fully visible.
+    i = loads.index(0.3)
+    assert (
+        panel.results["P-B"][i].power_mw
+        < 0.8 * panel.results["NP-B"][i].power_mw
+    )
+    assert s["P-B"]["peak"] > 0.9 * s["NP-B"]["peak"]
+
+    # Reconfiguration actually fired.
+    assert any(r.extra["grants"] > 0 for r in panel.results["NP-B"])
+    save_panel(panel, "fig5_complement", save_result, results_dir)

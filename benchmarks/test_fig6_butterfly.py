@@ -1,0 +1,27 @@
+"""Bench: Figure 6 (left) — butterfly traffic, 64 nodes, all four configs.
+
+Butterfly concentrates each board's remote traffic onto two destination
+boards.  Paper shapes: NP-B/P-B improve throughput (~25 % in the paper's
+runs) at roughly 2x (NP-B) vs 1.5x (P-B) the baseline power.
+"""
+
+from panel_common import run_panel, save_panel, shapes
+
+
+def test_fig6_butterfly(benchmark, save_result, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_panel("butterfly"), rounds=1, iterations=1
+    )
+    s = shapes(panel)
+
+    # Bandwidth reconfiguration helps (bounded: only 2 hot pairs/board).
+    assert s["NP-B"]["peak"] > 1.1 * s["NP-NB"]["peak"]
+    assert s["P-B"]["peak"] > 1.1 * s["NP-NB"]["peak"]
+    # The gain is far below complement's ~4x.
+    assert s["NP-B"]["peak"] < 3.0 * s["NP-NB"]["peak"]
+    # Extra wavelengths cost power; P-B costs less than NP-B.
+    assert s["NP-B"]["power"] > 1.1 * s["NP-NB"]["power"]
+    assert s["P-B"]["power"] < s["NP-B"]["power"]
+    assert any(r.extra["grants"] > 0 for r in panel.results["NP-B"])
+
+    save_panel(panel, "fig6_butterfly", save_result, results_dir)

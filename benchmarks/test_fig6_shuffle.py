@@ -1,0 +1,26 @@
+"""Bench: Figure 6 (right) — perfect-shuffle traffic, 64 nodes, all four
+configs.
+
+Perfect shuffle also spreads each board over two destinations.  Paper
+shapes: ~1.7x throughput for NP-B/P-B, power +70 % (NP-B) vs +25 % (P-B).
+"""
+
+from panel_common import run_panel, save_panel, shapes
+
+
+def test_fig6_shuffle(benchmark, save_result, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_panel("perfect_shuffle"), rounds=1, iterations=1
+    )
+    s = shapes(panel)
+
+    # ~1.7x class improvement: between butterfly's and complement's.
+    assert s["NP-B"]["peak"] > 1.3 * s["NP-NB"]["peak"]
+    assert s["P-B"]["peak"] > 1.3 * s["NP-NB"]["peak"]
+    assert s["NP-B"]["peak"] < 4.0 * s["NP-NB"]["peak"]
+    # Power ordering: NP-B most expensive, P-B cheaper, both above NP-NB.
+    assert s["NP-B"]["power"] > 1.2 * s["NP-NB"]["power"]
+    assert s["P-B"]["power"] < s["NP-B"]["power"]
+    assert any(r.extra["grants"] > 0 for r in panel.results["P-B"])
+
+    save_panel(panel, "fig6_shuffle", save_result, results_dir)

@@ -1,0 +1,45 @@
+"""Bench: regenerate Table 1 (simulation network parameters).
+
+Asserts the exact published operating points, then times the power-model
+evaluation (the hot path of the energy accounting).
+"""
+
+from repro.experiments import render_table1, table1_checks
+from repro.power import ComponentPower, LinkPowerModel, TABLE1_LEVELS
+
+
+def test_table1_regeneration(benchmark, save_result):
+    table1_checks()
+
+    def regenerate():
+        return render_table1()
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    assert "43.03" in text and "8.6" in text and "26" in text
+    assert "400 MHz" in text and "6.4 Gbps" in text
+    save_result("table1_parameters", text)
+
+
+def test_power_model_hot_path(benchmark):
+    """Microbench: instantaneous link power (called on every state change)."""
+    model = LinkPowerModel()
+    high = TABLE1_LEVELS[2]
+
+    def evaluate():
+        total = 0.0
+        for util in (0.0, 0.25, 0.5, 0.75, 1.0):
+            total += model.average_mw(True, high, util)
+        return total
+
+    total = benchmark(evaluate)
+    assert total > 0
+
+
+def test_component_breakdown_speed(benchmark):
+    comp = ComponentPower()
+
+    def breakdown():
+        return comp.breakdown_mw(0.9, 5.0)
+
+    b = benchmark(breakdown)
+    assert abs(sum(b.values()) - 43.30) < 0.05

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Capacity planning with the analytic channel-load model.
+
+Answers the questions a system architect would ask before buying hardware:
+how does capacity scale with board count, where do adversarial patterns
+saturate, and how many re-allocated wavelengths does a hot pair need to
+sustain a target load?
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import CapacityModel, ERapidTopology, make_pattern
+from repro.metrics import format_table
+from repro.traffic import CapacityParams
+
+
+def main() -> None:
+    # 1. Capacity vs system size.
+    rows = []
+    for boards, nodes in ((4, 4), (4, 8), (8, 8), (16, 8)):
+        topo = ERapidTopology(boards=boards, nodes_per_board=nodes)
+        nc = CapacityModel.uniform_capacity(topo)
+        agg = nc * topo.total_nodes * 512 * 0.4  # packets -> Gbps
+        rows.append([f"R(1,{boards},{nodes})", topo.total_nodes, nc, agg])
+    print(
+        format_table(
+            ["system", "nodes", "N_c (pkt/node/cyc)", "aggregate (Gbps)"],
+            rows,
+            title="== uniform capacity vs system size ==",
+        )
+    )
+
+    # 2. How many channels does the complement hot pair need per load?
+    topo = ERapidTopology(boards=8, nodes_per_board=8)
+    nc = CapacityModel.uniform_capacity(topo)
+    model = CapacityModel(topo, make_pattern("complement", 64))
+    B = topo.boards
+    base = np.ones((B, B)) - np.eye(B)
+    comp_pairs = [(s, 7 - s) for s in range(B)]
+    rows = []
+    for k in range(1, 9):
+        chans = base.copy()
+        for s, d in comp_pairs:
+            chans[s, d] = k
+        cap = model.max_injection(chans)
+        rows.append([k, cap, cap / nc])
+    print()
+    print(
+        format_table(
+            ["channels per hot pair", "capacity (pkt/node/cyc)",
+             "fraction of N_c"],
+            rows,
+            title="== complement capacity vs granted wavelengths ==",
+        )
+    )
+
+    # 3. Sensitivity to the optical bit rate (DPM's levers).
+    rows = []
+    for gbps in (2.5, 3.3, 5.0, 10.0):
+        params = CapacityParams(optical_gbps=gbps)
+        nc_r = CapacityModel.uniform_capacity(topo, params)
+        rows.append([gbps, nc_r, nc_r / nc])
+    print()
+    print(
+        format_table(
+            ["optical bit rate (Gbps)", "N_c", "vs 5 Gbps"],
+            rows,
+            title="== capacity vs per-wavelength bit rate ==",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

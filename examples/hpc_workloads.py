@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""E-RAPID under HPC application kernels.
+
+The paper motivates reconfiguration with inter-process communication
+locality.  This example runs the classic MPI kernels — all-to-all
+personalized exchange, ring allreduce, 2-D halo exchange and a hotspot —
+through the 64-node system and compares the static allocation with
+Lock-Step.
+
+Run:  python examples/hpc_workloads.py
+"""
+
+from repro import ERapidSystem, MeasurementPlan, WorkloadSpec
+from repro.core.engine import FastEngine
+from repro.metrics import format_table
+from repro.network.topology import ERapidTopology
+from repro.traffic import HaloExchange, TrafficSource, BernoulliProcess
+from repro.traffic.capacity import CapacityModel
+
+
+def run_named_patterns() -> None:
+    plan = MeasurementPlan(warmup=8000, measure=10000, drain_limit=16000)
+    rows = []
+    for name in ("all_to_all", "ring_allreduce", "hotspot"):
+        wl = WorkloadSpec(pattern=name, load=0.6, seed=1)
+        static = ERapidSystem.build(policy="NP-NB").run(wl, plan)
+        pb = ERapidSystem.build(policy="P-B").run(wl, plan)
+        rows.append(
+            [
+                name,
+                static.throughput,
+                pb.throughput,
+                static.power_mw,
+                pb.power_mw,
+                pb.extra["grants"],
+            ]
+        )
+    print(
+        format_table(
+            ["kernel", "NP-NB thr", "P-B thr", "NP-NB mW", "P-B mW", "grants"],
+            rows,
+            title="== MPI kernels @ 0.6 N_c, 64 nodes ==",
+        )
+    )
+
+
+def run_halo_exchange() -> None:
+    """Halo exchange needs an explicit grid; build sources directly."""
+    topo = ERapidTopology(boards=8, nodes_per_board=8)
+    pattern = HaloExchange(8, 8)  # 8x8 process grid = 64 ranks
+    rate = 0.5 * CapacityModel.uniform_capacity(topo)
+    plan = MeasurementPlan(warmup=8000, measure=10000, drain_limit=16000)
+    rows = []
+    for policy in ("NP-NB", "P-B"):
+        system = ERapidSystem.build(policy=policy)
+        sources = [
+            TrafficSource(node, pattern, BernoulliProcess(rate))
+            for node in range(64)
+        ]
+        engine = FastEngine(
+            system.config, WorkloadSpec(pattern="uniform", load=0.5), plan,
+            sources=sources,
+        )
+        r = engine.run()
+        rows.append([policy, r.throughput, r.avg_latency, r.power_mw])
+    print()
+    print(
+        format_table(
+            ["policy", "throughput", "latency", "power_mW"],
+            rows,
+            title="== 8x8 halo exchange (mostly board-local + neighbours) ==",
+        )
+    )
+    print(
+        "\nHalo traffic is neighbour-dominated, so few wavelengths are hot;"
+        "\nthe win here is DPM power scaling rather than DBR re-allocation."
+    )
+
+
+def main() -> None:
+    run_named_patterns()
+    run_halo_exchange()
+
+
+if __name__ == "__main__":
+    main()

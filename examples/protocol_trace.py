@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Watch the Lock-Step protocol run: the 5-stage DBR cycle (Figure 4) and
+the per-window DPM decisions, straight from the reconfiguration
+controllers' trace.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro import ERapidSystem, MeasurementPlan, WorkloadSpec
+from repro.sim.trace import TraceLog
+
+
+def main() -> None:
+    trace = TraceLog(categories={"protocol"})
+    system = ERapidSystem.build(boards=4, nodes_per_board=4, policy="P-B")
+    plan = MeasurementPlan(warmup=6000, measure=4000, drain_limit=6000)
+    result = system.run(
+        WorkloadSpec(pattern="complement", load=0.6, seed=1), plan, trace=trace
+    )
+
+    print("== Lock-Step protocol trace (first 2 windows of each kind) ==\n")
+    shown = 0
+    for rec in trace.filter(category="protocol"):
+        if rec.time > 9000:
+            break
+        print(rec.format())
+        shown += 1
+    print(f"\n({shown} protocol events shown; run ended at "
+          f"t={system.last_engine.sim.now:.0f})")
+    print(
+        f"\nresult: thr={result.throughput:.5f} pkt/node/cyc, "
+        f"{result.extra['grants']} grants, "
+        f"{result.extra['dpm_transitions']} level transitions"
+    )
+    print(
+        "\nStage order per bandwidth window: Link_Request -> Board_Request "
+        "-> Reconfigure\n-> Board_Response -> Link_Response (grants actuate) "
+        "— §3.2 / Figure 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package and
+has no network access, so PEP 517 editable installs fail at ``bdist_wheel``.
+Keeping a ``setup.py`` (and no ``[build-system]`` table in pyproject.toml)
+lets ``pip install -e .`` use the legacy editable path.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

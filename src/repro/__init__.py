@@ -1,0 +1,71 @@
+"""E-RAPID: a power-aware, bandwidth-reconfigurable optical interconnect
+simulator.
+
+A from-scratch reproduction of *Power-Aware Bandwidth-Reconfigurable
+Optical Interconnects for High-Performance Computing (HPC) Systems*
+(Kodi & Louri, IPPS 2007): the E-RAPID architecture, the Lock-Step (LS)
+reconfiguration protocol combining Dynamic Power Management (DPM) with
+Dynamic Bandwidth Re-allocation (DBR), and everything they stand on —
+a discrete-event kernel, a flit-level VC router, the WDM optical plane,
+opto-electronic power models, synthetic traffic and the measurement
+harness.
+
+Quickstart::
+
+    from repro import ERapidSystem, WorkloadSpec
+
+    system = ERapidSystem.build(boards=8, nodes_per_board=8, policy="P-B")
+    result = system.run(WorkloadSpec(pattern="complement", load=0.5))
+    print(result.summary())
+"""
+
+from repro.core import (
+    ERapidConfig,
+    ERapidSystem,
+    FastEngine,
+    NP_B,
+    NP_NB,
+    P_B,
+    P_NB,
+    POLICIES,
+    ReconfigPolicy,
+    Thresholds,
+    make_policy,
+)
+from repro.core.detailed import DetailedEngine
+from repro.metrics import MeasurementPlan, RunResult
+from repro.network.topology import ERapidTopology
+from repro.optics import StaticRWA, SuperHighway
+from repro.power import PowerLevel, PowerLevelTable, TABLE1_LEVELS
+from repro.sim import Simulator
+from repro.traffic import CapacityModel, WorkloadSpec, make_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityModel",
+    "DetailedEngine",
+    "ERapidConfig",
+    "ERapidSystem",
+    "ERapidTopology",
+    "FastEngine",
+    "MeasurementPlan",
+    "NP_B",
+    "NP_NB",
+    "P_B",
+    "P_NB",
+    "POLICIES",
+    "PowerLevel",
+    "PowerLevelTable",
+    "ReconfigPolicy",
+    "RunResult",
+    "Simulator",
+    "StaticRWA",
+    "SuperHighway",
+    "TABLE1_LEVELS",
+    "Thresholds",
+    "WorkloadSpec",
+    "__version__",
+    "make_pattern",
+    "make_policy",
+]

@@ -1,0 +1,9 @@
+"""Baseline comparators (electrical-only inter-board plane)."""
+
+from repro.baselines.electrical import (
+    ELECTRICAL_LINK,
+    electrical_config,
+    run_electrical_baseline,
+)
+
+__all__ = ["ELECTRICAL_LINK", "electrical_config", "run_electrical_baseline"]

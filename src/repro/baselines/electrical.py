@@ -1,0 +1,59 @@
+"""Electrical-only baseline network.
+
+§4 compares E-RAPID "to other electrical networks".  The closed comparator
+is unavailable, so we build the closest synthetic equivalent: the same
+topology and engine, but the inter-board plane is fixed point-to-point
+electrical links —
+
+* one 6.4 Gbps link per board pair (the Table-1 per-port rate), no
+  wavelength pool to re-allocate and no bit-rate scaling;
+* link power from published electrical-SerDes-era figures rather than the
+  optical component stack.  We charge ~13.4 pJ/bit (86 mW at 6.4 Gbps) vs
+  the optical plane's 8.6 pJ/bit at 5 Gbps — the relative gap the paper's
+  motivation cites for opto-electronic interconnects.
+
+Implemented as a configuration of the fast engine: a single-level power
+ladder at 6.4 Gbps with the NP-NB policy, so every mechanism under test is
+disabled and only the physical plane differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ERapidConfig
+from repro.core.engine import FastEngine
+from repro.core.policies import NP_NB
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.network.topology import ERapidTopology
+from repro.power.levels import PowerLevel, PowerLevelTable
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["ELECTRICAL_LINK", "electrical_config", "run_electrical_baseline"]
+
+#: One inter-board electrical link: 6.4 Gbps at 1.2 V, ~86 mW (13.4 pJ/bit).
+ELECTRICAL_LINK = PowerLevel("E-link", 6.4, 1.2, 86.0)
+
+
+def electrical_config(
+    boards: int = 8, nodes_per_board: int = 8, **overrides
+) -> ERapidConfig:
+    """An all-electrical configuration of the same system."""
+    return ERapidConfig(
+        topology=ERapidTopology(boards=boards, nodes_per_board=nodes_per_board),
+        policy=NP_NB,
+        power_levels=PowerLevelTable([ELECTRICAL_LINK]),
+        **overrides,
+    )
+
+
+def run_electrical_baseline(
+    workload: WorkloadSpec,
+    plan: Optional[MeasurementPlan] = None,
+    boards: int = 8,
+    nodes_per_board: int = 8,
+) -> RunResult:
+    """One run of the electrical baseline under ``workload``."""
+    config = electrical_config(boards, nodes_per_board)
+    engine = FastEngine(config, workload, plan or MeasurementPlan())
+    return engine.run()

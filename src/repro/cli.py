@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+::
+
+    erapid run       --pattern complement --policy P-B --load 0.5
+    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--csv out.csv]
+    erapid reproduce --out results/
+    erapid fig3
+    erapid table1
+    erapid rwa       --boards 8
+    erapid ablate    --which window|thresholds|levels|limited-dbr|smoothing
+
+(Also runnable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.erapid import ERapidSystem
+from repro.core.policies import POLICIES
+from repro.metrics.collector import MeasurementPlan
+from repro.metrics.report import format_kv
+from repro.traffic.patterns import PATTERNS
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="erapid",
+        description="E-RAPID power-aware reconfigurable optical interconnect "
+        "simulator (reproduction of Kodi & Louri, IPPS 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one simulation run")
+    run.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    run.add_argument("--policy", default="P-B", choices=sorted(POLICIES))
+    run.add_argument("--load", type=float, default=0.5)
+    run.add_argument("--boards", type=int, default=8)
+    run.add_argument("--nodes", type=int, default=8)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--warmup", type=float, default=8000)
+    run.add_argument("--measure", type=float, default=12000)
+
+    sweep = sub.add_parser("sweep", help="load sweep (one Figure 5/6 panel)")
+    sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    sweep.add_argument("--loads", default="0.1,0.3,0.5,0.7,0.9")
+    sweep.add_argument("--boards", type=int, default=8)
+    sweep.add_argument("--nodes", type=int, default=8)
+    sweep.add_argument("--csv", default=None, help="write results to CSV")
+
+    sub.add_parser("table1", help="regenerate Table 1")
+    sub.add_parser("fig3", help="design-space time series (Figure 3)")
+
+    repro_cmd = sub.add_parser(
+        "reproduce", help="regenerate every table and figure into a directory"
+    )
+    repro_cmd.add_argument("--out", default="results")
+    repro_cmd.add_argument("--loads", default="0.1,0.3,0.5,0.7,0.9")
+
+    rwa = sub.add_parser("rwa", help="print the static RWA (Figure 1)")
+    rwa.add_argument("--boards", type=int, default=4)
+
+    ablate = sub.add_parser("ablate", help="run an ablation study")
+    ablate.add_argument(
+        "--which",
+        default="window",
+        choices=["window", "thresholds", "levels", "limited-dbr", "smoothing"],
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        system = ERapidSystem.build(
+            boards=args.boards, nodes_per_board=args.nodes, policy=args.policy,
+            seed=args.seed,
+        )
+        plan = MeasurementPlan(
+            warmup=args.warmup, measure=args.measure, drain_limit=2 * args.measure
+        )
+        result = system.run(
+            WorkloadSpec(pattern=args.pattern, load=args.load, seed=args.seed), plan
+        )
+        print(format_kv(
+            {
+                "system": system.describe(),
+                "workload": f"{args.pattern} @ {args.load} N_c",
+                "throughput (pkt/node/cyc)": result.throughput,
+                "offered (pkt/node/cyc)": result.offered,
+                "avg latency (cycles)": result.avg_latency,
+                "p99 latency (cycles)": result.p99_latency,
+                "power (mW)": result.power_mw,
+                "DBR grants": result.extra["grants"],
+                "DPM transitions": result.extra["dpm_transitions"],
+            },
+            title="== E-RAPID run ==",
+        ))
+        return 0
+
+    if args.command == "sweep":
+        from repro.experiments.figures import FigurePanel
+        from repro.experiments.io import sweep_rows, write_csv
+        from repro.experiments.sweep import SweepSpec
+
+        loads = tuple(float(x) for x in args.loads.split(","))
+        spec = SweepSpec(
+            pattern=args.pattern, loads=loads, boards=args.boards,
+            nodes_per_board=args.nodes,
+        )
+        panel = FigurePanel.run(spec)
+        print(panel.render())
+        if args.csv:
+            path = write_csv(args.csv, sweep_rows(panel.results))
+            print(f"\nwrote {path}")
+        return 0
+
+    if args.command == "table1":
+        from repro.experiments.table1 import render_table1, table1_checks
+
+        table1_checks()
+        print(render_table1())
+        return 0
+
+    if args.command == "fig3":
+        from repro.experiments.fig3 import render_fig3, run_fig3
+
+        print(render_fig3(run_fig3()))
+        return 0
+
+    if args.command == "reproduce":
+        from repro.experiments.runner import reproduce_all
+
+        loads = tuple(float(x) for x in args.loads.split(","))
+        reproduce_all(args.out, loads=loads)
+        return 0
+
+    if args.command == "rwa":
+        from repro.optics.rwa import StaticRWA
+
+        rwa = StaticRWA(args.boards)
+        rwa.validate()
+        print(rwa.render_table())
+        return 0
+
+    if args.command == "ablate":
+        from repro.experiments import ablations
+
+        fn = {
+            "window": ablations.ablate_window,
+            "thresholds": ablations.ablate_thresholds,
+            "levels": ablations.ablate_power_levels,
+            "limited-dbr": ablations.ablate_limited_dbr,
+            "smoothing": ablations.ablate_dpm_smoothing,
+        }[args.which]
+        _, table = fn()
+        print(table)
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

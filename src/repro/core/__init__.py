@@ -1,0 +1,51 @@
+"""The paper's contribution: the E-RAPID system model and the Lock-Step
+power/bandwidth reconfiguration protocol (DPM + DBR)."""
+
+from repro.core.config import ControlParams, ERapidConfig, RouterParams
+from repro.core.dbr import DestDemand, WavelengthState, classify, dbr_plan
+from repro.core.dpm import DpmAction, LinkWindowStats, dpm_decide
+from repro.core.engine import FastEngine
+from repro.core.erapid import ERapidSystem
+from repro.core.lockstep import LockStepCoordinator
+from repro.core.policies import (
+    NP_B,
+    NP_NB,
+    P_B,
+    P_NB,
+    POLICIES,
+    ReconfigPolicy,
+    Thresholds,
+    make_policy,
+)
+from repro.core.reconfig_controller import (
+    PairWindowStats,
+    ReconfigController,
+    WindowSnapshot,
+)
+
+__all__ = [
+    "ControlParams",
+    "DestDemand",
+    "DpmAction",
+    "ERapidConfig",
+    "ERapidSystem",
+    "FastEngine",
+    "LinkWindowStats",
+    "LockStepCoordinator",
+    "NP_B",
+    "NP_NB",
+    "P_B",
+    "P_NB",
+    "POLICIES",
+    "PairWindowStats",
+    "ReconfigController",
+    "ReconfigPolicy",
+    "RouterParams",
+    "Thresholds",
+    "WavelengthState",
+    "WindowSnapshot",
+    "classify",
+    "dbr_plan",
+    "dpm_decide",
+    "make_policy",
+]

@@ -1,0 +1,62 @@
+"""Per-board model: nodes and outgoing transmitter queues.
+
+A board aggregates D nodes on the IBI plus one transmitter queue per remote
+destination board — the queue the LC's ``Buffer_util`` counter watches and
+the (one or more) optical channels granted to the (board, destination) pair
+drain.  The paper's "spread the traffic on the transmitter board" falls out
+of several channels serving one queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.core.node import NodeModel
+from repro.errors import ConfigurationError
+from repro.sim.queues import MonitoredStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+    from repro.network.topology import ERapidTopology
+
+__all__ = ["BoardModel"]
+
+
+class BoardModel:
+    """Nodes + per-destination transmitter queues for one board."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        board: int,
+        topology: "ERapidTopology",
+        tx_queue_capacity: int,
+    ) -> None:
+        self.board = board
+        self.nodes: List[NodeModel] = [
+            NodeModel(sim, node, board) for node in topology.nodes_on_board(board)
+        ]
+        #: dest board -> transmitter queue (the LC-monitored buffer).
+        self.tx_queues: Dict[int, MonitoredStore] = {
+            d: MonitoredStore(
+                sim, capacity=tx_queue_capacity, name=f"b{board}->b{d}.txq"
+            )
+            for d in range(topology.boards)
+            if d != board
+        }
+
+    def tx_queue(self, dest: int) -> MonitoredStore:
+        try:
+            return self.tx_queues[dest]
+        except KeyError:
+            raise ConfigurationError(
+                f"board {self.board} has no transmitter queue toward {dest}"
+            ) from None
+
+    def reset_windows(self) -> None:
+        """Start a new R_w window on every LC buffer counter."""
+        for q in self.tx_queues.values():
+            q.reset_window()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BoardModel b{self.board} nodes={len(self.nodes)}>"

@@ -1,0 +1,150 @@
+"""Dynamic Bandwidth Re-allocation — the §3.2 Reconfigure-stage logic.
+
+For one destination board *d*, the RC classifies every incoming wavelength
+by the owning source's buffer utilization toward *d*:
+
+* **under-utilized** (``Buffer_util <= B_min``): the wavelength can be
+  re-allocated (a *donor*);
+* **normal** (``B_min < Buffer_util <= B_max``): well utilized, left alone;
+* **over-utilized** (``Buffer_util > B_max``): the source needs additional
+  wavelengths (*needy*).
+
+Dark wavelengths (no owner) are always donors.  A board with traffic queued
+toward *d* but *no* channel at all is treated as needy regardless of its
+utilization — without this rule a board that donated its last channel could
+starve for several windows after its traffic resumed.
+
+Donors are matched to needy boards most-congested-first, with one
+preference: a donor wavelength whose *static* owner is needy goes back to
+that owner (restoring Figure 1's assignment as traffic normalizes).
+
+The function is pure (stats in, grant plan out) so the protocol timing in
+:mod:`repro.core.reconfig_controller` stays separate from the allocation
+policy and both can be tested independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.policies import Thresholds
+from repro.optics.rwa import StaticRWA
+
+__all__ = ["DestDemand", "WavelengthState", "dbr_plan", "classify"]
+
+
+@dataclass(frozen=True)
+class WavelengthState:
+    """One incoming wavelength at the destination (RC's link-statistic row)."""
+
+    wavelength: int
+    owner: Optional[int]          # source board holding (λ, d); None = dark
+    owner_buffer_util: float      # owner's Buffer_util toward d (0 if dark)
+    owner_queue_empty: bool       # owner's transmitter queue toward d
+    failed: bool = False          # dead laser/receiver: never grantable
+
+
+@dataclass(frozen=True)
+class DestDemand:
+    """One source board's demand toward the destination."""
+
+    board: int
+    buffer_util: float
+    queue_empty: bool
+    channels: int                 # channels the board currently owns toward d
+
+
+def classify(util: float, thresholds: Thresholds) -> str:
+    """The paper's three-way classification of an incoming link."""
+    if util <= thresholds.b_min:
+        return "under"
+    if util <= thresholds.b_max:
+        return "normal"
+    return "over"
+
+
+def dbr_plan(
+    dest: int,
+    wavelengths: List[WavelengthState],
+    demands: List[DestDemand],
+    thresholds: Thresholds,
+    rwa: StaticRWA,
+    max_grants: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Grant plan for destination ``dest``: list of (wavelength, new_owner).
+
+    Only re-assignments are returned; wavelengths that keep their owner do
+    not appear.  ``max_grants`` caps the plan length (the limited-
+    reconfigurability ablation).
+    """
+    if max_grants is not None and max_grants <= 0:
+        return []
+    demand_of: Dict[int, DestDemand] = {dm.board: dm for dm in demands}
+    for dm in demands:
+        if dm.board == dest:
+            raise ConfigurationError(
+                f"board {dest} cannot demand bandwidth toward itself"
+            )
+
+    # --- who needs bandwidth -------------------------------------------
+    def is_needy(dm: DestDemand) -> bool:
+        if classify(dm.buffer_util, thresholds) == "over":
+            return True
+        return dm.channels == 0 and not dm.queue_empty
+
+    needy = sorted(
+        (dm for dm in demands if is_needy(dm)),
+        key=lambda dm: (-dm.buffer_util, dm.board),
+    )
+    if not needy:
+        return []
+    needy_boards = {dm.board for dm in needy}
+
+    # --- which wavelengths are donors ----------------------------------
+    def is_donor(ws: WavelengthState) -> bool:
+        if ws.failed:
+            return False  # dead hardware is never re-allocated
+        if ws.owner is None:
+            return True  # dark channel: free to grant
+        if ws.owner in needy_boards:
+            return False  # never strip a congested board
+        return (
+            classify(ws.owner_buffer_util, thresholds) == "under"
+            and ws.owner_queue_empty
+        )
+
+    donors = sorted(
+        (ws for ws in wavelengths if is_donor(ws)),
+        key=lambda ws: ws.wavelength,
+    )
+    if not donors:
+        return []
+
+    # --- match donors to needy boards ----------------------------------
+    plan: List[Tuple[int, int]] = []
+    remaining = list(donors)
+
+    # Preference pass: return a donor to its static owner if that owner is
+    # needy (restores the Figure-1 assignment as traffic shifts back).
+    for ws in list(remaining):
+        static_owner = rwa.default_owner(dest, ws.wavelength)
+        if static_owner in needy_boards and ws.owner != static_owner:
+            plan.append((ws.wavelength, static_owner))
+            remaining.remove(ws)
+            if max_grants is not None and len(plan) >= max_grants:
+                return plan
+
+    # Round-robin the rest across needy boards, most congested first.
+    if remaining and needy:
+        i = 0
+        for ws in remaining:
+            target = needy[i % len(needy)].board
+            i += 1
+            if ws.owner == target:
+                continue
+            plan.append((ws.wavelength, target))
+            if max_grants is not None and len(plan) >= max_grants:
+                break
+    return plan

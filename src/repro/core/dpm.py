@@ -1,0 +1,71 @@
+"""Dynamic Power Management — the §3.1 decision rule, as pure logic.
+
+Each link controller reads its hardware counters at the end of a power
+window and picks one action:
+
+* ``SLEEP`` — the link carried nothing and has nothing queued: gate the
+  laser and receiver (dynamic link shutdown).  The link wakes automatically
+  (paying ``wake_cycles``) when the next packet arrives.
+* ``DOWN``  — Link_util < L_min: step one power level down.
+* ``UP``    — Link_util > L_max *and* (B_max == 0 or Buffer_util > B_max):
+  step one power level up.  B_max = 0 is the conservative P-NB variant
+  (scale up on the link threshold alone); B_max > 0 is the aggressive P-B
+  variant that waits for real congestion (§4.2).
+* ``HOLD``  — otherwise (including saturating at the ladder ends).
+
+The function is pure so it can be property-tested exhaustively; the link
+controller applies the action with the DVS stall penalties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.core.policies import Thresholds
+
+__all__ = ["LinkWindowStats", "DpmAction", "dpm_decide"]
+
+
+@dataclass(frozen=True)
+class LinkWindowStats:
+    """One LC's hardware counters over the previous window R_w."""
+
+    #: Fraction of cycles the transmitter was clocking a packet out.
+    link_util: float
+    #: Time-averaged transmitter-queue occupancy / capacity.
+    buffer_util: float
+    #: Whether the transmitter queue is empty right now.
+    queue_empty: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.link_util <= 1.0 + 1e-9:
+            raise ConfigurationError(f"link_util out of range: {self.link_util}")
+        if not 0.0 <= self.buffer_util <= 1.0 + 1e-9:
+            raise ConfigurationError(f"buffer_util out of range: {self.buffer_util}")
+
+
+class DpmAction(Enum):
+    SLEEP = "sleep"
+    DOWN = "down"
+    UP = "up"
+    HOLD = "hold"
+
+
+def dpm_decide(
+    stats: LinkWindowStats,
+    thresholds: Thresholds,
+    at_lowest: bool,
+    at_highest: bool,
+) -> DpmAction:
+    """The §3.1 dynamic power regulation rule for one link."""
+    if stats.link_util <= 0.0 and stats.queue_empty:
+        return DpmAction.SLEEP
+    if stats.link_util < thresholds.l_min:
+        return DpmAction.DOWN if not at_lowest else DpmAction.HOLD
+    if stats.link_util > thresholds.l_max:
+        buffer_gate = thresholds.b_max <= 0.0 or stats.buffer_util > thresholds.b_max
+        if buffer_gate:
+            return DpmAction.UP if not at_highest else DpmAction.HOLD
+    return DpmAction.HOLD

@@ -1,0 +1,80 @@
+"""The user-facing E-RAPID system facade.
+
+Typical use::
+
+    from repro import ERapidSystem, WorkloadSpec, P_B
+
+    system = ERapidSystem.build(boards=8, nodes_per_board=8, policy=P_B)
+    result = system.run(WorkloadSpec(pattern="complement", load=0.5))
+    print(result.summary())
+
+``run`` builds a fresh fast engine per call so repeated runs (load sweeps)
+are independent and reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+from repro.core.config import ERapidConfig
+from repro.core.engine import FastEngine
+from repro.core.policies import ReconfigPolicy, make_policy
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.network.topology import ERapidTopology
+from repro.sim.trace import TraceLog
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["ERapidSystem"]
+
+
+class ERapidSystem:
+    """Configured E-RAPID instance; every ``run`` is one simulation."""
+
+    def __init__(self, config: ERapidConfig) -> None:
+        self.config = config
+        self.last_engine: Optional[FastEngine] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        boards: int = 8,
+        nodes_per_board: int = 8,
+        policy: Union[str, ReconfigPolicy] = "NP-NB",
+        **overrides,
+    ) -> "ERapidSystem":
+        """Construct a system from the common knobs.
+
+        ``overrides`` are forwarded to :class:`ERapidConfig` (e.g.
+        ``tx_queue_capacity=32``, ``seed=7``, ``control=...``).
+        """
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        topology = ERapidTopology(boards=boards, nodes_per_board=nodes_per_board)
+        config = ERapidConfig(topology=topology, policy=policy, **overrides)
+        return cls(config)
+
+    def with_policy(self, policy: Union[str, ReconfigPolicy]) -> "ERapidSystem":
+        """Same system, different design-space corner."""
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        return ERapidSystem(self.config.with_policy(policy))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: WorkloadSpec,
+        plan: Optional[MeasurementPlan] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> RunResult:
+        """Simulate one workload; returns throughput/latency/power metrics."""
+        plan = plan or MeasurementPlan()
+        # Runs share the config seed unless the workload carries its own.
+        workload = replace(workload, seed=workload.seed or self.config.seed)
+        engine = FastEngine(self.config, workload, plan, trace=trace)
+        self.last_engine = engine
+        return engine.run()
+
+    def describe(self) -> str:
+        return self.config.describe()

@@ -1,0 +1,87 @@
+"""The Lock-Step (LS) coordinator.
+
+§3: "The power-bandwidth reconfiguration algorithm is implemented every R_w
+by the board reconfiguration controller RC_i.  We implement odd-even
+reconfiguration, where every odd cycle R_w = 1, 3, 5 ... RC_i triggers the
+power-awareness cycle and every even cycle, R_w = 2, 4, 6 ... the bandwidth
+reconfiguration cycle is triggered."
+
+The coordinator models the synchronized window boundary: it snapshots every
+LC's hardware counters, resets them for the next window, and hands the
+snapshot to all RCs simultaneously — the lock-step property that a control
+packet is received exactly as the next one is transmitted.  Configurations
+with only one mechanism enabled run it every window (Figure 3's
+R_w = R_p / R_w = R_B cases).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.reconfig_controller import PairWindowStats, WindowSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import FastEngine
+
+__all__ = ["LockStepCoordinator"]
+
+
+class LockStepCoordinator:
+    """Drives every board's RC at each reconfiguration-window boundary."""
+
+    def __init__(self, engine: "FastEngine") -> None:
+        self.engine = engine
+        self.windows_elapsed = 0
+
+    def start(self) -> None:
+        policy = self.engine.config.policy
+        if policy.dpm or policy.dbr:
+            self.engine.sim.process(self._run(), name="lockstep")
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        sim = self.engine.sim
+        window = self.engine.config.control.window_cycles
+        while True:
+            yield sim.timeout(window)
+            self.windows_elapsed += 1
+            self._window_boundary(self.windows_elapsed)
+
+    def _window_boundary(self, k: int) -> None:
+        engine = self.engine
+        policy = engine.config.policy
+        snapshot = self.take_snapshot(k)
+        engine.reset_windows()
+        run_power = policy.dpm and (not policy.dbr or k % 2 == 1)
+        run_bandwidth = policy.dbr and (not policy.dpm or k % 2 == 0)
+        for rc in engine.rcs:
+            if run_power:
+                rc.schedule_power_cycle(snapshot)
+            if run_bandwidth:
+                rc.schedule_bandwidth_cycle(snapshot)
+
+    # ------------------------------------------------------------------
+    def take_snapshot(self, k: int) -> WindowSnapshot:
+        """Freeze every LC counter at the window boundary."""
+        engine = self.engine
+        topo = engine.topology
+        now = engine.sim.now
+        channels = {}
+        owners = {}
+        for ch in engine.channels.values():
+            channels[ch.key] = ch.window_stats()
+            owners[ch.key] = ch.owner
+        pairs = {}
+        for s in range(topo.boards):
+            for d in range(topo.boards):
+                if s == d:
+                    continue
+                q = engine.pair_queue(s, d)
+                pairs[(s, d)] = PairWindowStats(
+                    buffer_util=min(1.0, q.buffer_util(now)),
+                    queue_empty=len(q) == 0,
+                    channel_count=len(engine.srs.channels_from(s, d)),
+                )
+        return WindowSnapshot(
+            time=now, window_index=k, channels=channels, owners=owners, pairs=pairs
+        )

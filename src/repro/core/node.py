@@ -1,0 +1,37 @@
+"""Per-node model: network-interface queues and statistics.
+
+Each node owns a send port and a receive port (§2.1).  In the fast engine
+these are single-server queues with the Table-1 electrical serialization
+time (32 cycles/packet at 6.4 Gbps); the engine runs one process per port.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.queues import MonitoredStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["NodeModel"]
+
+
+class NodeModel:
+    """Queues and counters for one compute node."""
+
+    def __init__(self, sim: "Simulator", node_id: int, board: int) -> None:
+        self.node_id = node_id
+        self.board = board
+        #: Packets awaiting send-port serialization (NI injection FIFO).
+        self.send_queue = MonitoredStore(sim, name=f"n{node_id}.send")
+        #: Packets awaiting receive-port serialization (NI ejection FIFO).
+        self.recv_queue = MonitoredStore(sim, name=f"n{node_id}.recv")
+        self.injected = 0
+        self.delivered = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NodeModel {self.node_id}@b{self.board} "
+            f"send={len(self.send_queue)} recv={len(self.recv_queue)}>"
+        )

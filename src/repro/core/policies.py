@@ -1,0 +1,126 @@
+"""Reconfiguration policies — the Figure 3 design space.
+
+The four corners the paper evaluates:
+
+==========  =====  =====  ==========================================
+Config      DPM    DBR    Thresholds
+==========  =====  =====  ==========================================
+``NP-NB``   off    off    —
+``P-NB``    on     off    L_min 0.4, L_max 0.7, B_max 0.0 (conservative:
+                          scale up on the link threshold alone, §4.2:
+                          "the links are not allowed to completely
+                          saturate")
+``NP-B``    off    on     B_min 0.0, B_max 0.3
+``P-B``     on     on     L_min 0.7, L_max 0.9, B_max 0.3 (§3.1's
+                          aggressive band: "aggressively push the link
+                          utilization to the limit"; scale up only when
+                          link *and* buffer exceed)
+==========  =====  =====  ==========================================
+
+§3.1 fixes L_min = 0.7 / L_max = 0.9 for the aggressive (P-B) corner —
+the wide lower band is what drives links *down* the level ladder until
+utilization lands just below saturation, which is where the energy/bit
+savings live.  P-NB's lower L_max (0.7, per §4.2) with a correspondingly
+lower L_min keeps it stable without letting links saturate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Thresholds", "ReconfigPolicy", "NP_NB", "P_NB", "NP_B", "P_B",
+           "POLICIES", "make_policy"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Utilization thresholds driving DPM (§3.1) and DBR (§3.2)."""
+
+    #: Scale the bit rate down below this link utilization.
+    l_min: float = 0.3
+    #: Scale the bit rate up above this link utilization.
+    l_max: float = 0.9
+    #: DBR: a link is *under-utilized* (donor) at or below this buffer util.
+    b_min: float = 0.0
+    #: DBR: a link is *over-utilized* (needs bandwidth) above this buffer
+    #: util; DPM additionally requires it before scaling up when > 0.
+    b_max: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in ("l_min", "l_max", "b_min", "b_max"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1], got {v}")
+        if self.l_min >= self.l_max:
+            raise ConfigurationError(
+                f"l_min ({self.l_min}) must be < l_max ({self.l_max})"
+            )
+        if self.b_min > self.b_max:
+            raise ConfigurationError(
+                f"b_min ({self.b_min}) must be <= b_max ({self.b_max})"
+            )
+
+
+@dataclass(frozen=True)
+class ReconfigPolicy:
+    """One corner of the power/bandwidth design space."""
+
+    name: str
+    #: Dynamic Power Management: bit-rate/voltage scaling + idle-link sleep.
+    dpm: bool
+    #: Dynamic Bandwidth Re-allocation: wavelength ownership re-assignment.
+    dbr: bool
+    thresholds: Thresholds = Thresholds()
+    #: Optional cap on DBR grants per destination per window (the paper's
+    #: future-work "limited flexibility" alternative; None = unlimited).
+    max_grants_per_dest: int | None = None
+    #: EWMA weight on *past* windows when computing the utilization the DPM
+    #: rule sees (0 = the paper's raw per-window counter; towards 1 = the
+    #: §5 future-work "multiple power scaling techniques" direction: slower
+    #: but steadier level tracking, fewer re-clock stalls).
+    dpm_smoothing: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_grants_per_dest is not None and self.max_grants_per_dest < 0:
+            raise ConfigurationError("max_grants_per_dest must be >= 0 or None")
+        if not 0.0 <= self.dpm_smoothing < 1.0:
+            raise ConfigurationError(
+                f"dpm_smoothing must be in [0,1), got {self.dpm_smoothing}"
+            )
+
+    @property
+    def power_aware(self) -> bool:
+        return self.dpm
+
+    @property
+    def bandwidth_reconfigured(self) -> bool:
+        return self.dbr
+
+
+#: Non-power-aware, non-bandwidth-reconfigured baseline.
+NP_NB = ReconfigPolicy("NP-NB", dpm=False, dbr=False)
+#: Power-aware only; conservative scale-up (B_max = 0: link threshold alone,
+#: and a lower L_max so links are not allowed to fully saturate — §4.2).
+P_NB = ReconfigPolicy(
+    "P-NB", dpm=True, dbr=False, thresholds=Thresholds(l_min=0.4, l_max=0.7, b_max=0.0)
+)
+#: Bandwidth-reconfigured only.
+NP_B = ReconfigPolicy("NP-B", dpm=False, dbr=True)
+#: The paper's Lock-Step target: both, with the aggressive thresholds.
+P_B = ReconfigPolicy(
+    "P-B", dpm=True, dbr=True, thresholds=Thresholds(l_min=0.7, l_max=0.9, b_max=0.3)
+)
+
+POLICIES = {p.name: p for p in (NP_NB, P_NB, NP_B, P_B)}
+
+
+def make_policy(name: str) -> ReconfigPolicy:
+    """Look up one of the four paper configurations by name."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,205 @@
+"""Reconfiguration Controllers — the per-board Lock-Step protocol engine.
+
+Each board's RC drives the two cycles of §3 against the window snapshot the
+coordinator hands it:
+
+**Power cycle** (odd windows, or every window for P-NB): the
+``Power_Request`` control packet circulates the on-board LC ring; when it
+returns, every LC the board owns applies the §3.1 DPM rule locally.
+
+**Bandwidth cycle** (even windows, or every window for NP-B): the 5-stage
+sequence of Figure 4 —
+
+    Link Request  -> Board Request -> Reconfigure -> Board Response
+    -> Link Response
+
+with ring latencies from :class:`~repro.core.config.ControlParams`.  The RC
+computes the §3.2 grant plan for *its own incoming links* at the
+Reconfigure stage and actuates the lasers at the Link Response stage.
+
+All stage events are traced (category ``"protocol"``), which is what the
+Figure-4 bench renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.dbr import DestDemand, WavelengthState, dbr_plan
+from repro.core.dpm import DpmAction, LinkWindowStats, dpm_decide
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import FastEngine
+
+__all__ = ["WindowSnapshot", "PairWindowStats", "ReconfigController"]
+
+
+@dataclass(frozen=True)
+class PairWindowStats:
+    """Per (source, dest) board-pair stats over the closed window."""
+
+    buffer_util: float
+    queue_empty: bool
+    channel_count: int
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Everything the RCs need from the window that just closed."""
+
+    time: float
+    window_index: int
+    #: (wavelength, dest) -> LC hardware counters.
+    channels: Dict[Tuple[int, int], LinkWindowStats]
+    #: (wavelength, dest) -> owner at snapshot time.
+    owners: Dict[Tuple[int, int], Optional[int]]
+    #: (src, dest) -> transmitter-queue stats.
+    pairs: Dict[Tuple[int, int], PairWindowStats] = field(default_factory=dict)
+
+
+class ReconfigController:
+    """The RC of one system board."""
+
+    def __init__(self, engine: "FastEngine", board: int) -> None:
+        self.engine = engine
+        self.board = board
+        self.power_cycles = 0
+        self.bandwidth_cycles = 0
+        self.grants_issued = 0
+
+    # ------------------------------------------------------------------
+    def _trace(self, message: str, **fields) -> None:
+        trace = self.engine.trace
+        if trace is not None:
+            trace.record(
+                self.engine.sim.now, "protocol", f"RC{self.board}", message, **fields
+            )
+
+    # ------------------------------------------------------------------
+    # Power-awareness cycle (§3.1)
+    # ------------------------------------------------------------------
+    def schedule_power_cycle(self, snapshot: WindowSnapshot) -> None:
+        """Kick off the LC-ring Power_Request at the window boundary."""
+        self.power_cycles += 1
+        cfg = self.engine.config
+        d_nodes = self.engine.topology.nodes_per_board
+        latency = cfg.control.power_cycle_latency(d_nodes)
+        self._trace("Power_Request sent", window=snapshot.window_index)
+        self.engine.sim.schedule(latency, self._apply_power_cycle, snapshot)
+
+    def _apply_power_cycle(self, snapshot: WindowSnapshot) -> None:
+        """Power_Request returned: every LC this board owns decides locally."""
+        self._trace("Power_Request returned; LCs scaling",
+                    window=snapshot.window_index)
+        table = self.engine.config.power_levels
+        thresholds = self.engine.config.policy.thresholds
+        for ch in self.engine.channels_owned_by(self.board):
+            stats = snapshot.channels.get(ch.key)
+            if stats is None or snapshot.owners.get(ch.key) != self.board:
+                continue
+            effective = ch.smoothed_util(stats.link_util)
+            if effective != stats.link_util:
+                stats = LinkWindowStats(
+                    link_util=min(1.0, effective),
+                    buffer_util=stats.buffer_util,
+                    queue_empty=stats.queue_empty,
+                )
+            action = dpm_decide(
+                stats,
+                thresholds,
+                at_lowest=ch.level is table.lowest,
+                at_highest=ch.level is table.highest,
+            )
+            if action is not DpmAction.HOLD:
+                self._trace(
+                    f"DPM {action.value} λ{ch.wavelength}->b{ch.dest}",
+                    level=ch.level.name,
+                    link_util=round(stats.link_util, 3),
+                )
+            ch.apply_dpm(action)
+
+    # ------------------------------------------------------------------
+    # Bandwidth re-allocation cycle (§3.2, Figure 4)
+    # ------------------------------------------------------------------
+    def schedule_bandwidth_cycle(self, snapshot: WindowSnapshot) -> None:
+        """Run Link Request .. Link Response with ring latencies."""
+        self.bandwidth_cycles += 1
+        cfg = self.engine.config
+        topo = self.engine.topology
+        stages = cfg.control.dbr_stage_latencies(topo.boards, topo.nodes_per_board)
+        t = 0.0
+        self._trace("Link_Request sent", window=snapshot.window_index)
+        t += stages["link_request"]
+        self.engine.sim.schedule(
+            t, self._trace, "outgoing link statistics updated"
+        )
+        t += stages["board_request"]
+        self.engine.sim.schedule(
+            t, self._trace, "Board_Request completed; incoming stats updated"
+        )
+        t += stages["reconfigure"]
+        self.engine.sim.schedule(t, self._reconfigure_stage, snapshot, t)
+
+    def _reconfigure_stage(self, snapshot: WindowSnapshot, elapsed: float) -> None:
+        """Reconfigure stage: classify incoming links, build the grant plan."""
+        plan = self.compute_plan(snapshot)
+        self._trace(
+            "Reconfigure stage", grants=len(plan), window=snapshot.window_index
+        )
+        cfg = self.engine.config
+        topo = self.engine.topology
+        stages = cfg.control.dbr_stage_latencies(topo.boards, topo.nodes_per_board)
+        t = stages["board_response"]
+        self.engine.sim.schedule(t, self._trace, "Board_Response completed")
+        t += stages["link_response"]
+        self.engine.sim.schedule(t, self._apply_plan, plan, snapshot.window_index)
+
+    def compute_plan(self, snapshot: WindowSnapshot) -> List[Tuple[int, int]]:
+        """The §3.2 Reconfigure-stage decision for this board's incoming links."""
+        dest = self.board
+        topo = self.engine.topology
+        wavelengths: List[WavelengthState] = []
+        for w in range(topo.wavelengths):
+            owner = snapshot.owners.get((w, dest))
+            failed = self.engine.srs.is_failed(dest, w)
+            if owner is None:
+                wavelengths.append(WavelengthState(w, None, 0.0, True, failed))
+            else:
+                ps = snapshot.pairs.get((owner, dest))
+                wavelengths.append(
+                    WavelengthState(
+                        w,
+                        owner,
+                        ps.buffer_util if ps else 0.0,
+                        ps.queue_empty if ps else True,
+                        failed,
+                    )
+                )
+        demands: List[DestDemand] = []
+        for s in range(topo.boards):
+            if s == dest:
+                continue
+            ps = snapshot.pairs.get((s, dest))
+            if ps is None:
+                continue
+            demands.append(
+                DestDemand(s, ps.buffer_util, ps.queue_empty, ps.channel_count)
+            )
+        return dbr_plan(
+            dest,
+            wavelengths,
+            demands,
+            self.engine.config.policy.thresholds,
+            self.engine.srs.rwa,
+            max_grants=self.engine.config.policy.max_grants_per_dest,
+        )
+
+    def _apply_plan(self, plan: List[Tuple[int, int]], window: int) -> None:
+        """Link Response stage: actuate the lasers."""
+        for wavelength, new_owner in plan:
+            self.engine.apply_grant(self.board, wavelength, new_owner)
+            self.grants_issued += 1
+            self._trace(
+                f"grant λ{wavelength} -> board {new_owner}", window=window
+            )

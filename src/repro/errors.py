@@ -1,0 +1,47 @@
+"""Exception hierarchy for the E-RAPID reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Raised for illegal operations on the discrete-event kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or on a finished kernel."""
+
+
+class ProcessError(SimulationError):
+    """Raised for illegal process operations (e.g. yielding a non-waitable)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system/network configuration is inconsistent."""
+
+
+class TopologyError(ConfigurationError):
+    """Raised for invalid topology parameters or addresses."""
+
+
+class WavelengthError(ReproError):
+    """Raised for invalid wavelength assignments (e.g. receiver collisions)."""
+
+
+class PowerModelError(ReproError):
+    """Raised for invalid power-model parameters or operating points."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the Lock-Step reconfiguration protocol is violated."""
+
+
+class MeasurementError(ReproError):
+    """Raised for invalid measurement configuration (e.g. zero-length window)."""

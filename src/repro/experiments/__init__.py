@@ -1,0 +1,51 @@
+"""Experiment harness: load sweeps, figure panels, Table 1 regeneration,
+ablations, ASCII charts and CSV persistence."""
+
+from repro.experiments.ablations import (
+    ablate_dpm_smoothing,
+    ablate_limited_dbr,
+    ablate_power_levels,
+    ablate_thresholds,
+    ablate_window,
+)
+from repro.experiments.allocation_view import AllocationProbe, render_allocation
+from repro.experiments.ascii_plot import ascii_chart
+from repro.experiments.fig3 import DesignSpaceResult, render_fig3, run_fig3
+from repro.experiments.fig5 import fig5_complement, fig5_uniform
+from repro.experiments.fig6 import fig6_butterfly, fig6_shuffle
+from repro.experiments.figures import FigurePanel, headline_ratios, render_panel
+from repro.experiments.io import read_csv, sweep_rows, write_csv
+from repro.experiments.runner import FIGURE_PATTERNS, reproduce_all
+from repro.experiments.sweep import PAPER_LOADS, SweepSpec, run_sweep
+from repro.experiments.table1 import render_table1, table1_checks
+
+__all__ = [
+    "AllocationProbe",
+    "DesignSpaceResult",
+    "FigurePanel",
+    "PAPER_LOADS",
+    "SweepSpec",
+    "ablate_dpm_smoothing",
+    "ablate_limited_dbr",
+    "ablate_power_levels",
+    "ablate_thresholds",
+    "ablate_window",
+    "ascii_chart",
+    "fig5_complement",
+    "fig5_uniform",
+    "fig6_butterfly",
+    "fig6_shuffle",
+    "headline_ratios",
+    "FIGURE_PATTERNS",
+    "read_csv",
+    "render_allocation",
+    "render_fig3",
+    "reproduce_all",
+    "render_panel",
+    "render_table1",
+    "run_fig3",
+    "run_sweep",
+    "sweep_rows",
+    "table1_checks",
+    "write_csv",
+]

@@ -1,0 +1,83 @@
+"""ASCII line charts.
+
+The execution environment has no plotting stack, so the harness renders the
+paper's figures as aligned text charts (plus CSV for external plotting).
+Good enough to eyeball who wins, by what factor, and where curves cross.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MeasurementError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render multiple y-series over shared x values as an ASCII chart."""
+    if not x or not series:
+        raise MeasurementError("ascii_chart needs x values and >= 1 series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise MeasurementError(
+                f"series {name!r} has {len(ys)} points but x has {len(x)}"
+            )
+    if width < 16 or height < 4:
+        raise MeasurementError("chart too small")
+
+    all_y = [y for ys in series.values() for y in ys if y == y]  # drop NaN
+    if not all_y:
+        raise MeasurementError("all series values are NaN")
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for xv, yv in zip(x, ys):
+            if yv != yv:  # NaN: skip
+                continue
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"[{y_label}]  {legend}")
+    top_label = format(y_hi, ".4g")
+    bot_label = format(y_lo, ".4g")
+    label_w = max(len(top_label), len(bot_label))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_w)
+        elif i == height - 1:
+            label = bot_label.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    left = format(x_lo, ".4g")
+    right = format(x_hi, ".4g")
+    pad = width - len(left) - len(right)
+    lines.append(
+        " " * (label_w + 2) + left + " " * max(1, pad) + right + f"  [{x_label}]"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Figure 3: the power/bandwidth design space as time series.
+
+The paper's conceptual figure shows, for each of NP-NB / P-NB / NP-B / P-B,
+how link power level and utilization evolve as traffic intensity changes.
+We reproduce it with an actual simulation: a hot board-pair whose offered
+load steps low -> high -> low, probing the pair's static channel every
+quarter-window.  The four corners then show exactly the paper's story:
+
+* NP-NB: power pinned at P_high regardless of utilization;
+* P-NB : power tracks utilization between the three levels;
+* NP-B : extra wavelengths appear under load (channel count steps up),
+  power roughly doubles while it does;
+* P-B  : extra wavelengths *and* per-channel scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import ERapidConfig
+from repro.core.engine import FastEngine
+from repro.core.policies import POLICIES
+from repro.metrics.collector import MeasurementPlan
+from repro.metrics.timeseries import ProbeSample
+from repro.network.packet import PacketFactory
+from repro.network.topology import ERapidTopology
+from repro.sim.rng import RngRegistry
+from repro.traffic.injection import ProfiledBernoulliProcess, TrafficSource
+from repro.traffic.patterns import complement
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["DesignSpaceResult", "run_fig3", "render_fig3"]
+
+#: Offered-load profile (cycles, packets/node/cycle): low -> high -> low.
+#: The high phase oversubscribes one channel (~0.006 pkt/node/cyc for the
+#: hot pair) but fits in two, so the bandwidth-reconfigured corners absorb
+#: it and the backlog drains quickly once the load drops.
+DEFAULT_PROFILE = [(0.0, 0.002), (8000.0, 0.008), (18000.0, 0.002)]
+
+
+@dataclass
+class DesignSpaceResult:
+    """Per-policy channel samples + system power series."""
+
+    policy: str
+    samples: List[ProbeSample]
+    pair_channels: List[int]
+    times: List[float]
+
+
+def run_fig3(
+    boards: int = 4,
+    nodes_per_board: int = 4,
+    profile: List = None,
+    horizon: float = 28000.0,
+    sample_period: float = 500.0,
+) -> Dict[str, DesignSpaceResult]:
+    """Run the staged-traffic experiment for all four configurations."""
+    profile = profile if profile is not None else list(DEFAULT_PROFILE)
+    topo = ERapidTopology(boards=boards, nodes_per_board=nodes_per_board)
+    pattern = complement(topo.total_nodes)
+    out: Dict[str, DesignSpaceResult] = {}
+    # The probed channel: board 0's static wavelength toward its complement
+    # board (the hot pair under complement traffic).
+    hot_dst = boards - 1
+    for name, policy in POLICIES.items():
+        config = ERapidConfig(topology=topo, policy=policy)
+        hot_w = None
+        plan = MeasurementPlan(warmup=1000, measure=horizon - 1000, drain_limit=0)
+        factory = PacketFactory()
+        registry = RngRegistry(seed=3)
+        sources = [
+            TrafficSource(
+                node,
+                pattern,
+                ProfiledBernoulliProcess(list(profile)),
+                factory=factory,
+                rng=registry.stream(f"fig3.{node}"),
+            )
+            for node in range(topo.total_nodes)
+        ]
+        engine = FastEngine(config, WorkloadSpec(pattern="complement"), plan,
+                            sources=sources)
+        hot_w = engine.srs.rwa.wavelength_for(0, hot_dst)
+        from repro.metrics.timeseries import ChannelProbe
+
+        probe = ChannelProbe(engine, hot_w, hot_dst, period=sample_period)
+        pair_counts: List[int] = []
+        times: List[float] = []
+
+        def sampler(engine=engine, pair_counts=pair_counts, times=times):
+            while True:
+                yield engine.sim.timeout(sample_period)
+                times.append(engine.sim.now)
+                pair_counts.append(len(engine.srs.channels_from(0, hot_dst)))
+
+        engine.start()
+        probe.start()
+        engine.sim.process(sampler(), name="pair-count-probe")
+        engine.sim.run(until=horizon)
+        out[name] = DesignSpaceResult(
+            policy=name,
+            samples=list(probe.samples),
+            pair_channels=pair_counts,
+            times=times,
+        )
+    return out
+
+
+def render_fig3(results: Dict[str, DesignSpaceResult]) -> str:
+    """Text rendering: per-policy time series of level/power/util/channels."""
+    from repro.metrics.report import format_table
+
+    parts = []
+    for name, res in results.items():
+        rows = []
+        for sample, nch in zip(res.samples, res.pair_channels):
+            rows.append(
+                [
+                    sample.time,
+                    sample.level_name,
+                    sample.power_mw,
+                    round(sample.utilization, 3),
+                    nch,
+                ]
+            )
+        parts.append(
+            format_table(
+                ["t", "level", "power_mW", "util", "pair_channels"],
+                rows[:: max(1, len(rows) // 14)],
+                title=f"== Figure 3 ({name}): hot channel over the load ramp ==",
+            )
+        )
+        parts.append("")
+    return "\n".join(parts)

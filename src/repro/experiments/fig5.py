@@ -1,0 +1,36 @@
+"""Figure 5: throughput, latency and power vs load — uniform and complement
+traffic on the 64-node E-RAPID, all four configurations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.figures import FigurePanel
+from repro.experiments.sweep import PAPER_LOADS, SweepSpec
+from repro.metrics.collector import MeasurementPlan
+
+__all__ = ["fig5_uniform", "fig5_complement"]
+
+
+def _spec(pattern: str, loads: Sequence[float], plan: Optional[MeasurementPlan]) -> SweepSpec:
+    kwargs = {"pattern": pattern, "loads": tuple(loads)}
+    if plan is not None:
+        kwargs["plan"] = plan
+    return SweepSpec(**kwargs)
+
+
+def fig5_uniform(
+    loads: Sequence[float] = PAPER_LOADS,
+    plan: Optional[MeasurementPlan] = None,
+) -> FigurePanel:
+    """Left half of Figure 5: uniform random traffic."""
+    return FigurePanel.run(_spec("uniform", loads, plan))
+
+
+def fig5_complement(
+    loads: Sequence[float] = PAPER_LOADS,
+    plan: Optional[MeasurementPlan] = None,
+) -> FigurePanel:
+    """Right half of Figure 5: complement traffic — E-RAPID's worst case,
+    where every board's traffic collapses onto one static wavelength."""
+    return FigurePanel.run(_spec("complement", loads, plan))

@@ -1,0 +1,30 @@
+"""Figure 6: throughput, latency and power vs load — butterfly and perfect
+shuffle traffic on the 64-node E-RAPID, all four configurations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.fig5 import _spec
+from repro.experiments.figures import FigurePanel
+from repro.experiments.sweep import PAPER_LOADS
+from repro.metrics.collector import MeasurementPlan
+
+__all__ = ["fig6_butterfly", "fig6_shuffle"]
+
+
+def fig6_butterfly(
+    loads: Sequence[float] = PAPER_LOADS,
+    plan: Optional[MeasurementPlan] = None,
+) -> FigurePanel:
+    """Left half of Figure 6: butterfly (swap MSB/LSB) permutation —
+    each board concentrates on two destination boards."""
+    return FigurePanel.run(_spec("butterfly", loads, plan))
+
+
+def fig6_shuffle(
+    loads: Sequence[float] = PAPER_LOADS,
+    plan: Optional[MeasurementPlan] = None,
+) -> FigurePanel:
+    """Right half of Figure 6: perfect shuffle (rotate-left) permutation."""
+    return FigurePanel.run(_spec("perfect_shuffle", loads, plan))

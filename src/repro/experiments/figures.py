@@ -1,0 +1,117 @@
+"""Shared rendering for the Figure 5/6 load-sweep panels.
+
+Each panel = one traffic pattern, three stacked charts (throughput,
+latency, power vs offered load) for the four configurations, plus a table
+and the headline ratios the paper quotes in §4.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.experiments.ascii_plot import ascii_chart
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.metrics.collector import RunResult
+from repro.metrics.report import format_table, ratio
+
+__all__ = ["FigurePanel", "render_panel", "headline_ratios"]
+
+
+class FigurePanel:
+    """Results of one pattern sweep, ready to render or persist."""
+
+    def __init__(self, spec: SweepSpec, results: Dict[str, List[RunResult]]) -> None:
+        self.spec = spec
+        self.results = results
+
+    @classmethod
+    def run(cls, spec: SweepSpec, **kwargs) -> "FigurePanel":
+        return cls(spec, run_sweep(spec, **kwargs))
+
+    # ------------------------------------------------------------------
+    def series(self, metric: str) -> Dict[str, List[float]]:
+        out = {}
+        for policy, runs in self.results.items():
+            values = []
+            for r in runs:
+                v = getattr(r, metric)
+                if metric == "avg_latency" and r.labeled_delivered == 0:
+                    v = math.nan  # saturated: no labeled packet came back
+                values.append(v)
+            out[policy] = values
+        return out
+
+    def render(self) -> str:
+        return render_panel(self)
+
+    def table(self) -> str:
+        rows = []
+        for policy, runs in self.results.items():
+            for load, r in zip(self.spec.loads, runs):
+                rows.append(
+                    [
+                        policy,
+                        load,
+                        r.throughput,
+                        r.avg_latency if r.labeled_delivered else float("nan"),
+                        r.power_mw,
+                        r.extra.get("grants", 0),
+                    ]
+                )
+        return format_table(
+            ["policy", "load", "throughput", "latency", "power_mW", "grants"],
+            rows,
+            title=f"== {self.spec.pattern} sweep ({self.spec.boards}x"
+            f"{self.spec.nodes_per_board} nodes) ==",
+        )
+
+
+def render_panel(panel: FigurePanel) -> str:
+    loads = list(panel.spec.loads)
+    parts = [panel.table(), ""]
+    for metric, label in (
+        ("throughput", "throughput [pkt/node/cyc]"),
+        ("avg_latency", "latency [cycles]"),
+        ("power_mw", "power [mW]"),
+    ):
+        parts.append(
+            ascii_chart(
+                loads,
+                panel.series(metric),
+                title=f"-- {panel.spec.pattern}: {label} vs load --",
+                x_label="offered load (fraction of N_c)",
+                y_label=label.split(" [")[0],
+            )
+        )
+        parts.append("")
+    parts.append(headline_ratios(panel))
+    return "\n".join(parts)
+
+
+def headline_ratios(panel: FigurePanel) -> str:
+    """The §4.2 comparisons: peak-throughput and mean-power ratios vs NP-NB."""
+    results = panel.results
+    if "NP-NB" not in results:
+        return ""
+    base = results["NP-NB"]
+    base_peak = max(r.throughput for r in base)
+    base_power = sum(r.power_mw for r in base) / len(base)
+    rows = []
+    for policy, runs in results.items():
+        peak = max(r.throughput for r in runs)
+        power = sum(r.power_mw for r in runs) / len(runs)
+        rows.append(
+            [
+                policy,
+                peak,
+                ratio(peak, base_peak),
+                power,
+                ratio(power, base_power),
+            ]
+        )
+    return format_table(
+        ["policy", "peak_thr", "thr_vs_NP-NB", "mean_power_mW", "power_vs_NP-NB"],
+        rows,
+        title=f"-- {panel.spec.pattern}: headline ratios (vs NP-NB) --",
+    )

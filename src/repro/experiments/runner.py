@@ -1,0 +1,91 @@
+"""One-command reproduction: regenerate every table and figure.
+
+``erapid reproduce --out results/`` (or :func:`reproduce_all`) runs the
+whole evaluation — Table 1, Figures 1/3/4/5/6 and the ablations — and
+writes text renderings plus CSVs into the output directory.  This is the
+programmatic equivalent of running the full bench suite.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.ablations import (
+    ablate_limited_dbr,
+    ablate_power_levels,
+    ablate_thresholds,
+    ablate_window,
+)
+from repro.experiments.fig3 import render_fig3, run_fig3
+from repro.experiments.figures import FigurePanel
+from repro.experiments.io import sweep_rows, write_csv
+from repro.experiments.sweep import SweepSpec
+from repro.experiments.table1 import render_table1, table1_checks
+from repro.metrics.collector import MeasurementPlan
+
+__all__ = ["reproduce_all", "FIGURE_PATTERNS"]
+
+#: The four Figure 5/6 panels.
+FIGURE_PATTERNS = {
+    "fig5_uniform": "uniform",
+    "fig5_complement": "complement",
+    "fig6_butterfly": "butterfly",
+    "fig6_shuffle": "perfect_shuffle",
+}
+
+
+def reproduce_all(
+    out_dir: Union[str, Path],
+    loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    plan: Optional[MeasurementPlan] = None,
+    log: Callable[[str], None] = print,
+) -> Dict[str, Path]:
+    """Run every experiment; returns {artifact name: path}."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    plan = plan or MeasurementPlan(warmup=8000, measure=10000, drain_limit=16000)
+    written: Dict[str, Path] = {}
+
+    def save(name: str, text: str) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n")
+        written[name] = path
+        log(f"  wrote {path}")
+
+    t0 = time.time()
+    log("[1/4] Table 1 + Figure 1 ...")
+    table1_checks()
+    save("table1_parameters", render_table1())
+    from repro.optics.rwa import StaticRWA
+
+    rwa = StaticRWA(8)
+    rwa.validate()
+    save("fig1_rwa", "Static RWA, R(1,8,8):\n" + rwa.render_table())
+
+    log("[2/4] Figure 3 design-space time series ...")
+    save("fig3_design_space", render_fig3(run_fig3()))
+
+    log("[3/4] Figure 5/6 load sweeps (4 patterns x 4 policies) ...")
+    for name, pattern in FIGURE_PATTERNS.items():
+        panel = FigurePanel.run(
+            SweepSpec(pattern=pattern, loads=tuple(loads), plan=plan)
+        )
+        save(name, panel.render())
+        csv_path = write_csv(out / f"{name}.csv", sweep_rows(panel.results))
+        written[f"{name}.csv"] = csv_path
+        log(f"  wrote {csv_path}")
+
+    log("[4/4] Ablations ...")
+    for name, fn in (
+        ("ablation_window", ablate_window),
+        ("ablation_thresholds", ablate_thresholds),
+        ("ablation_power_levels", ablate_power_levels),
+        ("ablation_limited_dbr", ablate_limited_dbr),
+    ):
+        _, table = fn()
+        save(name, table)
+
+    log(f"done in {time.time() - t0:.0f}s — {len(written)} artifacts in {out}")
+    return written

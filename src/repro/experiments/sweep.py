@@ -1,0 +1,83 @@
+"""Load-sweep runner — the engine behind Figures 5 and 6.
+
+§4: the network load is varied from 0.1 to 0.9 of the (uniform-random)
+network capacity; each (policy, pattern, load) triple is one simulation
+run.  :func:`run_sweep` executes the matrix with common random numbers
+across policies so curves differ only by the mechanism under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ERapidConfig
+from repro.core.engine import FastEngine
+from repro.core.policies import POLICIES
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["SweepSpec", "run_sweep", "PAPER_LOADS"]
+
+#: §4's sweep points.
+PAPER_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One figure panel: a pattern swept over loads for several policies."""
+
+    pattern: str = "uniform"
+    loads: Sequence[float] = PAPER_LOADS
+    policies: Sequence[str] = ("NP-NB", "P-NB", "NP-B", "P-B")
+    boards: int = 8
+    nodes_per_board: int = 8
+    seed: int = 1
+    plan: MeasurementPlan = field(
+        default_factory=lambda: MeasurementPlan(
+            warmup=8000.0, measure=12000.0, drain_limit=24000.0
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if not self.loads:
+            raise ConfigurationError("sweep needs at least one load point")
+        for p in self.policies:
+            if p not in POLICIES:
+                raise ConfigurationError(f"unknown policy {p!r}")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    base_config: Optional[ERapidConfig] = None,
+    progress=None,
+) -> Dict[str, List[RunResult]]:
+    """Run the full (policy × load) matrix; returns {policy: [results]}.
+
+    ``progress(policy, load, result)`` is invoked after each run when
+    given (the CLI uses it for live output).
+    """
+    from repro.network.topology import ERapidTopology
+
+    if base_config is None:
+        base_config = ERapidConfig(
+            topology=ERapidTopology(
+                boards=spec.boards, nodes_per_board=spec.nodes_per_board
+            )
+        )
+    results: Dict[str, List[RunResult]] = {}
+    for policy_name in spec.policies:
+        config = base_config.with_policy(POLICIES[policy_name])
+        runs: List[RunResult] = []
+        for load in spec.loads:
+            workload = WorkloadSpec(
+                pattern=spec.pattern, load=load, seed=spec.seed
+            )
+            engine = FastEngine(config, workload, spec.plan)
+            result = engine.run()
+            runs.append(result)
+            if progress is not None:
+                progress(policy_name, load, result)
+        results[policy_name] = runs
+    return results

@@ -1,0 +1,94 @@
+"""Table 1: simulation network parameters.
+
+Regenerates the paper's parameter table from the actual objects the
+simulator runs with — so the bench fails if the code ever drifts from the
+published operating points.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import ControlParams, RouterParams
+from repro.metrics.report import format_kv, format_table
+from repro.optics.optical_link import OpticalLinkTiming
+from repro.power.components import ComponentPower
+from repro.power.levels import PowerLevelTable
+
+__all__ = ["render_table1", "table1_checks"]
+
+
+def render_table1() -> str:
+    """The full Table 1, regenerated."""
+    router = RouterParams()
+    control = ControlParams()
+    timing = OpticalLinkTiming()
+    levels = PowerLevelTable()
+    comp = ComponentPower()
+
+    parts: List[str] = []
+    parts.append(
+        format_kv(
+            {
+                "channel width": f"{router.channel_bits} bits",
+                "router clock": f"{router.clock_ghz * 1000:.0f} MHz",
+                "unidirectional port bandwidth": f"{router.port_gbps} Gbps",
+                "bidirectional port bandwidth": f"{2 * router.port_gbps} Gbps",
+                "packet size": f"{router.packet_bytes} B = "
+                f"{router.flits_per_packet} flits",
+                "per-packet pipeline": "RC + VA + SA + ST, 1 cycle each",
+                "flow control": f"credit-based, {router.credit_cycles}-cycle "
+                "credit delay",
+                "reconfiguration window R_w": f"{control.window_cycles} cycles",
+            },
+            title="-- Electrical router model (SGI Spider) --",
+        )
+    )
+    rows = []
+    for level in levels.levels:
+        ser = timing.packet_service_cycles(router.packet_bytes, level.bit_rate_gbps)
+        rows.append(
+            [
+                level.name,
+                level.bit_rate_gbps,
+                level.vdd,
+                level.link_power_mw,
+                round(ser, 2),
+            ]
+        )
+    parts.append("")
+    parts.append(
+        format_table(
+            ["level", "bit rate (Gbps)", "V_DD (V)", "link power (mW)",
+             "64B packet (cycles)"],
+            rows,
+            title="-- Optical power levels --",
+        )
+    )
+    breakdown = comp.breakdown_mw(0.9, 5.0)
+    parts.append("")
+    parts.append(
+        format_table(
+            ["component", "power @ 5 Gbps / 0.9 V (mW)"],
+            [[k, round(v, 4)] for k, v in breakdown.items()],
+            title="-- Link component breakdown --",
+        )
+    )
+    return "\n".join(parts)
+
+
+def table1_checks() -> None:
+    """Hard assertions against the published numbers (used by the bench)."""
+    router = RouterParams()
+    assert router.port_gbps == 6.4
+    assert router.packet_serialization_cycles == 32
+    levels = PowerLevelTable()
+    published = [(2.5, 0.45, 8.6), (3.3, 0.60, 26.0), (5.0, 0.90, 43.03)]
+    for level, (br, vdd, mw) in zip(levels.levels, published):
+        assert level.bit_rate_gbps == br
+        assert level.vdd == vdd
+        assert level.link_power_mw == mw
+    comp = ComponentPower().breakdown_mw(0.9, 5.0)
+    assert abs(comp["vcsel_driver"] - 1.23) < 1e-9
+    assert abs(comp["tia"] - 25.02) < 1e-9
+    assert abs(comp["cdr"] - 17.05) < 1e-9

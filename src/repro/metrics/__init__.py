@@ -1,0 +1,30 @@
+"""Measurement methodology (§4): warm-up / labeled-measure / drain phases,
+run metrics, table rendering and time-series probes."""
+
+from repro.metrics.collector import Collector, MeasurementPlan, RunResult
+from repro.metrics.report import format_kv, format_table, ratio
+from repro.metrics.steady_state import (
+    MetricSummary,
+    ReplicationSummary,
+    batch_means,
+    mser_truncation,
+    replicate,
+)
+from repro.metrics.timeseries import ChannelProbe, ProbeSample, SystemProbe
+
+__all__ = [
+    "ChannelProbe",
+    "Collector",
+    "MeasurementPlan",
+    "MetricSummary",
+    "ProbeSample",
+    "ReplicationSummary",
+    "RunResult",
+    "SystemProbe",
+    "batch_means",
+    "format_kv",
+    "format_table",
+    "mser_truncation",
+    "ratio",
+    "replicate",
+]

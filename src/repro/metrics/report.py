@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment outputs.
+
+The harness prints the same rows the paper's figures plot; these helpers
+keep the formatting consistent across benches, examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MeasurementError
+
+__all__ = ["format_table", "format_kv", "ratio"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``floatfmt``; everything else with ``str``.
+    """
+    if not headers:
+        raise MeasurementError("table needs at least one column")
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise MeasurementError(
+                f"row width {len(row)} != header width {len(headers)}: {row!r}"
+            )
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(format(value, floatfmt))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(r[c]) for r in rendered) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, r in enumerate(rendered):
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Dict[str, object], title: Optional[str] = None) -> str:
+    """Aligned ``key: value`` block."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = format(v, ".4g")
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio for headline comparisons (0 when the base is 0)."""
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,97 @@
+"""Time-series probes.
+
+Figure 3 plots power level and link utilization *versus time* for the four
+design-space corners.  A :class:`ChannelProbe` samples one optical
+channel's (power level index, instantaneous power, windowed utilization,
+active channel count) on a fixed period so the bench can print the same
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, TYPE_CHECKING
+
+from repro.errors import MeasurementError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import FastEngine
+
+__all__ = ["ProbeSample", "ChannelProbe", "SystemProbe"]
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One sample of a channel's operating point."""
+
+    time: float
+    level_index: int
+    level_name: str
+    power_mw: float
+    utilization: float
+    enabled: bool
+
+
+@dataclass
+class ChannelProbe:
+    """Periodic sampler of one (wavelength, dest) channel."""
+
+    engine: "FastEngine"
+    wavelength: int
+    dest: int
+    period: float = 250.0
+    samples: List[ProbeSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise MeasurementError(f"probe period must be positive, got {self.period}")
+
+    def start(self) -> None:
+        self.engine.sim.process(self._run(), name=f"probe{self.wavelength}.{self.dest}")
+
+    def _run(self):
+        sim = self.engine.sim
+        ch = self.engine.channels[(self.wavelength, self.dest)]
+        table = self.engine.config.power_levels
+        window = self.period
+        last_busy_area = 0.0
+        while True:
+            yield sim.timeout(self.period)
+            now = sim.now
+            area = (
+                ch.busy_signal.average(now) * (now - 0.0)
+            )  # cumulative busy time
+            util = (area - last_busy_area) / window
+            last_busy_area = area
+            self.samples.append(
+                ProbeSample(
+                    time=now,
+                    level_index=table.index_of(ch.level),
+                    level_name=ch.level.name,
+                    power_mw=self.engine.accountant.channel_power(ch.key),
+                    utilization=max(0.0, min(1.0, util)),
+                    enabled=ch.enabled,
+                )
+            )
+
+
+@dataclass
+class SystemProbe:
+    """Periodic sampler of system totals (power, lit lasers)."""
+
+    engine: "FastEngine"
+    period: float = 500.0
+    times: List[float] = field(default_factory=list)
+    power_mw: List[float] = field(default_factory=list)
+    lasers_on: List[int] = field(default_factory=list)
+
+    def start(self) -> None:
+        self.engine.sim.process(self._run(), name="system-probe")
+
+    def _run(self):
+        sim = self.engine.sim
+        while True:
+            yield sim.timeout(self.period)
+            self.times.append(sim.now)
+            self.power_mw.append(self.engine.accountant.total_now_mw())
+            self.lasers_on.append(self.engine.srs.lasers_on())

@@ -1,0 +1,79 @@
+"""Electrical channels between router ports.
+
+Table 1: 16-bit channels at 400 MHz (6.4 Gbps unidirectional).  A 64-bit
+flit therefore occupies the wire for 4 cycles (``cycles_per_flit``); the
+channel enforces that serialization and delivers flits to the sink after
+``latency`` additional cycles of wire delay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.network.packet import Flit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["FlitSink", "Channel"]
+
+
+class FlitSink(Protocol):
+    """Anything that can receive flits from a channel."""
+
+    def receive_flit(self, flit: Flit, port: int) -> None:  # pragma: no cover
+        ...
+
+
+class Channel:
+    """Unidirectional flit channel with serialization and wire latency."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        sink: Optional[FlitSink] = None,
+        sink_port: int = 0,
+        latency: int = 1,
+        cycles_per_flit: int = 4,
+        name: str = "",
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative channel latency {latency}")
+        if cycles_per_flit < 1:
+            raise SimulationError(f"cycles_per_flit must be >= 1, got {cycles_per_flit}")
+        self.sim = sim
+        self.sink = sink
+        self.sink_port = sink_port
+        self.latency = latency
+        self.cycles_per_flit = cycles_per_flit
+        self.name = name
+        self._busy_until = 0.0
+        self.flits_sent = 0
+
+    def connect(self, sink: FlitSink, sink_port: int = 0) -> None:
+        """Attach (or re-attach) the downstream sink."""
+        self.sink = sink
+        self.sink_port = sink_port
+
+    @property
+    def busy(self) -> bool:
+        """Whether the wire is still serializing a previous flit."""
+        return self.sim.now < self._busy_until
+
+    def send(self, flit: Flit) -> None:
+        """Serialize ``flit`` onto the wire; delivery after ser + latency."""
+        if self.sink is None:
+            raise SimulationError(f"channel {self.name!r} has no sink")
+        if self.busy:
+            raise SimulationError(
+                f"channel {self.name!r} busy until {self._busy_until}; "
+                "router ST stage must check Channel.busy"
+            )
+        self._busy_until = self.sim.now + self.cycles_per_flit
+        self.flits_sent += 1
+        delay = self.cycles_per_flit + self.latency
+        self.sim.schedule(delay, self.sink.receive_flit, flit, self.sink_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Channel {self.name!r} cpf={self.cycles_per_flit} lat={self.latency}>"

@@ -1,0 +1,79 @@
+"""Credit-based flow control.
+
+Table 1 of the paper: credit-based flow control, single-flit buffers, and a
+one-cycle channel delay for credits.  A :class:`CreditCounter` lives at each
+router *output* VC and mirrors the free space of the downstream input VC
+buffer; credits return over a :class:`CreditChannel` with configurable
+latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["CreditCounter", "CreditChannel"]
+
+
+class CreditCounter:
+    """Tracks credits (free downstream buffer slots) for one output VC."""
+
+    def __init__(self, initial: int) -> None:
+        if initial < 0:
+            raise SimulationError(f"negative initial credits {initial}")
+        self.initial = initial
+        self._credits = initial
+
+    @property
+    def credits(self) -> int:
+        return self._credits
+
+    @property
+    def has_credit(self) -> bool:
+        return self._credits > 0
+
+    def consume(self) -> None:
+        """Spend one credit (a flit departed downstream)."""
+        if self._credits <= 0:
+            raise SimulationError("consumed a credit while at zero")
+        self._credits -= 1
+
+    def restore(self) -> None:
+        """Return one credit (the downstream buffer freed a slot)."""
+        if self._credits >= self.initial:
+            raise SimulationError(
+                f"credit overflow: restore past initial count {self.initial}"
+            )
+        self._credits += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CreditCounter {self._credits}/{self.initial}>"
+
+
+class CreditChannel:
+    """Delivers credit-restore signals upstream after a fixed latency."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency: int = 1,
+        name: str = "",
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative credit latency {latency}")
+        self.sim = sim
+        self.latency = latency
+        self.name = name
+        self.sent = 0
+
+    def send(self, restore: Callable[[], None]) -> None:
+        """Schedule ``restore()`` to run ``latency`` cycles from now."""
+        self.sent += 1
+        if self.latency == 0:
+            restore()
+        else:
+            self.sim.schedule(self.latency, restore)

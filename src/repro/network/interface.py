@@ -1,0 +1,147 @@
+"""Network interfaces (send/receive ports at each node).
+
+§2.1 of the paper: "The network interface at every node is composed of send
+and receive ports."  :class:`SourceNI` serializes packets into flits and
+injects them into a router input port under credit-based flow control;
+:class:`SinkNI` reassembles flits into packets at the destination, returning
+credits as flits are consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel
+from repro.network.credit import CreditCounter
+from repro.network.packet import Flit, Packet
+from repro.sim.queues import MonitoredStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+    from repro.network.router import VCRouter
+
+__all__ = ["SourceNI", "SinkNI"]
+
+
+class SourceNI:
+    """Send port: packets in, credit-controlled flits out.
+
+    The NI behaves like an upstream router output port: it mirrors the
+    downstream input-VC buffer space in :class:`CreditCounter` instances and
+    receives credit restores via ``router.set_credit_return``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        router: "VCRouter",
+        port: int,
+        latency: int = 1,
+        cycles_per_flit: int = 4,
+        queue_capacity: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name or f"src-ni.p{port}"
+        self.queue: MonitoredStore = MonitoredStore(
+            sim, capacity=queue_capacity, name=f"{self.name}.q"
+        )
+        self.channel = Channel(
+            sim,
+            sink=router,
+            sink_port=port,
+            latency=latency,
+            cycles_per_flit=cycles_per_flit,
+            name=f"{self.name}.ch",
+        )
+        self._credits: List[CreditCounter] = [
+            CreditCounter(router.buf_depth) for _ in range(router.n_vcs)
+        ]
+        self._vc_busy: List[bool] = [False] * router.n_vcs
+        router.set_credit_return(port, self._restore_credit)
+        self.packets_injected = 0
+        sim.process(self._run(), name=f"{self.name}.inject")
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet):
+        """Queue ``packet`` for injection; returns the put waitable."""
+        return self.queue.put(packet)
+
+    def _restore_credit(self, vc: int) -> None:
+        self._credits[vc].restore()
+
+    def _pick_vc(self) -> Optional[int]:
+        for vc, busy in enumerate(self._vc_busy):
+            if not busy:
+                return vc
+        return None
+
+    def _run(self):
+        while True:
+            packet: Packet = yield self.queue.get()
+            # Wait for a free VC (single outstanding packet per VC).
+            while True:
+                vc = self._pick_vc()
+                if vc is not None:
+                    break
+                yield self.sim.timeout(1)
+            self._vc_busy[vc] = True
+            packet.injected_at = self.sim.now
+            for flit in packet.flits():
+                flit.vc = vc
+                # Wait for a credit and for the wire to be free.
+                while not self._credits[vc].has_credit or self.channel.busy:
+                    yield self.sim.timeout(1)
+                self._credits[vc].consume()
+                self.channel.send(flit)
+                if flit.is_tail:
+                    self._vc_busy[vc] = False
+            self.packets_injected += 1
+
+
+class SinkNI:
+    """Receive port: reassembles flits into packets and records delivery."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        on_packet: Optional[Callable[[Packet], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name or "sink-ni"
+        self.on_packet = on_packet
+        self.packets_received = 0
+        self.flits_received = 0
+        #: Installed when attached downstream of a router output port.
+        self._credit_restore: Optional[Callable[[int], None]] = None
+
+    def attach(self, router: "VCRouter", out_port: int, latency: int = 1,
+               cycles_per_flit: int = 4) -> Channel:
+        """Create the channel from ``router``'s output port to this sink."""
+        channel = Channel(
+            self.sim,
+            sink=self,
+            sink_port=out_port,
+            latency=latency,
+            cycles_per_flit=cycles_per_flit,
+            name=f"{self.name}.ch",
+        )
+        router.attach_output(out_port, channel)
+        self._credit_restore = lambda vc: router.restore_credit(out_port, vc)
+        return channel
+
+    def receive_flit(self, flit: Flit, port: int) -> None:
+        self.flits_received += 1
+        # Ejection consumes the flit immediately; return the credit.
+        if self._credit_restore is not None:
+            if flit.vc is None:
+                raise ConfigurationError("flit arrived at sink without a VC")
+            self.sim.schedule(1, self._credit_restore, flit.vc)
+        if flit.is_tail:
+            packet = flit.packet
+            packet.delivered_at = self.sim.now
+            self.packets_received += 1
+            if self.on_packet is not None:
+                self.on_packet(packet)

@@ -1,0 +1,57 @@
+"""Routing functions for the detailed router models.
+
+The intra-board interconnect (IBI) is a single router whose ports are the
+D node NIs plus the W optical transmitter ports (Figure 2a).  Routing is
+therefore a direct lookup:
+
+* destination on this board  -> the destination node's ejection port;
+* destination on board ``d`` -> the transmitter port for the wavelength the
+  RWA (or the current DBR grant) assigns to ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.network.topology import ERapidTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.router import VCRouter
+
+__all__ = ["table_routing", "ibi_routing"]
+
+
+def table_routing(table: Dict[int, int]) -> Callable[["VCRouter", int], int]:
+    """A routing function backed by an explicit dst -> port table."""
+
+    def route(router: "VCRouter", dst: int) -> int:
+        try:
+            return table[dst]
+        except KeyError:
+            raise ConfigurationError(
+                f"no route for destination {dst} at {router.name!r}"
+            ) from None
+
+    return route
+
+
+def ibi_routing(
+    topology: ERapidTopology,
+    board: int,
+    tx_port_of: Callable[[int], int],
+) -> Callable[["VCRouter", int], int]:
+    """Routing for board ``board``'s IBI router.
+
+    Ports 0..D-1 are the node ejection ports (local index order); remote
+    destinations map through ``tx_port_of(dest_board)`` which reflects the
+    current wavelength assignment (static RWA or a DBR override).
+    """
+
+    def route(router: "VCRouter", dst: int) -> int:
+        dst_board = topology.board_of(dst)
+        if dst_board == board:
+            return topology.local_of(dst)
+        return tx_port_of(dst_board)
+
+    return route

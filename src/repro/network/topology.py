@@ -1,0 +1,126 @@
+"""Topology and addressing helpers.
+
+E-RAPID is defined by the 3-tuple (C, B, D): C clusters × B boards × D
+nodes/board (§2 of the paper).  The evaluation uses a single cluster, so
+node ids are ``board * D + local``.  This module centralizes the address
+arithmetic plus the unidirectional control ring the reconfiguration
+controllers (RCs) sit on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["ERapidTopology", "Ring"]
+
+
+@dataclass(frozen=True)
+class ERapidTopology:
+    """Address arithmetic for an R(C, B, D) system (C = 1 in the paper's runs)."""
+
+    clusters: int = 1
+    boards: int = 4
+    nodes_per_board: int = 4
+
+    def __post_init__(self) -> None:
+        if self.clusters != 1:
+            raise TopologyError(
+                "multi-cluster systems are not evaluated in the paper; C must be 1"
+            )
+        if self.boards < 2:
+            raise TopologyError(f"need >= 2 boards, got {self.boards}")
+        if self.nodes_per_board < 1:
+            raise TopologyError(f"need >= 1 node/board, got {self.nodes_per_board}")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        return self.clusters * self.boards * self.nodes_per_board
+
+    @property
+    def wavelengths(self) -> int:
+        """W = B: one wavelength per board in the static RWA (§3.2)."""
+        return self.boards
+
+    def board_of(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_board
+
+    def local_of(self, node: int) -> int:
+        self._check_node(node)
+        return node % self.nodes_per_board
+
+    def node_id(self, board: int, local: int) -> int:
+        if not 0 <= board < self.boards:
+            raise TopologyError(f"board {board} out of range [0,{self.boards})")
+        if not 0 <= local < self.nodes_per_board:
+            raise TopologyError(
+                f"local index {local} out of range [0,{self.nodes_per_board})"
+            )
+        return board * self.nodes_per_board + local
+
+    def nodes_on_board(self, board: int) -> List[int]:
+        return [self.node_id(board, l) for l in range(self.nodes_per_board)]
+
+    def board_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All ordered (source, destination) board pairs, s != d."""
+        for s in range(self.boards):
+            for d in range(self.boards):
+                if s != d:
+                    yield s, d
+
+    def is_local(self, src: int, dst: int) -> bool:
+        """Whether src -> dst stays on one board (IBI-only traffic)."""
+        return self.board_of(src) == self.board_of(dst)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.total_nodes:
+            raise TopologyError(
+                f"node {node} out of range [0,{self.total_nodes})"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"R({self.clusters},{self.boards},{self.nodes_per_board}) — "
+            f"{self.total_nodes} nodes, {self.wavelengths} wavelengths"
+        )
+
+
+class Ring:
+    """A unidirectional ring of ``n`` members (the RC-RC control topology).
+
+    §3.2: "Each RC_i is connected to RC_{i+1} in a simple electrical ring
+    topology separated from the optical SRS."
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise TopologyError(f"ring needs >= 2 members, got {n}")
+        self.n = n
+
+    def next_of(self, i: int) -> int:
+        self._check(i)
+        return (i + 1) % self.n
+
+    def prev_of(self, i: int) -> int:
+        self._check(i)
+        return (i - 1) % self.n
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hops travelling in the ring direction from src to dst."""
+        self._check(src)
+        self._check(dst)
+        return (dst - src) % self.n
+
+    def walk(self, start: int) -> Iterator[int]:
+        """Visit every member once, starting after ``start`` and ending on it."""
+        self._check(start)
+        for step in range(1, self.n + 1):
+            yield (start + step) % self.n
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise TopologyError(f"ring index {i} out of range [0,{self.n})")

@@ -1,0 +1,24 @@
+"""Optical substrate: WDM wavelengths, static RWA, transmitters, couplers,
+receivers and the Scalable Remote Optical Super-Highway (SRS)."""
+
+from repro.optics.coupler import PassiveCoupler, validate_coupler_plane
+from repro.optics.optical_link import ChannelId, OpticalLinkTiming
+from repro.optics.receiver import OpticalReceiver
+from repro.optics.rwa import StaticRWA
+from repro.optics.srs import SuperHighway
+from repro.optics.transmitter import Transmitter, TransmitterArray
+from repro.optics.wavelength import Wavelength, wavelength_grid
+
+__all__ = [
+    "ChannelId",
+    "OpticalLinkTiming",
+    "OpticalReceiver",
+    "PassiveCoupler",
+    "StaticRWA",
+    "SuperHighway",
+    "Transmitter",
+    "TransmitterArray",
+    "Wavelength",
+    "wavelength_grid",
+    "validate_coupler_plane",
+]

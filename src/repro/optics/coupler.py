@@ -1,0 +1,70 @@
+"""Passive couplers.
+
+Coupler *p* merges port-*p* outputs from every board's transmitters onto the
+fiber toward board *p* (Figure 2(b)).  Couplers are passive — they add no
+power draw and no switching delay — but physics imposes one rule the
+control plane must never violate: **two lit lasers on the same wavelength
+must not feed the same coupler**, or the fixed-λ receiver hears a collision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import WavelengthError
+from repro.optics.transmitter import TransmitterArray
+
+__all__ = ["PassiveCoupler", "validate_coupler_plane"]
+
+
+class PassiveCoupler:
+    """The merge point for all light heading to one destination board."""
+
+    def __init__(self, dst_board: int, wavelengths: int) -> None:
+        self.dst_board = dst_board
+        self.wavelengths = wavelengths
+
+    def incident_lasers(
+        self, arrays: Iterable[TransmitterArray]
+    ) -> Dict[int, List[int]]:
+        """``{wavelength: [source boards lit toward us]}``."""
+        incident: Dict[int, List[int]] = {}
+        for array in arrays:
+            for wavelength, ports in array.active_channels().items():
+                if self.dst_board in ports:
+                    incident.setdefault(wavelength, []).append(array.board)
+        return incident
+
+    def validate(self, arrays: Iterable[TransmitterArray]) -> None:
+        """Raise on a same-wavelength collision at this coupler."""
+        for wavelength, sources in self.incident_lasers(arrays).items():
+            if len(sources) > 1:
+                raise WavelengthError(
+                    f"collision at coupler {self.dst_board}: wavelength "
+                    f"λ{wavelength} lit by boards {sorted(sources)}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PassiveCoupler -> board {self.dst_board}>"
+
+
+def validate_coupler_plane(
+    arrays: List[TransmitterArray], boards: int, wavelengths: int
+) -> List[Tuple[int, int, int]]:
+    """Validate every coupler; returns the active (src, wavelength, dst) set.
+
+    Convenience for tests and the SRS: one pass over all boards that both
+    checks the collision invariant and enumerates live channels.
+    """
+    channels: List[Tuple[int, int, int]] = []
+    for dst in range(boards):
+        coupler = PassiveCoupler(dst, wavelengths)
+        incident = coupler.incident_lasers(arrays)
+        for wavelength, sources in incident.items():
+            if len(sources) > 1:
+                raise WavelengthError(
+                    f"collision at coupler {dst}: λ{wavelength} lit by "
+                    f"boards {sorted(sources)}"
+                )
+            channels.append((sources[0], wavelength, dst))
+    return channels

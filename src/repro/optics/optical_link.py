@@ -1,0 +1,77 @@
+"""Optical link timing.
+
+Converts between bit rates and router-clock cycles.  Table 1: the router
+clock is 400 MHz (2.5 ns/cycle); optical bit rates are 2.5, 3.3 and 5 Gbps.
+A 64-byte packet (512 bits) therefore serializes in ~41 cycles at 5 Gbps,
+~62 at 3.3 Gbps and ~82 at 2.5 Gbps — the bit-rate-dependent service times
+at the heart of the DPM latency/power trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OpticalLinkTiming", "ChannelId"]
+
+
+@dataclass(frozen=True)
+class ChannelId:
+    """Identity of one optical channel: source board, wavelength, destination."""
+
+    src: int
+    wavelength: int
+    dst: int
+
+    def __str__(self) -> str:
+        return f"b{self.src}-λ{self.wavelength}->b{self.dst}"
+
+
+@dataclass(frozen=True)
+class OpticalLinkTiming:
+    """Timing calculator for the optical plane.
+
+    Parameters
+    ----------
+    clock_ghz:
+        Router clock (0.4 GHz per Table 1); one cycle = 1/clock ns.
+    fiber_latency_cycles:
+        Propagation + mux/demux latency per traversal.  The paper targets
+        board-to-board/rack-to-rack distances of a few metres; 8 cycles
+        (20 ns ≈ 4 m of fiber) is the default.
+    """
+
+    clock_ghz: float = 0.4
+    fiber_latency_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ConfigurationError(f"clock must be positive, got {self.clock_ghz}")
+        if self.fiber_latency_cycles < 0:
+            raise ConfigurationError("fiber latency cannot be negative")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    def serialization_cycles(self, bits: int, bit_rate_gbps: float) -> float:
+        """Cycles to clock ``bits`` onto the fiber at ``bit_rate_gbps``."""
+        if bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {bits}")
+        if bit_rate_gbps <= 0:
+            raise ConfigurationError(
+                f"bit rate must be positive, got {bit_rate_gbps}"
+            )
+        ns = bits / bit_rate_gbps
+        return ns / self.cycle_ns
+
+    def packet_service_cycles(self, size_bytes: int, bit_rate_gbps: float) -> float:
+        """Serialization time of a whole packet (optical = packet granular)."""
+        return self.serialization_cycles(size_bytes * 8, bit_rate_gbps)
+
+    def effective_gbps(self, channel_count: int, bit_rate_gbps: float) -> float:
+        """Aggregate bandwidth of ``channel_count`` parallel channels."""
+        if channel_count < 0:
+            raise ConfigurationError("channel count cannot be negative")
+        return channel_count * bit_rate_gbps

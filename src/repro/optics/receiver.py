@@ -1,0 +1,74 @@
+"""Optical receivers.
+
+Each board carries W fixed-wavelength receivers behind a demultiplexer
+(§2.1: "The multiplexed signal received at the board is demultiplexed such
+that every optical receiver detects a wavelength").  A receiver consists of
+photodetector + TIA + CDR; the CDR must *re-lock* whenever the transmitter
+scales the bit rate (§3.1), and the link controller can power-gate the
+whole receiver when its wavelength goes dark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PowerModelError
+from repro.optics.wavelength import Wavelength
+
+__all__ = ["OpticalReceiver"]
+
+
+class OpticalReceiver:
+    """One fixed-λ receiver (photodetector + TIA + CDR) on a board."""
+
+    def __init__(self, board: int, wavelength: int, bit_rate_gbps: float = 5.0) -> None:
+        self.board = board
+        self.wavelength = Wavelength(wavelength)
+        self._bit_rate_gbps = float(bit_rate_gbps)
+        self._powered = True
+        #: Simulation time until which the CDR is re-locking (link unusable).
+        self.relock_until: float = 0.0
+        self.relock_count = 0
+        self.power_toggles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def bit_rate_gbps(self) -> float:
+        return self._bit_rate_gbps
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
+
+    def set_powered(self, on: bool) -> bool:
+        """Gate the receiver; returns True if the state changed."""
+        if self._powered == on:
+            return False
+        self._powered = on
+        self.power_toggles += 1
+        return True
+
+    def reclock(self, bit_rate_gbps: float, now: float, relock_cycles: float) -> None:
+        """Re-lock the CDR to a new bit rate (triggered by the control flit).
+
+        The receiver is unusable until ``now + relock_cycles`` — the paper's
+        CDR re-lock penalty (12 cycles frequency-only; the transmitter side
+        conservatively stalls 65 cycles for the voltage ramp).
+        """
+        if bit_rate_gbps <= 0:
+            raise PowerModelError(f"bit rate must be positive, got {bit_rate_gbps}")
+        if not self._powered:
+            raise PowerModelError(
+                f"reclocking powered-down receiver b{self.board}/{self.wavelength}"
+            )
+        self._bit_rate_gbps = float(bit_rate_gbps)
+        self.relock_until = now + relock_cycles
+        self.relock_count += 1
+
+    def usable(self, now: float) -> bool:
+        """Whether the receiver can currently detect packets."""
+        return self._powered and now >= self.relock_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self._powered else "off"
+        return f"<Rx b{self.board} {self.wavelength} {self._bit_rate_gbps}Gbps {state}>"

@@ -1,0 +1,128 @@
+"""Static routing and wavelength assignment (RWA).
+
+§2.1 of the paper assigns board *s* -> board *d* the wavelength
+
+    λ_{B−(d−s)}  if d > s
+    λ_{(s−d)}    if s > d
+
+which is exactly ``(s − d) mod B``.  Both worked examples hold:
+``w(1, 0) = 1`` (board 1 -> 0 uses λ1) and ``w(0, 1) = 3`` (board 0 -> 1
+uses λ3) for B = 4.
+
+Consequences used throughout the system:
+
+* Transmitter *i* on board *s* statically serves destination
+  ``(s − i) mod B``.
+* The *default owner* of wavelength λ toward destination *d* is board
+  ``(d + λ) mod B``.
+* Wavelength 0 is the board's self-loop (s = d) and is never used for
+  remote traffic; remote channels use indices 1..B−1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WavelengthError
+from repro.network.topology import ERapidTopology
+from repro.optics.wavelength import Wavelength
+
+__all__ = ["StaticRWA"]
+
+
+class StaticRWA:
+    """The paper's static wavelength-assignment algebra for B boards."""
+
+    def __init__(self, boards: int) -> None:
+        if boards < 2:
+            raise WavelengthError(f"RWA needs >= 2 boards, got {boards}")
+        self.boards = boards
+
+    @classmethod
+    def for_topology(cls, topology: ERapidTopology) -> "StaticRWA":
+        return cls(topology.boards)
+
+    # ------------------------------------------------------------------
+    def wavelength_for(self, src_board: int, dst_board: int) -> int:
+        """Static wavelength index for src -> dst (src != dst)."""
+        self._check_board(src_board)
+        self._check_board(dst_board)
+        if src_board == dst_board:
+            raise WavelengthError(
+                f"no inter-board wavelength for a board to itself ({src_board})"
+            )
+        return (src_board - dst_board) % self.boards
+
+    def dest_served_by(self, src_board: int, wavelength: int) -> int:
+        """Destination that transmitter ``wavelength`` on ``src_board`` serves."""
+        self._check_board(src_board)
+        self._check_wavelength(wavelength)
+        return (src_board - wavelength) % self.boards
+
+    def default_owner(self, dst_board: int, wavelength: int) -> int:
+        """Board that statically owns ``wavelength`` toward ``dst_board``."""
+        self._check_board(dst_board)
+        self._check_wavelength(wavelength)
+        return (dst_board + wavelength) % self.boards
+
+    # ------------------------------------------------------------------
+    def assignment_map(self) -> Dict[int, Dict[int, int]]:
+        """``{src: {dst: wavelength}}`` for every remote board pair."""
+        return {
+            s: {
+                d: self.wavelength_for(s, d)
+                for d in range(self.boards)
+                if d != s
+            }
+            for s in range(self.boards)
+        }
+
+    def incoming_wavelengths(self, dst_board: int) -> Dict[int, int]:
+        """``{src: wavelength}`` for everything arriving at ``dst_board``."""
+        self._check_board(dst_board)
+        return {
+            s: self.wavelength_for(s, dst_board)
+            for s in range(self.boards)
+            if s != dst_board
+        }
+
+    def validate(self) -> None:
+        """Check the collision-freedom invariant the architecture relies on.
+
+        At every destination board the incoming wavelengths from distinct
+        sources must be distinct (each fixed-λ receiver hears one source).
+        """
+        for d in range(self.boards):
+            incoming = self.incoming_wavelengths(d)
+            if len(set(incoming.values())) != len(incoming):
+                raise WavelengthError(
+                    f"receiver collision at board {d}: {incoming}"
+                )  # pragma: no cover - algebraically impossible
+
+    # ------------------------------------------------------------------
+    def render_table(self) -> str:
+        """Figure-1-style text rendering of the static assignment."""
+        width = 7
+        header = "src\\dst".ljust(width) + "".join(
+            f"B{d}".center(width) for d in range(self.boards)
+        )
+        lines = [header]
+        for s in range(self.boards):
+            cells: List[str] = [f"B{s}".ljust(width)]
+            for d in range(self.boards):
+                if s == d:
+                    cells.append("-".center(width))
+                else:
+                    w = self.wavelength_for(s, d)
+                    cells.append(f"{Wavelength(w).label}^({s})".center(width))
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _check_board(self, b: int) -> None:
+        if not 0 <= b < self.boards:
+            raise WavelengthError(f"board {b} out of range [0,{self.boards})")
+
+    def _check_wavelength(self, w: int) -> None:
+        if not 0 <= w < self.boards:
+            raise WavelengthError(f"wavelength {w} out of range [0,{self.boards})")

@@ -1,0 +1,87 @@
+"""Optical transmitters: per-wavelength VCSEL arrays with one port per board.
+
+Figure 2(b): each board carries W transmitters; transmitter *i* is an array
+of identical-wavelength (λ_i) VCSELs, one behind each of B output ports.
+Port *p* of every transmitter feeds passive coupler *p* (the fiber to board
+*p*).  Reconfiguration = turning individual port lasers on/off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import WavelengthError
+from repro.optics.wavelength import Wavelength
+
+__all__ = ["Transmitter", "TransmitterArray"]
+
+
+class Transmitter:
+    """One wavelength's VCSEL array on a board (B port lasers)."""
+
+    def __init__(self, board: int, wavelength: int, n_ports: int) -> None:
+        if n_ports < 2:
+            raise WavelengthError(f"transmitter needs >= 2 ports, got {n_ports}")
+        self.board = board
+        self.wavelength = Wavelength(wavelength)
+        self.n_ports = n_ports
+        self._port_on: List[bool] = [False] * n_ports
+        self.switch_count = 0
+
+    # ------------------------------------------------------------------
+    def is_on(self, port: int) -> bool:
+        self._check_port(port)
+        return self._port_on[port]
+
+    def set_port(self, port: int, on: bool) -> bool:
+        """Drive the laser behind ``port``; returns True if state changed."""
+        self._check_port(port)
+        if self._port_on[port] == on:
+            return False
+        self._port_on[port] = on
+        self.switch_count += 1
+        return True
+
+    def active_ports(self) -> Set[int]:
+        """Destinations this transmitter currently illuminates."""
+        return {p for p, on in enumerate(self._port_on) if on}
+
+    @property
+    def any_on(self) -> bool:
+        return any(self._port_on)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise WavelengthError(f"port {port} out of range [0,{self.n_ports})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        on = ",".join(str(p) for p in sorted(self.active_ports())) or "-"
+        return f"<Tx b{self.board} {self.wavelength} ports_on=[{on}]>"
+
+
+class TransmitterArray:
+    """All W transmitters of one board (Figure 2(b) left-hand stack)."""
+
+    def __init__(self, board: int, wavelengths: int, n_ports: int) -> None:
+        self.board = board
+        self.transmitters: List[Transmitter] = [
+            Transmitter(board, w, n_ports) for w in range(wavelengths)
+        ]
+
+    def __getitem__(self, wavelength: int) -> Transmitter:
+        return self.transmitters[wavelength]
+
+    def __len__(self) -> int:
+        return len(self.transmitters)
+
+    def active_channels(self) -> Dict[int, Set[int]]:
+        """``{wavelength: set(destination ports lit)}`` — the board's lasers."""
+        return {
+            tx.wavelength.index: tx.active_ports()
+            for tx in self.transmitters
+            if tx.any_on
+        }
+
+    def lasers_on(self) -> int:
+        """Total number of lit port lasers on this board."""
+        return sum(len(tx.active_ports()) for tx in self.transmitters)

@@ -1,0 +1,52 @@
+"""Wavelength (WDM) abstractions.
+
+E-RAPID uses W = B wavelengths.  A wavelength is identified by its index;
+for realism (and nicer reports) indices map onto a 100 GHz ITU-style DWDM
+grid in the C band starting at 1550.12 nm, which is where commercial
+multi-wavelength VCSEL arrays of the era operated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WavelengthError
+
+__all__ = ["Wavelength", "wavelength_grid", "C_BAND_START_NM", "GRID_SPACING_NM"]
+
+#: Anchor of the grid (nm) — ITU channel C34.
+C_BAND_START_NM = 1550.12
+#: 100 GHz spacing is ~0.8 nm in the C band.
+GRID_SPACING_NM = 0.8
+
+
+@dataclass(frozen=True, order=True)
+class Wavelength:
+    """One WDM channel, identified by ``index`` within the system grid."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise WavelengthError(f"wavelength index must be >= 0, got {self.index}")
+
+    @property
+    def nm(self) -> float:
+        """Nominal centre wavelength in nanometres."""
+        return C_BAND_START_NM + self.index * GRID_SPACING_NM
+
+    @property
+    def label(self) -> str:
+        """The paper's λ_i notation."""
+        return f"λ{self.index}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def wavelength_grid(count: int) -> List[Wavelength]:
+    """The first ``count`` wavelengths of the system grid."""
+    if count < 1:
+        raise WavelengthError(f"grid needs >= 1 wavelength, got {count}")
+    return [Wavelength(i) for i in range(count)]

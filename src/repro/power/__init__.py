@@ -1,0 +1,26 @@
+"""Opto-electronic power models: component scaling laws, the Table-1 power
+levels, DVS transition penalties, per-link accounting and system energy."""
+
+from repro.power.components import (
+    ComponentPower,
+    REFERENCE_BIT_RATE_GBPS,
+    REFERENCE_COMPONENTS_MW,
+    REFERENCE_VDD,
+)
+from repro.power.energy import EnergyAccountant
+from repro.power.levels import PowerLevel, PowerLevelTable, TABLE1_LEVELS
+from repro.power.link_power import LinkPowerModel
+from repro.power.transitions import TransitionModel
+
+__all__ = [
+    "ComponentPower",
+    "EnergyAccountant",
+    "LinkPowerModel",
+    "PowerLevel",
+    "PowerLevelTable",
+    "REFERENCE_BIT_RATE_GBPS",
+    "REFERENCE_COMPONENTS_MW",
+    "REFERENCE_VDD",
+    "TABLE1_LEVELS",
+    "TransitionModel",
+]

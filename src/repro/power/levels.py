@@ -1,0 +1,121 @@
+"""Discrete power levels.
+
+§3.1: "We consider 3 power levels P_low, P_mid and P_high corresponding to
+bit rates 2.5 Gbps, 3.3 Gbps and 5 Gbps" with Table 1's totals:
+
+    P_low   2.5 Gbps @ 0.45 V ->  8.6  mW
+    P_mid   3.3 Gbps @ 0.60 V -> 26.0  mW
+    P_high  5.0 Gbps @ 0.90 V -> 43.03 mW
+
+The table also supports synthesizing more levels for the paper's
+future-work ablation ("More power levels and corresponding bit rates can
+further improve the performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import PowerModelError
+from repro.power.components import ComponentPower
+
+__all__ = ["PowerLevel", "PowerLevelTable", "TABLE1_LEVELS"]
+
+
+@dataclass(frozen=True)
+class PowerLevel:
+    """One (bit rate, supply voltage, link power) operating point."""
+
+    name: str
+    bit_rate_gbps: float
+    vdd: float
+    link_power_mw: float
+
+    def __post_init__(self) -> None:
+        if self.bit_rate_gbps <= 0 or self.vdd <= 0 or self.link_power_mw <= 0:
+            raise PowerModelError(f"power level {self.name!r} must be positive")
+
+
+#: The paper's Table 1 levels.
+TABLE1_LEVELS: tuple = (
+    PowerLevel("P_low", 2.5, 0.45, 8.6),
+    PowerLevel("P_mid", 3.3, 0.60, 26.0),
+    PowerLevel("P_high", 5.0, 0.90, 43.03),
+)
+
+
+class PowerLevelTable:
+    """An ordered ladder of power levels (ascending bit rate)."""
+
+    def __init__(self, levels: Sequence[PowerLevel] = TABLE1_LEVELS) -> None:
+        if len(levels) < 1:
+            raise PowerModelError("need at least one power level")
+        rates = [l.bit_rate_gbps for l in levels]
+        if sorted(rates) != rates or len(set(rates)) != len(rates):
+            raise PowerModelError(
+                f"levels must have strictly ascending bit rates, got {rates}"
+            )
+        self.levels: List[PowerLevel] = list(levels)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __getitem__(self, idx: int) -> PowerLevel:
+        return self.levels[idx]
+
+    @property
+    def lowest(self) -> PowerLevel:
+        return self.levels[0]
+
+    @property
+    def highest(self) -> PowerLevel:
+        return self.levels[-1]
+
+    def index_of(self, level: PowerLevel) -> int:
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise PowerModelError(f"{level!r} not in this table") from None
+
+    def up(self, level: PowerLevel) -> PowerLevel:
+        """Next higher level (saturates at the top)."""
+        idx = self.index_of(level)
+        return self.levels[min(idx + 1, len(self.levels) - 1)]
+
+    def down(self, level: PowerLevel) -> PowerLevel:
+        """Next lower level (saturates at the bottom)."""
+        idx = self.index_of(level)
+        return self.levels[max(idx - 1, 0)]
+
+    def steps_between(self, a: PowerLevel, b: PowerLevel) -> int:
+        """Number of adjacent-level transitions from a to b (absolute)."""
+        return abs(self.index_of(a) - self.index_of(b))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthesize(cls, n_levels: int) -> "PowerLevelTable":
+        """Build an ``n_levels`` ladder between the Table-1 extremes.
+
+        Bit rate and V_DD interpolate linearly between (2.5 Gbps, 0.45 V)
+        and (5 Gbps, 0.9 V); power follows the component scaling laws,
+        renormalized so the top level reproduces the published 43.03 mW.
+        Used by the "more power levels" ablation.
+        """
+        if n_levels < 2:
+            raise PowerModelError(f"need >= 2 levels, got {n_levels}")
+        model = ComponentPower()
+        lo, hi = TABLE1_LEVELS[0], TABLE1_LEVELS[-1]
+        scale = hi.link_power_mw / model.link_mw(hi.vdd, hi.bit_rate_gbps)
+        levels = []
+        for i in range(n_levels):
+            f = i / (n_levels - 1)
+            br = lo.bit_rate_gbps + f * (hi.bit_rate_gbps - lo.bit_rate_gbps)
+            vdd = lo.vdd + f * (hi.vdd - lo.vdd)
+            power = model.link_mw(vdd, br) * scale
+            levels.append(PowerLevel(f"P{i}", round(br, 3), round(vdd, 3), power))
+        return cls(levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PowerLevelTable {[l.name for l in self.levels]}>"

@@ -1,0 +1,73 @@
+"""Per-link power accounting.
+
+The figures in §4.2 report the optical plane's power consumption.  DESIGN.md
+§2 derives the accounting that reproduces all of the paper's relative
+claims simultaneously:
+
+    P_link(t) = 0                                   if the laser is off
+              = P(level) * busy + P_idle * (1-busy) if the laser is on
+
+with ``P_idle = idle_fraction * P(level)`` modelling laser bias / receiver
+standby of an enabled-but-idle channel (default 2 %).  Busy means a packet
+is on the wire.  Power therefore tracks (a) how many channels are lit —
+what DBR changes — and (b) the operating level — what DPM changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.power.levels import PowerLevel
+
+__all__ = ["LinkPowerModel"]
+
+
+@dataclass(frozen=True)
+class LinkPowerModel:
+    """Maps (enabled, level, busy-fraction) to milliwatts."""
+
+    idle_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.idle_fraction <= 1.0:
+            raise PowerModelError(
+                f"idle_fraction must be in [0,1], got {self.idle_fraction}"
+            )
+
+    def instantaneous_mw(
+        self, enabled: bool, level: PowerLevel, busy: bool
+    ) -> float:
+        """Power right now (piecewise-constant between events)."""
+        if not enabled:
+            return 0.0
+        if busy:
+            return level.link_power_mw
+        return self.idle_fraction * level.link_power_mw
+
+    def average_mw(
+        self, enabled: bool, level: PowerLevel, utilization: float
+    ) -> float:
+        """Window-average power for a link busy ``utilization`` of the time."""
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise PowerModelError(
+                f"utilization must be in [0,1], got {utilization}"
+            )
+        if not enabled:
+            return 0.0
+        u = min(1.0, utilization)
+        return level.link_power_mw * (u + self.idle_fraction * (1.0 - u))
+
+    def energy_mj(
+        self,
+        enabled: bool,
+        level: PowerLevel,
+        utilization: float,
+        duration_cycles: float,
+        cycle_ns: float = 2.5,
+    ) -> float:
+        """Energy over a window, in millijoules (mW × seconds)."""
+        if duration_cycles < 0:
+            raise PowerModelError("duration cannot be negative")
+        seconds = duration_cycles * cycle_ns * 1e-9
+        return self.average_mw(enabled, level, utilization) * seconds

@@ -1,0 +1,61 @@
+"""Bit-rate / voltage transition penalties (DVS mechanics).
+
+§3.1: scaling follows [Chen et al., HPCA-05] — the link stays operational
+during the *slow* voltage ramp (speed-ups raise the voltage first, slow-
+downs lower the frequency first), so the stall the network observes is the
+CDR re-lock after the *frequency* step plus the conservative link-disable
+the paper applies: "after the control bit rate packet is transmitted, the
+transmitter conservatively disables the link for 65 cycles".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.power.levels import PowerLevel, PowerLevelTable
+
+__all__ = ["TransitionModel"]
+
+
+@dataclass(frozen=True)
+class TransitionModel:
+    """Cycle costs of changing power level.
+
+    Parameters
+    ----------
+    frequency_relock_cycles:
+        CDR re-lock after a frequency step (12 cycles in [12]).
+    voltage_transition_cycles:
+        Link-disable per adjacent-level transition (65 cycles — the paper's
+        conservative choice; the voltage ramp dominates the 12-cycle
+        re-lock, so the stall equals this value per level stepped).
+    """
+
+    frequency_relock_cycles: int = 12
+    voltage_transition_cycles: int = 65
+
+    def __post_init__(self) -> None:
+        if self.frequency_relock_cycles < 0 or self.voltage_transition_cycles < 0:
+            raise PowerModelError("transition penalties cannot be negative")
+
+    def stall_cycles(
+        self, table: PowerLevelTable, current: PowerLevel, target: PowerLevel
+    ) -> int:
+        """Cycles the link is disabled while moving ``current`` -> ``target``.
+
+        Zero when the level is unchanged; otherwise the per-adjacent-level
+        voltage ramp (which subsumes the frequency re-lock) times the number
+        of levels stepped.
+        """
+        steps = table.steps_between(current, target)
+        if steps == 0:
+            return 0
+        per_step = max(
+            self.voltage_transition_cycles, self.frequency_relock_cycles
+        )
+        return per_step * steps
+
+    def receiver_relock_cycles(self) -> int:
+        """Cycles the receiver CDR needs to re-lock after the control flit."""
+        return max(self.frequency_relock_cycles, self.voltage_transition_cycles)

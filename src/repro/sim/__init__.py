@@ -1,0 +1,34 @@
+"""Process-oriented discrete-event simulation kernel.
+
+The reproduction's substitute for the YACSIM/NETSIM simulator the paper
+used.  See :class:`repro.sim.kernel.Simulator` for the entry point.
+"""
+
+from repro.sim.events import CompositeWait, ScheduledEvent, Timeout, Waitable
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupt, Process
+from repro.sim.queues import MonitoredStore
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry, geometric_gap
+from repro.sim.stats import Histogram, Tally, TimeWeighted
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "CompositeWait",
+    "Histogram",
+    "Interrupt",
+    "MonitoredStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "ScheduledEvent",
+    "Simulator",
+    "Store",
+    "Tally",
+    "TimeWeighted",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+    "Waitable",
+    "geometric_gap",
+]

@@ -1,0 +1,159 @@
+"""Event primitives for the discrete-event kernel.
+
+The kernel (:mod:`repro.sim.kernel`) executes *events*: callbacks bound to a
+simulation time.  Higher-level synchronization is built from
+:class:`Waitable` — a one-shot occurrence that processes can wait on and that
+carries a value once triggered (the moral equivalent of YACSIM's semaphores
+and SimPy's events).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["ScheduledEvent", "Waitable", "Timeout", "CompositeWait"]
+
+#: Monotonic tiebreaker so same-time events fire in scheduling order.
+_seq = itertools.count()
+
+
+class ScheduledEvent:
+    """A callback scheduled on the kernel's event heap.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule` and
+    compare by ``(time, priority, seq)`` which gives a deterministic total
+    order: earlier time first, then lower priority number, then FIFO.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_seq)
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time} fn={getattr(self.fn, '__name__', self.fn)!r} {state}>"
+
+
+class Waitable:
+    """A one-shot occurrence processes can wait on.
+
+    A waitable starts *pending*; :meth:`trigger` fires it exactly once with an
+    optional value, after which all registered callbacks run at the current
+    simulation time.  Callbacks registered after triggering run immediately
+    (still via the event heap, preserving determinism).
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Waitable"], None]]] = []
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    def wait(self, callback: Callable[["Waitable"], None]) -> None:
+        """Register ``callback(self)`` to run when the waitable fires."""
+        if self._triggered:
+            # Fire on the heap at `now` so ordering stays deterministic.
+            self.sim.schedule(0.0, callback, self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(callback)
+
+    def trigger(self, value: Any = None) -> "Waitable":
+        """Fire the waitable, delivering ``value`` to every waiter."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self._triggered = True
+        self.value = value
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"triggered value={self.value!r}" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state}>"
+
+
+class Timeout(Waitable):
+    """A waitable that fires automatically ``delay`` time units after creation.
+
+    ``yield sim.timeout(d)`` is the canonical way for a process to hold.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.trigger(value)
+
+
+class CompositeWait(Waitable):
+    """Fires when ``any`` (default) or ``all`` of several waitables fire.
+
+    The delivered value is a list of the values of the waitables that have
+    fired so far, in their firing order.
+    """
+
+    __slots__ = ("_children", "_need", "_values")
+
+    def __init__(self, sim: "Simulator", children: List[Waitable], mode: str = "any") -> None:
+        super().__init__(sim)
+        if mode not in ("any", "all"):
+            raise SimulationError(f"CompositeWait mode must be 'any' or 'all', got {mode!r}")
+        if not children:
+            raise SimulationError("CompositeWait needs at least one child")
+        self._children = list(children)
+        self._need = 1 if mode == "any" else len(children)
+        self._values: List[Any] = []
+        for child in self._children:
+            child.wait(self._on_child)
+
+    def _on_child(self, child: Waitable) -> None:
+        if self._triggered:
+            return
+        self._values.append(child.value)
+        if len(self._values) >= self._need:
+            self.trigger(list(self._values))

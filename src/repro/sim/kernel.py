@@ -1,0 +1,182 @@
+"""The discrete-event simulation kernel.
+
+This is the reproduction's substitute for YACSIM/NETSIM (Jump, Rice
+University, 1993): a process-oriented discrete-event engine.  Time is a
+monotonically non-decreasing float (the E-RAPID models use integral router
+cycles); events at equal times fire in deterministic ``(priority, FIFO)``
+order.
+
+Typical use::
+
+    sim = Simulator()
+
+    def producer(sim, store):
+        for i in range(3):
+            yield sim.timeout(10)
+            yield store.put(i)
+
+    store = Store(sim)
+    sim.process(producer(sim, store))
+    sim.run(until=100)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import CompositeWait, ScheduledEvent, Timeout, Waitable
+from repro.sim.process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event heap + clock + process bookkeeping.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.sim.trace.TraceLog`; when set, the kernel
+        records process starts/ends (models add their own records).
+    """
+
+    def __init__(self, trace: Optional[Any] = None) -> None:
+        self._now: float = 0.0
+        self._heap: List[ScheduledEvent] = []
+        self._running = False
+        self._stopped = False
+        self.trace = trace
+        self._processes: List[Process] = []
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far (for profiling/tests)."""
+        return self._event_count
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay!r} in the past")
+        ev = ScheduledEvent(self._now + delay, fn, args, priority)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        ev = ScheduledEvent(time, fn, args, priority)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Waitable factories
+    # ------------------------------------------------------------------
+    def event(self) -> Waitable:
+        """A fresh untriggered waitable (a condition/semaphore seed)."""
+        return Waitable(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A waitable that fires ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, waitables: List[Waitable]) -> CompositeWait:
+        """Fires when any of ``waitables`` fires."""
+        return CompositeWait(self, waitables, mode="any")
+
+    def all_of(self, waitables: List[Waitable]) -> CompositeWait:
+        """Fires when all of ``waitables`` have fired."""
+        return CompositeWait(self, waitables, mode="all")
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a concurrent process; starts at ``now``."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``False`` when the heap is empty (nothing executed).
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event heap yielded an event in the past")
+            self._now = ev.time
+            self._event_count += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fired earlier, so back-to-back ``run`` calls
+        observe a continuous clock.  Returns the final time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            if until is not None and until < self._now:
+                raise SchedulingError(
+                    f"run(until={until}) is before now={self._now}"
+                )
+            while self._heap and not self._stopped:
+                if until is not None and self._heap[0].time > until:
+                    break
+                self.step()
+            if until is not None and not self._stopped:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now} pending={len(self._heap)}>"

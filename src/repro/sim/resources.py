@@ -1,0 +1,167 @@
+"""Blocking resources and stores for processes.
+
+Provides the YACSIM-style primitives the network models are built on:
+
+* :class:`Resource` — ``capacity`` interchangeable servers; processes
+  ``yield res.request()`` and later call ``res.release()``.
+* :class:`Store` — a FIFO buffer of items with optional capacity;
+  ``yield store.put(item)`` / ``item = yield store.get()``.
+
+Both hand out :class:`~repro.sim.events.Waitable` request objects so they
+compose with timeouts via ``sim.any_of``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Waitable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """``capacity`` interchangeable servers with a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Waitable] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Waitable:
+        """A waitable that fires when a slot is granted to the caller."""
+        req = Waitable(self.sim)
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            req.trigger(self)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self) -> None:
+        """Free one slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Slot passes directly to the next waiter; in_use is unchanged.
+            self._waiters.popleft().trigger(self)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Resource {self._in_use}/{self.capacity} waiters={len(self._waiters)}>"
+
+
+class Store:
+    """A FIFO buffer of items; the workhorse behind every queue in the models.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of buffered items; ``None`` means unbounded.  A
+        ``put`` on a full store blocks until space frees up.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"Store capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Waitable] = deque()
+        self._putters: Deque[tuple[Waitable, Any]] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> Waitable:
+        """A waitable that fires (with ``item``) once the item is buffered."""
+        req = Waitable(self.sim)
+        if self._getters:
+            # Hand straight to the oldest blocked getter (store stays empty).
+            self._getters.popleft().trigger(item)
+            req.trigger(item)
+        elif not self.is_full:
+            self._on_item_enqueued(item)
+            req.trigger(item)
+        else:
+            self._putters.append((req, item))
+        return req
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns ``False`` when the store is full."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.is_full:
+            return False
+        self._on_item_enqueued(item)
+        return True
+
+    def get(self) -> Waitable:
+        """A waitable that fires with the oldest item once one is available."""
+        req = Waitable(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            self._on_item_dequeued(item)
+            self._admit_putter()
+            req.trigger(item)
+        else:
+            self._getters.append(req)
+        return req
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._on_item_dequeued(item)
+        self._admit_putter()
+        return True, item
+
+    # ------------------------------------------------------------------
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            req, item = self._putters.popleft()
+            self._on_item_enqueued(item)
+            req.trigger(item)
+
+    # Hooks for monitored subclasses -----------------------------------
+    def _on_item_enqueued(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _on_item_dequeued(self, item: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<Store {len(self._items)}/{cap}>"

@@ -1,0 +1,216 @@
+"""Statistics accumulators used throughout the simulator.
+
+Three flavours cover everything the E-RAPID models measure:
+
+* :class:`Tally` — sample statistics (count/mean/variance/min/max) via
+  Welford's online algorithm; used for packet latency.
+* :class:`TimeWeighted` — time-weighted average of a piecewise-constant
+  signal (queue occupancy, busy/idle state, instantaneous power); supports
+  *windowed* readout so the link controllers can report per-``R_w``
+  utilizations and reset (the paper's hardware counters).
+* :class:`Histogram` — fixed-bin counts for latency distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import MeasurementError
+
+__all__ = ["Tally", "TimeWeighted", "Histogram"]
+
+
+class Tally:
+    """Online sample statistics (Welford)."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for < 2 samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Fold ``other`` into ``self`` (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return self
+        n = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / n
+        self._mean += delta * other.count / n
+        self.count = n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tally n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    ``update(t, value)`` says the signal holds ``value`` from time ``t``
+    onward.  :meth:`average` integrates up to a given time.  :meth:`window`
+    returns the average since the last :meth:`reset_window` — the model for
+    the per-``R_w`` hardware counters at each link controller.
+    """
+
+    __slots__ = ("_t_last", "_value", "_area", "_t_start", "_win_area", "_win_start")
+
+    def __init__(self, t0: float = 0.0, value: float = 0.0) -> None:
+        self._t_start = t0
+        self._t_last = t0
+        self._value = value
+        self._area = 0.0
+        self._win_area = 0.0
+        self._win_start = t0
+
+    @property
+    def value(self) -> float:
+        """Current signal value."""
+        return self._value
+
+    def update(self, t: float, value: float) -> None:
+        """Advance to time ``t`` and set the signal to ``value``."""
+        if t < self._t_last:
+            raise MeasurementError(
+                f"TimeWeighted.update time went backwards: {t} < {self._t_last}"
+            )
+        dt = t - self._t_last
+        self._area += self._value * dt
+        self._win_area += self._value * dt
+        self._t_last = t
+        self._value = value
+
+    def add(self, t: float, delta: float) -> None:
+        """Advance to ``t`` and bump the signal by ``delta``."""
+        self.update(t, self._value + delta)
+
+    def average(self, t: Optional[float] = None) -> float:
+        """Average over the whole history, integrated up to ``t``."""
+        t = self._t_last if t is None else t
+        span = t - self._t_start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (t - self._t_last)
+        return area / span
+
+    def window(self, t: Optional[float] = None) -> float:
+        """Average since the last window reset, integrated up to ``t``."""
+        t = self._t_last if t is None else t
+        span = t - self._win_start
+        if span <= 0:
+            return self._value
+        area = self._win_area + self._value * (t - self._t_last)
+        return area / span
+
+    def reset_window(self, t: float) -> None:
+        """Start a new measurement window at ``t`` (signal value persists)."""
+        self.update(t, self._value)
+        self._win_area = 0.0
+        self._win_start = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeWeighted value={self._value:.4g} avg={self.average():.4g}>"
+
+
+class Histogram:
+    """Fixed-bin histogram over ``[lo, hi)`` with under/overflow bins."""
+
+    def __init__(self, lo: float, hi: float, bins: int) -> None:
+        if bins < 1 or hi <= lo:
+            raise MeasurementError(f"bad histogram spec lo={lo} hi={hi} bins={bins}")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self._width = (hi - lo) / bins
+        self.counts: List[int] = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.n = 0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            self.counts[int((x - self.lo) / self._width)] += 1
+
+    def edges(self) -> List[float]:
+        """Bin edges (length ``bins + 1``)."""
+        return [self.lo + i * self._width for i in range(self.bins + 1)]
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from bin midpoints."""
+        if not 0 <= q <= 100:
+            raise MeasurementError(f"percentile q must be in [0,100], got {q}")
+        if self.n == 0:
+            return 0.0
+        target = self.n * q / 100.0
+        seen = self.underflow
+        if seen >= target:
+            return self.lo
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return self.lo + (i + 0.5) * self._width
+        return self.hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram n={self.n} [{self.lo},{self.hi}) x{self.bins}>"
+
+
+def describe(samples: Sequence[float]) -> dict:
+    """Convenience: summary dict for a sequence of samples (used in reports)."""
+    t = Tally()
+    for s in samples:
+        t.add(s)
+    return {
+        "count": t.count,
+        "mean": t.mean,
+        "stdev": t.stdev,
+        "min": t.min if t.count else 0.0,
+        "max": t.max if t.count else 0.0,
+    }

@@ -1,0 +1,106 @@
+"""Structured event tracing.
+
+A :class:`TraceLog` collects ``(time, category, entity, message, fields)``
+records.  The reconfiguration-protocol bench (Figure 4) and several tests
+assert on protocol traces, so records are cheap namedtuple-like rows and the
+log supports filtering and bounded retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace row."""
+
+    time: float
+    category: str
+    entity: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable single-line rendering."""
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.1f}] {self.category:<10} {self.entity:<14} {self.message}" + (
+            f" | {extra}" if extra else ""
+        )
+
+
+class TraceLog:
+    """Bounded in-memory trace collector with category filtering.
+
+    Parameters
+    ----------
+    categories:
+        When given, only these categories are recorded (others are dropped
+        at call time, keeping disabled tracing nearly free).
+    max_records:
+        Retention bound; the oldest records are dropped past it.
+    """
+
+    def __init__(
+        self,
+        categories: Optional[set[str]] = None,
+        max_records: int = 100_000,
+    ) -> None:
+        self.categories = categories
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def enabled(self, category: str) -> bool:
+        """Whether ``category`` is currently being recorded."""
+        return self.categories is None or category in self.categories
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        entity: str,
+        message: str,
+        **fields: Any,
+    ) -> None:
+        """Append a record (no-op for filtered categories)."""
+        if not self.enabled(category):
+            return
+        rec = TraceRecord(time, category, entity, message, fields)
+        if len(self.records) >= self.max_records:
+            self.records.pop(0)
+            self.dropped += 1
+        self.records.append(rec)
+        for sink in self._sinks:
+            sink(rec)
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Stream records to ``sink`` as they arrive (e.g. ``print``)."""
+        self._sinks.append(sink)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        entity: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given criteria."""
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if entity is not None and rec.entity != entity:
+                continue
+            if rec.time < since:
+                continue
+            yield rec
+
+    def format(self, **kwargs: Any) -> str:
+        """Render matching records, one per line."""
+        return "\n".join(rec.format() for rec in self.filter(**kwargs))
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,65 @@
+"""Synthetic traffic: §4.1 patterns, Bernoulli/Poisson/bursty injection,
+the N_c capacity model and declarative workload specs."""
+
+from repro.traffic.capacity import CapacityModel, CapacityParams
+from repro.traffic.collectives import (
+    AllToAllPersonalized,
+    CyclingPattern,
+    HaloExchange,
+    HotspotPattern,
+    RingAllreduce,
+    hotspot,
+)
+from repro.traffic.injection import (
+    BernoulliProcess,
+    InjectionProcess,
+    OnOffProcess,
+    PoissonProcess,
+    ProfiledBernoulliProcess,
+    TrafficSource,
+)
+from repro.traffic.patterns import (
+    PATTERNS,
+    BitPermutation,
+    TrafficPattern,
+    UniformRandom,
+    bit_reverse,
+    butterfly,
+    complement,
+    make_pattern,
+    neighbor,
+    perfect_shuffle,
+    tornado,
+    transpose,
+)
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = [
+    "AllToAllPersonalized",
+    "BernoulliProcess",
+    "BitPermutation",
+    "CapacityModel",
+    "CapacityParams",
+    "CyclingPattern",
+    "HaloExchange",
+    "HotspotPattern",
+    "InjectionProcess",
+    "OnOffProcess",
+    "PATTERNS",
+    "PoissonProcess",
+    "ProfiledBernoulliProcess",
+    "RingAllreduce",
+    "TrafficPattern",
+    "TrafficSource",
+    "UniformRandom",
+    "WorkloadSpec",
+    "bit_reverse",
+    "butterfly",
+    "complement",
+    "hotspot",
+    "make_pattern",
+    "neighbor",
+    "perfect_shuffle",
+    "tornado",
+    "transpose",
+]

@@ -1,0 +1,139 @@
+"""Network capacity analysis.
+
+§4: "The network capacity was determined from the expression N_c
+(packets/node/cycle), which is defined as the maximum sustainable
+throughput when a network is loaded with uniform random traffic."  All load
+sweeps in the paper inject at ``load × N_c(uniform)`` regardless of pattern
+— which is exactly why adversarial permutations saturate early under the
+static allocation (their hot channels see several times the uniform
+per-channel load).
+
+The model is a standard channel-load bound: the injection rate p
+(packets/node/cycle) is feasible iff
+
+* node injection:  p ≤ μ_elec                  (send-port serialization),
+* node ejection:   p · colsum_j(M) ≤ μ_elec    (receive-port serialization),
+* optical channel: p · T[s,d] ≤ k[s,d] · μ_opt for every board pair,
+
+where M is the node-level destination matrix, T the board-pair traffic
+matrix per unit p, μ the packet service rates, and k the number of
+channels granted to the pair (1 under the static RWA; DBR raises it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.topology import ERapidTopology
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["CapacityParams", "CapacityModel"]
+
+
+@dataclass(frozen=True)
+class CapacityParams:
+    """Physical rates used by the capacity bound (Table 1 defaults)."""
+
+    packet_bits: int = 512
+    optical_gbps: float = 5.0
+    electrical_gbps: float = 6.4
+    clock_ghz: float = 0.4
+
+    def __post_init__(self) -> None:
+        if min(self.packet_bits, self.optical_gbps, self.electrical_gbps,
+               self.clock_ghz) <= 0:
+            raise ConfigurationError("capacity parameters must be positive")
+
+    @property
+    def mu_optical(self) -> float:
+        """Optical channel service rate in packets/cycle (at the top level)."""
+        return (self.optical_gbps / self.clock_ghz) / self.packet_bits
+
+    @property
+    def mu_electrical(self) -> float:
+        """Node send/receive port service rate in packets/cycle."""
+        return (self.electrical_gbps / self.clock_ghz) / self.packet_bits
+
+
+class CapacityModel:
+    """Channel-load capacity bound for one (topology, pattern) pair."""
+
+    def __init__(
+        self,
+        topology: ERapidTopology,
+        pattern: TrafficPattern,
+        params: CapacityParams = CapacityParams(),
+    ) -> None:
+        if pattern.n_nodes != topology.total_nodes:
+            raise ConfigurationError(
+                f"pattern is for {pattern.n_nodes} nodes but topology has "
+                f"{topology.total_nodes}"
+            )
+        self.topology = topology
+        self.pattern = pattern
+        self.params = params
+        self._m = pattern.destination_matrix()
+
+    # ------------------------------------------------------------------
+    def board_matrix(self) -> np.ndarray:
+        """T[s, d]: expected packets/cycle from board s to board d per unit p."""
+        B, D = self.topology.boards, self.topology.nodes_per_board
+        m = self._m.reshape(B, D, B, D)
+        return m.sum(axis=(1, 3))
+
+    def max_injection(self, channels: Optional[np.ndarray] = None) -> float:
+        """Maximum sustainable p (packets/node/cycle).
+
+        ``channels[s, d]`` = optical channels granted to the pair (defaults
+        to the static RWA's single channel; the diagonal is ignored — local
+        traffic never touches the SRS).
+        """
+        B = self.topology.boards
+        if channels is None:
+            channels = np.ones((B, B)) - np.eye(B)
+        if channels.shape != (B, B):
+            raise ConfigurationError(
+                f"channels matrix must be {B}x{B}, got {channels.shape}"
+            )
+        bounds = [self.params.mu_electrical]  # injection serialization
+        # Ejection: busiest receive port.
+        col = self._m.sum(axis=0)
+        worst_rx = float(col.max())
+        if worst_rx > 0:
+            bounds.append(self.params.mu_electrical / worst_rx)
+        # Optical channels.
+        T = self.board_matrix()
+        for s in range(B):
+            for d in range(B):
+                if s == d or T[s, d] <= 0:
+                    continue
+                k = float(channels[s, d])
+                if k <= 0:
+                    raise ConfigurationError(
+                        f"pattern sends board {s}->{d} but no channel is granted"
+                    )
+                bounds.append(k * self.params.mu_optical / float(T[s, d]))
+        return min(bounds)
+
+    # ------------------------------------------------------------------
+    def saturation_fraction(self, uniform_capacity: float) -> float:
+        """This pattern's static-allocation saturation point, as a fraction
+        of the uniform capacity the sweeps normalize against."""
+        if uniform_capacity <= 0:
+            raise ConfigurationError("uniform capacity must be positive")
+        return self.max_injection() / uniform_capacity
+
+    @staticmethod
+    def uniform_capacity(
+        topology: ERapidTopology, params: CapacityParams = CapacityParams()
+    ) -> float:
+        """N_c: capacity under uniform random traffic (the sweep normalizer)."""
+        from repro.traffic.patterns import UniformRandom
+
+        return CapacityModel(
+            topology, UniformRandom(topology.total_nodes), params
+        ).max_injection()

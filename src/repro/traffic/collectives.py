@@ -1,0 +1,176 @@
+"""HPC application communication patterns.
+
+The paper's introduction motivates E-RAPID with inter-process communication
+locality ("as spatial and temporal locality exists due to inter-process
+communication patterns...").  This module models the steady-state traffic
+of the classic MPI communication kernels as destination generators:
+
+* :func:`hotspot` — a fraction of all traffic converges on one node
+  (shared data structure / IO node);
+* :class:`AllToAllPersonalized` — MPI_Alltoall: every node cycles
+  deterministically over all other ranks (FFT transpose, sort exchange);
+* :class:`RingAllreduce` — ring-based MPI_Allreduce: alternate
+  sends to the successor and predecessor rank;
+* :class:`HaloExchange` — stencil ghost-cell exchange on an
+  (nx × ny) process grid: cycle over the 4 grid neighbours.
+
+All are :class:`~repro.traffic.patterns.TrafficPattern` subclasses, so they
+compose with every injection process, the capacity model and the engines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.patterns import PATTERNS, TrafficPattern, UniformRandom
+
+__all__ = [
+    "CyclingPattern",
+    "AllToAllPersonalized",
+    "RingAllreduce",
+    "HaloExchange",
+    "HotspotPattern",
+    "hotspot",
+]
+
+
+class CyclingPattern(TrafficPattern):
+    """Deterministically cycles each source through a per-source dest list."""
+
+    is_permutation = False
+
+    def __init__(self, n_nodes: int, dest_lists: List[List[int]], name: str) -> None:
+        super().__init__(n_nodes)
+        if len(dest_lists) != n_nodes:
+            raise ConfigurationError(
+                f"need {n_nodes} destination lists, got {len(dest_lists)}"
+            )
+        for src, dests in enumerate(dest_lists):
+            if not dests:
+                raise ConfigurationError(f"node {src} has no destinations")
+            for d in dests:
+                if not 0 <= d < n_nodes or d == src:
+                    raise ConfigurationError(
+                        f"bad destination {d} for node {src}"
+                    )
+        self.name = name
+        self._dest_lists = [list(d) for d in dest_lists]
+        self._cursor = [0] * n_nodes
+
+    def dest(self, src: int, rng: Optional[np.random.Generator] = None) -> int:
+        self._check_src(src)
+        dests = self._dest_lists[src]
+        d = dests[self._cursor[src] % len(dests)]
+        self._cursor[src] += 1
+        return d
+
+    def destination_matrix(self) -> np.ndarray:
+        n = self.n_nodes
+        m = np.zeros((n, n))
+        for src, dests in enumerate(self._dest_lists):
+            w = 1.0 / len(dests)
+            for d in dests:
+                m[src, d] += w
+        return m
+
+
+class AllToAllPersonalized(CyclingPattern):
+    """MPI_Alltoall: rank i sends round r to rank (i + r) mod N, skipping
+    itself — the standard linear-shift schedule."""
+
+    def __init__(self, n_nodes: int) -> None:
+        dest_lists = [
+            [(i + r) % n_nodes for r in range(1, n_nodes)] for i in range(n_nodes)
+        ]
+        super().__init__(n_nodes, dest_lists, "all_to_all")
+
+
+class RingAllreduce(CyclingPattern):
+    """Ring allreduce: alternate successor/predecessor exchanges."""
+
+    def __init__(self, n_nodes: int) -> None:
+        dest_lists = [
+            [(i + 1) % n_nodes, (i - 1) % n_nodes] for i in range(n_nodes)
+        ]
+        super().__init__(n_nodes, dest_lists, "ring_allreduce")
+
+
+class HaloExchange(CyclingPattern):
+    """2-D stencil ghost exchange on an (nx x ny) process grid with
+    periodic boundaries; ranks are row-major."""
+
+    def __init__(self, nx: int, ny: int) -> None:
+        if nx < 2 or ny < 2:
+            raise ConfigurationError(f"halo grid must be >= 2x2, got {nx}x{ny}")
+        n = nx * ny
+        dest_lists = []
+        for i in range(n):
+            x, y = i % nx, i // nx
+            neighbours = [
+                ((x + 1) % nx) + y * nx,
+                ((x - 1) % nx) + y * nx,
+                x + ((y + 1) % ny) * nx,
+                x + ((y - 1) % ny) * nx,
+            ]
+            # De-duplicate (2-wide dimensions fold +1/-1 together) and drop
+            # self-sends.
+            uniq = []
+            for d in neighbours:
+                if d != i and d not in uniq:
+                    uniq.append(d)
+            dest_lists.append(uniq)
+        super().__init__(n, dest_lists, "halo_exchange")
+        self.nx = nx
+        self.ny = ny
+
+
+class HotspotPattern(TrafficPattern):
+    """A fraction of traffic converges on one hot node; the rest is uniform.
+
+    The classic shared-lock / IO-server skew (Pfister & Norton).
+    """
+
+    name = "hotspot"
+    is_permutation = False
+
+    def __init__(self, n_nodes: int, hot_node: int = 0, fraction: float = 0.2) -> None:
+        super().__init__(n_nodes)
+        if not 0 <= hot_node < n_nodes:
+            raise ConfigurationError(f"hot node {hot_node} out of range")
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"hot fraction must be in [0,1], got {fraction}")
+        self.hot_node = hot_node
+        self.fraction = fraction
+        self._uniform = UniformRandom(n_nodes)
+
+    def dest(self, src: int, rng: Optional[np.random.Generator] = None) -> int:
+        self._check_src(src)
+        if rng is None:
+            raise ConfigurationError("hotspot traffic needs an RNG stream")
+        if src != self.hot_node and rng.random() < self.fraction:
+            return self.hot_node
+        return self._uniform.dest(src, rng)
+
+    def destination_matrix(self) -> np.ndarray:
+        n = self.n_nodes
+        m = self._uniform.destination_matrix() * (1.0 - self.fraction)
+        m[:, self.hot_node] += self.fraction
+        m[self.hot_node, :] = self._uniform.destination_matrix()[self.hot_node, :]
+        np.fill_diagonal(m, 0.0)
+        # Renormalize rows to 1 (hot node keeps pure uniform behaviour).
+        m /= m.sum(axis=1, keepdims=True)
+        return m
+
+
+def hotspot(n_nodes: int) -> HotspotPattern:
+    """Registry factory: 20 % of traffic to node 0."""
+    return HotspotPattern(n_nodes, hot_node=0, fraction=0.2)
+
+
+# Register the parameter-free patterns so WorkloadSpec can name them.
+PATTERNS.setdefault("hotspot", hotspot)
+PATTERNS.setdefault("all_to_all", AllToAllPersonalized)
+PATTERNS.setdefault("ring_allreduce", RingAllreduce)

@@ -1,0 +1,243 @@
+"""Synthetic traffic patterns.
+
+§4.1 evaluates uniform plus three adversarial *bit-permutation* patterns on
+64 nodes (n = 6 address bits):
+
+* **uniform** — every other node equally likely;
+* **butterfly** — ``a_{n-1} .. a_1 a_0`` -> ``a_0 a_{n-2} .. a_1 a_{n-1}``
+  (swap MSB and LSB);
+* **complement** — ``a_i`` -> ``NOT a_i`` for all bits;
+* **perfect shuffle** — ``a_{n-1} .. a_0`` -> ``a_{n-2} .. a_0 a_{n-1}``
+  (rotate left by one).
+
+The standard extended set from Dally & Towles (bit reverse, transpose,
+tornado, neighbor) is included for the extension benches.  Permutation
+patterns require a power-of-two node count; ring patterns (tornado,
+neighbor) work for any size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "BitPermutation",
+    "butterfly",
+    "complement",
+    "perfect_shuffle",
+    "bit_reverse",
+    "transpose",
+    "tornado",
+    "neighbor",
+    "PATTERNS",
+    "make_pattern",
+]
+
+
+def _require_power_of_two(n: int, pattern: str) -> int:
+    if n < 2 or n & (n - 1):
+        raise ConfigurationError(
+            f"{pattern} traffic needs a power-of-two node count, got {n}"
+        )
+    return n.bit_length() - 1
+
+
+class TrafficPattern:
+    """Destination selector for a system of ``n_nodes`` nodes."""
+
+    #: Human-readable name (also the registry key).
+    name: str = "abstract"
+    #: Whether dest(src) is a fixed permutation (no randomness).
+    is_permutation: bool = False
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 2:
+            raise ConfigurationError(f"need >= 2 nodes, got {n_nodes}")
+        self.n_nodes = n_nodes
+
+    def dest(self, src: int, rng: Optional[np.random.Generator] = None) -> int:
+        """Destination for a packet injected at ``src``."""
+        raise NotImplementedError
+
+    def destination_matrix(self) -> np.ndarray:
+        """``M[s, d]`` = probability a packet from s goes to d."""
+        raise NotImplementedError
+
+    def _check_src(self, src: int) -> None:
+        if not 0 <= src < self.n_nodes:
+            raise ConfigurationError(
+                f"src {src} out of range [0,{self.n_nodes})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} N={self.n_nodes}>"
+
+
+class UniformRandom(TrafficPattern):
+    """Every node sends to every *other* node with equal probability."""
+
+    name = "uniform"
+    is_permutation = False
+
+    def dest(self, src: int, rng: Optional[np.random.Generator] = None) -> int:
+        self._check_src(src)
+        if rng is None:
+            raise ConfigurationError("uniform traffic needs an RNG stream")
+        d = int(rng.integers(0, self.n_nodes - 1))
+        return d if d < src else d + 1  # skip self without rejection sampling
+
+    def destination_matrix(self) -> np.ndarray:
+        n = self.n_nodes
+        m = np.full((n, n), 1.0 / (n - 1))
+        np.fill_diagonal(m, 0.0)
+        return m
+
+
+class BitPermutation(TrafficPattern):
+    """A deterministic pattern defined by a function on node ids."""
+
+    is_permutation = True
+
+    def __init__(self, n_nodes: int, fn: Callable[[int, int], int], name: str) -> None:
+        super().__init__(n_nodes)
+        self.name = name
+        self._map: List[int] = []
+        bits = _require_power_of_two(n_nodes, name) if name not in (
+            "tornado",
+            "neighbor",
+        ) else 0
+        for src in range(n_nodes):
+            d = fn(src, bits) % n_nodes
+            self._map.append(d)
+
+    def dest(self, src: int, rng: Optional[np.random.Generator] = None) -> int:
+        self._check_src(src)
+        return self._map[src]
+
+    def destination_matrix(self) -> np.ndarray:
+        n = self.n_nodes
+        m = np.zeros((n, n))
+        for s, d in enumerate(self._map):
+            m[s, d] = 1.0
+        return m
+
+    @property
+    def mapping(self) -> List[int]:
+        return list(self._map)
+
+
+# ----------------------------------------------------------------------
+# The paper's §4.1 patterns
+# ----------------------------------------------------------------------
+
+def butterfly(n_nodes: int) -> BitPermutation:
+    """Swap the most- and least-significant address bits."""
+
+    def fn(a: int, bits: int) -> int:
+        msb = (a >> (bits - 1)) & 1
+        lsb = a & 1
+        out = a & ~(1 | (1 << (bits - 1)))
+        out |= lsb << (bits - 1)
+        out |= msb
+        return out
+
+    return BitPermutation(n_nodes, fn, "butterfly")
+
+
+def complement(n_nodes: int) -> BitPermutation:
+    """Flip every address bit (a -> N-1-a)."""
+
+    def fn(a: int, bits: int) -> int:
+        return (~a) & (n_nodes - 1)
+
+    return BitPermutation(n_nodes, fn, "complement")
+
+
+def perfect_shuffle(n_nodes: int) -> BitPermutation:
+    """Rotate the address left by one bit."""
+
+    def fn(a: int, bits: int) -> int:
+        msb = (a >> (bits - 1)) & 1
+        return ((a << 1) | msb) & (n_nodes - 1)
+
+    return BitPermutation(n_nodes, fn, "perfect_shuffle")
+
+
+# ----------------------------------------------------------------------
+# Extended set (Dally & Towles) for the extension benches
+# ----------------------------------------------------------------------
+
+def bit_reverse(n_nodes: int) -> BitPermutation:
+    """Reverse the address bits."""
+
+    def fn(a: int, bits: int) -> int:
+        out = 0
+        for i in range(bits):
+            out |= ((a >> i) & 1) << (bits - 1 - i)
+        return out
+
+    return BitPermutation(n_nodes, fn, "bit_reverse")
+
+
+def transpose(n_nodes: int) -> BitPermutation:
+    """Swap the upper and lower halves of the address bits."""
+
+    def fn(a: int, bits: int) -> int:
+        if bits % 2:
+            raise ConfigurationError(
+                f"transpose needs an even number of address bits, got {bits}"
+            )
+        half = bits // 2
+        lo = a & ((1 << half) - 1)
+        hi = a >> half
+        return (lo << half) | hi
+
+    return BitPermutation(n_nodes, fn, "transpose")
+
+
+def tornado(n_nodes: int) -> BitPermutation:
+    """Send almost half-way around the ring of nodes."""
+
+    def fn(a: int, bits: int) -> int:
+        return (a + (n_nodes // 2) - 1) % n_nodes
+
+    return BitPermutation(n_nodes, fn, "tornado")
+
+
+def neighbor(n_nodes: int) -> BitPermutation:
+    """Send to the next node (benign, mostly local for board-major ids)."""
+
+    def fn(a: int, bits: int) -> int:
+        return (a + 1) % n_nodes
+
+    return BitPermutation(n_nodes, fn, "neighbor")
+
+
+#: Registry: name -> factory.
+PATTERNS: Dict[str, Callable[[int], TrafficPattern]] = {
+    "uniform": UniformRandom,
+    "butterfly": butterfly,
+    "complement": complement,
+    "perfect_shuffle": perfect_shuffle,
+    "bit_reverse": bit_reverse,
+    "transpose": transpose,
+    "tornado": tornado,
+    "neighbor": neighbor,
+}
+
+
+def make_pattern(name: str, n_nodes: int) -> TrafficPattern:
+    """Instantiate a registered pattern by name."""
+    try:
+        factory = PATTERNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown traffic pattern {name!r}; known: {sorted(PATTERNS)}"
+        ) from None
+    return factory(n_nodes)

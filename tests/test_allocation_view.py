@@ -1,0 +1,101 @@
+"""Tests for the wavelength-allocation timeline probe/renderer."""
+
+import pytest
+
+from repro.core import ERapidConfig, FastEngine
+from repro.core.policies import NP_B, NP_NB
+from repro.errors import MeasurementError
+from repro.experiments import AllocationProbe, render_allocation
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.traffic import WorkloadSpec
+
+PLAN = MeasurementPlan(warmup=2000, measure=8000, drain_limit=2000)
+
+
+def run_probed(policy, pattern="complement", load=0.6, fail=None):
+    cfg = ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4), policy=policy
+    )
+    engine = FastEngine(cfg, WorkloadSpec(pattern=pattern, load=load, seed=1), PLAN)
+    probe = AllocationProbe(engine, period=2000)
+    if fail is not None:
+        engine.inject_laser_failure(*fail, at=100.0)
+    engine.start()
+    probe.start()
+    engine.run()
+    return engine, probe
+
+
+def test_probe_samples_on_period():
+    engine, probe = run_probed(NP_NB)
+    assert len(probe.times) >= 5
+    assert probe.times[0] == pytest.approx(2000.0)
+    assert probe.times[1] - probe.times[0] == pytest.approx(2000.0)
+
+
+def test_static_network_shows_no_changes():
+    _, probe = run_probed(NP_NB)
+    assert probe.grants_observed() == 0
+
+
+def test_dbr_changes_visible_in_timeline():
+    engine, probe = run_probed(NP_B)
+    assert probe.grants_observed() > 0
+    text = render_allocation(probe, dests=[3])
+    assert "dest board 3" in text
+    # After reconfiguration every wavelength toward board 3 is owned by 0.
+    final = probe.snapshots[-1]
+    assert all(owner == 0 for owner in final[3])
+
+
+def test_render_marks_dark_and_failed():
+    engine, probe = run_probed(NP_NB, fail=(3, 1))
+    text = render_allocation(probe, dests=[3])
+    assert " X" in text   # the failed channel
+    assert " ." in text   # λ0 stays dark in the static config
+
+
+def test_render_all_dests_by_default():
+    _, probe = run_probed(NP_NB)
+    text = render_allocation(probe)
+    for d in range(4):
+        assert f"dest board {d}" in text
+
+
+def test_probe_validation():
+    cfg = ERapidConfig(topology=ERapidTopology(boards=4, nodes_per_board=4))
+    engine = FastEngine(cfg, WorkloadSpec(load=0.1), PLAN)
+    with pytest.raises(MeasurementError):
+        AllocationProbe(engine, period=0.0)
+    probe = AllocationProbe(engine, period=100.0)
+    with pytest.raises(MeasurementError):
+        render_allocation(probe)  # never started
+
+
+# ----------------------------------------------------------------------
+# SystemProbe (system-wide power / laser-count sampler)
+# ----------------------------------------------------------------------
+
+def test_system_probe_tracks_power_and_lasers():
+    from repro.metrics import SystemProbe
+
+    cfg = ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4), policy=NP_B
+    )
+    engine = FastEngine(
+        cfg, WorkloadSpec(pattern="complement", load=0.6, seed=1), PLAN
+    )
+    probe = SystemProbe(engine, period=1000.0)
+    engine.start()
+    probe.start()
+    engine.run()
+    assert len(probe.times) == len(probe.power_mw) == len(probe.lasers_on)
+    assert len(probe.times) > 5
+    # Static bring-up lights B*(B-1)=12 lasers; DBR never exceeds B*W=16
+    # and never goes below the busy hot channels.
+    assert all(4 <= n <= 16 for n in probe.lasers_on)
+    assert max(probe.power_mw) > 0.0
+    # Under complement, reconfiguration concentrates ownership but the
+    # total lit-laser count stays the same (one laser per owned channel).
+    assert probe.lasers_on[-1] >= 12

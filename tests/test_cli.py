@@ -1,0 +1,57 @@
+"""CLI tests (run through main() directly; output captured via capsys)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--pattern", "complement", "--policy", "P-B"])
+    assert args.command == "run"
+    assert args.pattern == "complement"
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_rejects_unknown_pattern():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--pattern", "zipf"])
+
+
+def test_cli_rwa(capsys):
+    assert main(["rwa", "--boards", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "λ3^(0)" in out and "λ1^(1)" in out
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "43.03" in out and "400 MHz" in out
+
+
+def test_cli_run_small(capsys):
+    rc = main([
+        "run", "--pattern", "uniform", "--policy", "NP-NB",
+        "--boards", "4", "--nodes", "4", "--load", "0.3",
+        "--warmup", "2000", "--measure", "4000",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out and "power (mW)" in out
+
+
+def test_cli_sweep_with_csv(tmp_path, capsys):
+    csv_path = tmp_path / "out.csv"
+    rc = main([
+        "sweep", "--pattern", "uniform", "--loads", "0.3",
+        "--boards", "4", "--nodes", "4", "--csv", str(csv_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "headline ratios" in out
+    assert csv_path.exists()

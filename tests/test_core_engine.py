@@ -1,0 +1,252 @@
+"""Integration tests for the fast engine: conservation, reconfiguration
+behaviour, policy differentiation.  Small configs keep runs < 1 s each."""
+
+import pytest
+
+from repro.core import ERapidSystem, FastEngine, NP_B, NP_NB, P_B, P_NB
+from repro.core.config import ControlParams, ERapidConfig
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.traffic import WorkloadSpec
+
+# Warm-up covers >= 3 reconfiguration windows so DBR/DPM settle before
+# the measurement interval opens (grants land ~window 2 + ring latency).
+PLAN = MeasurementPlan(warmup=6000, measure=8000, drain_limit=16000)
+TOPO4 = ERapidTopology(boards=4, nodes_per_board=4)
+
+
+def run(policy, pattern="uniform", load=0.4, boards=4, nodes=4, plan=PLAN, **over):
+    system = ERapidSystem.build(
+        boards=boards, nodes_per_board=nodes, policy=policy, **over
+    )
+    return system, system.run(WorkloadSpec(pattern=pattern, load=load, seed=11), plan)
+
+
+# ----------------------------------------------------------------------
+# Conservation and sanity
+# ----------------------------------------------------------------------
+
+def test_packet_conservation_uniform():
+    system, result = run("NP-NB")
+    engine = system.last_engine
+    injected = sum(n.injected for b in engine.boards for n in b.nodes)
+    delivered = sum(n.delivered for b in engine.boards for n in b.nodes)
+    in_queues = sum(
+        len(n.send_queue) + len(n.recv_queue) for b in engine.boards for n in b.nodes
+    )
+    in_tx = sum(len(q) for b in engine.boards for q in b.tx_queues.values())
+    in_flight = sum(1 for ch in engine.channels.values() if ch.busy)
+    assert injected == engine.collector.injected_total
+    # Conservation: everything injected is delivered or still in the system.
+    assert injected - delivered - in_queues - in_tx >= 0
+    assert injected - delivered - in_queues - in_tx <= in_flight + injected // 10
+
+
+def test_all_labeled_packets_delivered_below_saturation():
+    _, result = run("NP-NB", load=0.3)
+    assert result.labeled_delivered == result.labeled_injected
+    assert result.labeled_injected > 0
+
+
+def test_throughput_tracks_offered_below_saturation():
+    _, result = run("NP-NB", load=0.3)
+    assert result.throughput == pytest.approx(result.offered, rel=0.05)
+    assert result.acceptance > 0.95
+
+
+def test_latency_above_zero_load_bound():
+    """Latency can never beat serialization + pipeline physics:
+    32 (send) + 4 + 41 (optical @5G) + 8 (fiber) + 4 + 32 (recv) ~ 121."""
+    _, result = run("NP-NB", load=0.2)
+    assert result.avg_latency >= 100.0
+
+
+def test_reproducible_runs():
+    _, r1 = run("P-B", load=0.4)
+    _, r2 = run("P-B", load=0.4)
+    assert r1.throughput == r2.throughput
+    assert r1.avg_latency == r2.avg_latency
+    assert r1.power_mw == r2.power_mw
+
+
+def test_different_seeds_differ():
+    system = ERapidSystem.build(boards=4, nodes_per_board=4, policy="NP-NB")
+    ra = system.run(WorkloadSpec(pattern="uniform", load=0.4, seed=1), PLAN)
+    rb = system.run(WorkloadSpec(pattern="uniform", load=0.4, seed=2), PLAN)
+    assert ra.avg_latency != rb.avg_latency
+
+
+def test_engine_start_twice_raises():
+    system, _ = run("NP-NB", load=0.2)
+    with pytest.raises(ConfigurationError):
+        system.last_engine.start()
+
+
+def test_higher_load_higher_latency():
+    _, lo = run("NP-NB", load=0.2)
+    _, hi = run("NP-NB", load=0.7)
+    assert hi.avg_latency > lo.avg_latency
+    assert hi.throughput > lo.throughput
+
+
+# ----------------------------------------------------------------------
+# Static allocation (NP-NB) behaviour
+# ----------------------------------------------------------------------
+
+def test_np_nb_never_reconfigures():
+    system, result = run("NP-NB", pattern="complement", load=0.8)
+    assert result.extra["grants"] == 0
+    assert result.extra["dpm_transitions"] == 0
+    engine = system.last_engine
+    # Ownership map untouched: exactly B*(B-1) static channels.
+    assert len(engine.srs.all_channels()) == 4 * 3
+
+
+def test_np_nb_complement_saturates_at_one_channel():
+    """Static complement throughput caps at mu_opt per board pair:
+    1 packet / 40.96 cycles / 4 nodes ~ 0.0061 packets/node/cycle."""
+    _, result = run("NP-NB", pattern="complement", load=0.9)
+    assert result.throughput == pytest.approx(1 / 40.96 / 4, rel=0.08)
+    assert result.offered > 2 * result.throughput
+
+
+# ----------------------------------------------------------------------
+# DBR (NP-B) behaviour
+# ----------------------------------------------------------------------
+
+def test_np_b_reconfigures_complement_and_restores_throughput():
+    _, static = run("NP-NB", pattern="complement", load=0.8)
+    system, reconf = run("NP-B", pattern="complement", load=0.8)
+    assert reconf.extra["grants"] > 0
+    assert reconf.throughput > 2.5 * static.throughput
+    # The hot pairs now own several channels each.
+    engine = system.last_engine
+    comp = {0: 3, 1: 2, 2: 1, 3: 0}
+    for s, d in comp.items():
+        assert len(engine.srs.channels_from(s, d)) >= 2
+
+
+def test_np_b_uniform_is_noop():
+    """§4.2: for uniform traffic there are no under-utilized links to move,
+    and reconfiguration must not hinder on-going communication."""
+    _, static = run("NP-NB", load=0.5)
+    _, reconf = run("NP-B", load=0.5)
+    assert reconf.extra["grants"] == 0
+    assert reconf.throughput == pytest.approx(static.throughput, rel=0.02)
+    assert reconf.avg_latency == pytest.approx(static.avg_latency, rel=0.05)
+
+
+def test_np_b_runs_at_full_power_level():
+    system, result = run("NP-B", pattern="complement", load=0.8)
+    engine = system.last_engine
+    assert result.extra["dpm_transitions"] == 0
+    for ch in engine.channels.values():
+        assert ch.level is engine.config.power_levels.highest
+
+
+# ----------------------------------------------------------------------
+# DPM (P-NB) behaviour
+# ----------------------------------------------------------------------
+
+def test_p_nb_scales_levels_at_low_load():
+    system, result = run("P-NB", load=0.15)
+    assert result.extra["dpm_transitions"] > 0
+    assert result.extra["grants"] == 0
+
+
+def test_p_nb_saves_power_at_low_load():
+    _, base = run("NP-NB", load=0.15)
+    _, power = run("P-NB", load=0.15)
+    assert power.power_mw < 0.7 * base.power_mw
+    assert power.throughput == pytest.approx(base.throughput, rel=0.05)
+
+
+def test_p_nb_throughput_cost_is_small():
+    """Paper: P-NB degrades throughput by < 3 %."""
+    for load in (0.3, 0.6):
+        _, base = run("NP-NB", load=load)
+        _, power = run("P-NB", load=load)
+        assert power.throughput >= 0.97 * base.throughput
+
+
+# ----------------------------------------------------------------------
+# LS / P-B behaviour
+# ----------------------------------------------------------------------
+
+def test_p_b_combines_grants_and_scaling():
+    _, result = run("P-B", pattern="complement", load=0.7)
+    assert result.extra["grants"] > 0
+    assert result.extra["dpm_transitions"] > 0
+
+
+def test_p_b_cheaper_than_np_b_on_complement():
+    """Paper: P-B consumes ~25 % less than NP-B at similar throughput.
+
+    P-B ratchets granted channels down one level per power window, so the
+    warm-up must cover the full descent (~7 windows) before measuring.
+    """
+    plan = MeasurementPlan(warmup=16000, measure=8000, drain_limit=16000)
+    _, np_b = run("NP-B", pattern="complement", load=0.5, plan=plan)
+    _, p_b = run("P-B", pattern="complement", load=0.5, plan=plan)
+    assert p_b.power_mw < 0.92 * np_b.power_mw
+    assert p_b.throughput >= 0.9 * np_b.throughput
+
+
+def test_p_b_throughput_cost_within_5_percent_uniform():
+    """Abstract: LS degrades throughput by less than 5 %."""
+    for load in (0.3, 0.5, 0.7):
+        _, base = run("NP-NB", load=load)
+        _, pb = run("P-B", load=load)
+        assert pb.throughput >= 0.95 * base.throughput, load
+
+
+def test_p_b_power_savings_uniform():
+    """Abstract: 25-50 % power reduction (load-dependent; strongest low)."""
+    _, base = run("NP-NB", load=0.2)
+    _, pb = run("P-B", load=0.2)
+    assert pb.power_mw < 0.75 * base.power_mw
+
+
+def test_dpm_sleep_gates_idle_links():
+    system, result = run("P-NB", pattern="complement", load=0.5)
+    assert result.extra["sleeps"] > 0
+    engine = system.last_engine
+    sleeping = [ch for ch in engine.channels.values() if ch.sleeping]
+    assert sleeping, "idle static channels should be asleep under complement"
+
+
+def test_window_cycle_count():
+    system, _ = run("P-B", load=0.4)
+    engine = system.last_engine
+    expected = int(engine.sim.now // engine.config.control.window_cycles)
+    assert engine.lockstep.windows_elapsed == expected
+    # Odd windows power, even windows bandwidth.
+    assert engine.rcs[0].power_cycles == (expected + 1) // 2
+    assert engine.rcs[0].bandwidth_cycles == expected // 2
+
+
+def test_custom_window_size():
+    system, result = run(
+        "P-B", load=0.3, control=ControlParams(window_cycles=500)
+    )
+    engine = system.last_engine
+    assert engine.lockstep.windows_elapsed == int(engine.sim.now // 500)
+    assert engine.lockstep.windows_elapsed > 20
+
+
+def test_limited_dbr_grants_cap():
+    from dataclasses import replace
+    from repro.core.policies import NP_B as base_policy
+
+    limited = replace(base_policy, name="NP-B-lim", max_grants_per_dest=1)
+    system, result = run(limited, pattern="complement", load=0.8)
+    # Grants accumulate over windows but each window adds at most 1/dest.
+    assert 0 < result.extra["grants"] <= system.last_engine.lockstep.windows_elapsed * 4
+
+
+def test_run_result_extras_present():
+    _, result = run("P-B", load=0.3)
+    for key in ("policy", "pattern", "load", "grants", "dpm_transitions", "events"):
+        assert key in result.extra
+    assert result.extra["policy"] == "P-B"

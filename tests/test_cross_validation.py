@@ -1,0 +1,116 @@
+"""Cross-validation: detailed (flit-level) vs fast (event-driven) engine.
+
+DESIGN.md commits to the two engines agreeing on throughput and latency for
+the static NP-NB configuration on small systems — this is the evidence that
+the fast engine's electrical-path abstractions (serialization, pipeline,
+contention) are sound before it is trusted with the full sweeps.
+"""
+
+import pytest
+
+from repro.core.config import ERapidConfig
+from repro.core.detailed import DetailedEngine
+from repro.core.engine import FastEngine
+from repro.core.policies import P_B
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.traffic import WorkloadSpec
+
+TOPO = ERapidTopology(boards=4, nodes_per_board=4)
+CFG = ERapidConfig(topology=TOPO)
+PLAN = MeasurementPlan(warmup=2000, measure=5000, drain_limit=10000)
+
+
+def both(pattern, load, seed=5):
+    wl = WorkloadSpec(pattern=pattern, load=load, seed=seed)
+    detailed = DetailedEngine(CFG, wl, PLAN).run()
+    fast = FastEngine(CFG, wl, PLAN).run()
+    return detailed, fast
+
+
+@pytest.mark.parametrize("load", [0.2, 0.4])
+def test_uniform_throughput_agreement(load):
+    detailed, fast = both("uniform", load)
+    assert fast.throughput == pytest.approx(detailed.throughput, rel=0.05)
+
+
+@pytest.mark.parametrize("load", [0.2, 0.4])
+def test_uniform_latency_agreement(load):
+    """Latency within 30 %: the fast engine aggregates flit-level
+    contention into queue servers, so some divergence is expected."""
+    detailed, fast = both("uniform", load)
+    assert fast.avg_latency == pytest.approx(detailed.avg_latency, rel=0.3)
+
+
+def test_complement_saturation_agrees():
+    """Both engines must saturate static complement at the single-channel
+    service rate (the headline failure mode DBR exists to fix)."""
+    detailed, fast = both("complement", 0.8)
+    assert fast.throughput == pytest.approx(detailed.throughput, rel=0.1)
+    # Single 5 Gbps channel shared by 4 nodes.
+    assert detailed.throughput == pytest.approx(1 / 40.96 / 4, rel=0.15)
+
+
+def test_permutation_low_load_latency():
+    detailed, fast = both("perfect_shuffle", 0.2)
+    assert fast.avg_latency == pytest.approx(detailed.avg_latency, rel=0.3)
+    assert fast.throughput == pytest.approx(detailed.throughput, rel=0.05)
+
+
+def test_detailed_engine_rejects_reconfig_policies():
+    with pytest.raises(ConfigurationError):
+        DetailedEngine(CFG.with_policy(P_B), WorkloadSpec(), PLAN)
+
+
+def test_detailed_engine_conserves_labeled_packets():
+    detailed, _ = both("uniform", 0.3)
+    assert detailed.labeled_delivered == detailed.labeled_injected
+    assert detailed.labeled_injected > 0
+
+
+def test_detailed_zero_load_latency_physics():
+    """A lone packet cannot beat serialization floors in either engine."""
+    detailed, fast = both("uniform", 0.05)
+    for r in (detailed, fast):
+        assert r.avg_latency > 80.0
+
+
+# ----------------------------------------------------------------------
+# DPM cross-validation (the detailed engine's flit-level link controllers)
+# ----------------------------------------------------------------------
+
+from repro.core.policies import P_NB  # noqa: E402
+
+
+@pytest.mark.parametrize("load", [0.15, 0.4])
+def test_dpm_agrees_across_engines(load):
+    """P-NB on both engines: power within 5 %, identical transition counts
+    (the window boundaries and the decision rule are deterministic)."""
+    cfg = CFG.with_policy(P_NB)
+    plan = MeasurementPlan(warmup=6000, measure=8000, drain_limit=10000)
+    wl = WorkloadSpec(pattern="uniform", load=load, seed=5)
+    detailed = DetailedEngine(cfg, wl, plan)
+    rd = detailed.run()
+    fast = FastEngine(cfg, wl, plan)
+    rf = fast.run()
+    assert rd.power_mw == pytest.approx(rf.power_mw, rel=0.05)
+    assert rd.extra["dpm_transitions"] == rf.extra["dpm_transitions"]
+    assert rd.throughput == pytest.approx(rf.throughput, rel=0.05)
+
+
+def test_dpm_saves_power_in_detailed_engine():
+    """Flit-level P-NB vs NP-NB at low load: deep savings, same delivery."""
+    plan = MeasurementPlan(warmup=6000, measure=8000, drain_limit=10000)
+    wl = WorkloadSpec(pattern="uniform", load=0.15, seed=5)
+    static = DetailedEngine(CFG, wl, plan).run()
+    power = DetailedEngine(CFG.with_policy(P_NB), wl, plan).run()
+    assert power.power_mw < 0.5 * static.power_mw
+    assert power.throughput == pytest.approx(static.throughput, rel=0.03)
+
+
+def test_detailed_engine_still_rejects_dbr():
+    from repro.core.policies import NP_B
+
+    with pytest.raises(ConfigurationError):
+        DetailedEngine(CFG.with_policy(NP_B), WorkloadSpec(), PLAN)

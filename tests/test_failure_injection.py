@@ -1,0 +1,141 @@
+"""Failure injection: dead lasers/receivers and DBR-driven recovery."""
+
+import pytest
+
+from repro.core import ERapidConfig, ERapidSystem, FastEngine
+from repro.core.policies import NP_B, NP_NB, P_B
+from repro.errors import ConfigurationError, WavelengthError
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.optics import SuperHighway
+from repro.sim.trace import TraceLog
+from repro.traffic import WorkloadSpec
+
+TOPO4 = ERapidTopology(boards=4, nodes_per_board=4)
+
+
+# ----------------------------------------------------------------------
+# SRS-level semantics
+# ----------------------------------------------------------------------
+
+def test_fail_channel_darkens_and_blocks_grants():
+    srs = SuperHighway(TOPO4)
+    w = srs.rwa.wavelength_for(1, 2)
+    old = srs.fail_channel(2, w)
+    assert old == 1
+    assert srs.owner_of(2, w) is None
+    assert srs.is_failed(2, w)
+    assert not srs.tx_arrays[1][w].is_on(2)
+    with pytest.raises(WavelengthError):
+        srs.grant(2, w, 3)
+
+
+def test_fail_dark_channel_returns_none():
+    srs = SuperHighway(TOPO4)
+    assert srs.fail_channel(2, 0) is None  # λ0 is dark by default
+
+
+def test_repair_restores_grantability():
+    srs = SuperHighway(TOPO4)
+    w = srs.rwa.wavelength_for(1, 2)
+    srs.fail_channel(2, w)
+    srs.repair_channel(2, w)
+    assert not srs.is_failed(2, w)
+    srs.grant(2, w, 1)
+    assert srs.owner_of(2, w) == 1
+
+
+def test_reset_to_static_skips_failed():
+    srs = SuperHighway(TOPO4)
+    w = srs.rwa.wavelength_for(3, 0)
+    srs.fail_channel(0, w)
+    srs.reset_to_static()
+    assert srs.owner_of(0, w) is None
+    assert len(srs.all_channels()) == 11  # one of the 12 static stays dark
+
+
+def test_failure_survives_validation():
+    srs = SuperHighway(TOPO4)
+    srs.fail_channel(2, srs.rwa.wavelength_for(1, 2))
+    srs.validate()
+
+
+# ----------------------------------------------------------------------
+# Engine-level recovery
+# ----------------------------------------------------------------------
+
+PLAN = MeasurementPlan(warmup=10000, measure=8000, drain_limit=12000)
+
+
+def run_with_failure(policy, fail_at=3000.0, pattern="complement", load=0.4):
+    """Fail the hot pair (0 -> 3)'s static wavelength mid-run."""
+    cfg = ERapidConfig(topology=TOPO4, policy=policy)
+    trace = TraceLog()
+    engine = FastEngine(
+        cfg, WorkloadSpec(pattern=pattern, load=load, seed=7), PLAN, trace=trace
+    )
+    w_hot = engine.srs.rwa.wavelength_for(0, 3)
+    engine.inject_laser_failure(3, w_hot, at=fail_at)
+    result = engine.run()
+    return engine, result
+
+
+def test_dbr_routes_around_failed_laser():
+    """With DBR, traffic on the failed pair recovers onto another λ."""
+    engine, result = run_with_failure(NP_B)
+    w_hot = engine.srs.rwa.wavelength_for(0, 3)
+    assert engine.srs.is_failed(3, w_hot)
+    # Board 0 owns at least one *other* wavelength toward board 3.
+    chans = engine.srs.channels_from(0, 3)
+    assert chans and all(c.wavelength != w_hot for c in chans)
+    # And traffic flows: the measurement window sees healthy delivery.
+    assert result.acceptance > 0.9
+
+
+def test_static_network_cannot_recover():
+    """NP-NB has no reconfiguration: the pair stays dead and its labeled
+    packets never arrive."""
+    engine, result = run_with_failure(NP_NB)
+    assert engine.srs.channels_from(0, 3) == []
+    assert result.acceptance < 0.9
+    # The other complement pairs keep working, so some traffic flows.
+    assert result.throughput > 0
+
+
+def test_p_b_recovery_and_power_sanity():
+    engine, result = run_with_failure(P_B)
+    assert result.acceptance > 0.85
+    live = engine.srs.validate()
+    keys = [(c.wavelength, c.dst) for c in live]
+    assert len(keys) == len(set(keys))
+
+
+def test_failure_in_past_rejected():
+    cfg = ERapidConfig(topology=TOPO4, policy=NP_B)
+    engine = FastEngine(cfg, WorkloadSpec(load=0.1), PLAN)
+    engine.start()
+    engine.sim.run(until=100)
+    with pytest.raises(ConfigurationError):
+        engine.inject_laser_failure(0, 1, at=50.0)
+
+
+def test_multiple_failures_still_converge():
+    """Fail two of the hot pair's usable wavelengths; DBR finds a third."""
+    cfg = ERapidConfig(topology=TOPO4, policy=NP_B)
+    engine = FastEngine(
+        cfg, WorkloadSpec(pattern="complement", load=0.3, seed=7), PLAN
+    )
+    w_hot = engine.srs.rwa.wavelength_for(0, 3)
+    engine.inject_laser_failure(3, w_hot, at=2500.0)
+    engine.inject_laser_failure(3, (w_hot % 3) + 1 if (w_hot % 3) + 1 != w_hot else 2,
+                                at=2500.0)
+    result = engine.run()
+    assert result.acceptance > 0.85
+    assert len(engine.srs.failed) == 2
+
+
+def test_failure_trace_recorded():
+    engine, _ = run_with_failure(NP_B)
+    recs = list(engine.trace.filter(category="failure"))
+    assert len(recs) == 1
+    assert recs[0].fields["lost_owner"] == 0

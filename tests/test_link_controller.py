@@ -1,0 +1,146 @@
+"""Unit tests for OpticalChannel (the LC state machine) inside a real
+engine, without running full workloads."""
+
+import pytest
+
+from repro.core import ERapidConfig, FastEngine, P_B
+from repro.core.dpm import DpmAction
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.traffic import WorkloadSpec
+
+
+def make_engine(policy=P_B):
+    cfg = ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4), policy=policy
+    )
+    return FastEngine(
+        cfg,
+        WorkloadSpec(pattern="uniform", load=0.0, seed=1),
+        MeasurementPlan(warmup=100, measure=100, drain_limit=100),
+    )
+
+
+def test_channel_initial_state():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    assert ch.owner == 1  # static owner of λ1 toward board 0 is board 1
+    assert ch.enabled and not ch.sleeping and not ch.busy
+    assert ch.level is engine.config.power_levels.highest
+
+
+def test_dark_channel_draws_nothing():
+    engine = make_engine()
+    ch0 = engine.channels[(0, 2)]  # λ0 is the self-loop: dark everywhere
+    assert ch0.owner is None
+    assert not ch0.enabled
+    assert engine.accountant.channel_power(ch0.key) == 0.0
+
+
+def test_busy_toggles_power():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    idle_mw = engine.accountant.channel_power(ch.key)
+    ch.set_busy(True)
+    busy_mw = engine.accountant.channel_power(ch.key)
+    assert busy_mw == pytest.approx(43.03)
+    assert idle_mw == pytest.approx(0.02 * 43.03)
+    ch.set_busy(False)
+    assert engine.accountant.channel_power(ch.key) == pytest.approx(idle_mw)
+
+
+def test_apply_dpm_down_sets_stall_and_reclocks_receiver():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    rx = engine.srs.receiver(0, 1)
+    ch.apply_dpm(DpmAction.DOWN)
+    assert ch.level.name == "P_mid"
+    assert ch.stall_until == pytest.approx(65.0)
+    assert rx.bit_rate_gbps == 3.3
+    assert rx.relock_count == 1
+    assert ch.dpm_transitions == 1
+
+
+def test_apply_dpm_hold_and_saturation():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    ch.apply_dpm(DpmAction.HOLD)
+    assert ch.dpm_transitions == 0
+    ch.apply_dpm(DpmAction.UP)  # already highest: no-op
+    assert ch.dpm_transitions == 0
+    assert ch.stall_until == 0.0
+
+
+def test_sleep_and_wake_cycle():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    rx = engine.srs.receiver(0, 1)
+    ch.apply_dpm(DpmAction.SLEEP)
+    assert ch.sleeping and not ch.enabled
+    assert not rx.powered
+    assert engine.accountant.channel_power(ch.key) == 0.0
+    stall = ch.wake()
+    assert stall == engine.config.wake_cycles
+    assert not ch.sleeping and ch.enabled
+    assert rx.powered
+    assert ch.wakes == 1 and ch.sleeps == 1
+
+
+def test_wake_when_awake_is_free():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    assert ch.wake() == 0.0
+    assert ch.wakes == 0
+
+
+def test_sleep_on_dark_channel_is_noop():
+    engine = make_engine()
+    ch = engine.channels[(0, 2)]
+    ch.apply_dpm(DpmAction.SLEEP)
+    assert not ch.sleeping
+    assert ch.sleeps == 0
+
+
+def test_ownership_change_clears_sleep_and_gates_receiver():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    ch.apply_dpm(DpmAction.SLEEP)
+    engine.apply_grant(0, 1, 2)  # λ1 toward board 0 now owned by board 2
+    assert ch.owner == 2
+    assert not ch.sleeping and ch.enabled
+    assert engine.srs.receiver(0, 1).powered
+    engine.apply_grant(0, 1, None)  # darken
+    assert not ch.enabled
+    assert not engine.srs.receiver(0, 1).powered
+    assert engine.accountant.channel_power(ch.key) == 0.0
+
+
+def test_service_cycles_follow_level():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    assert ch.service_cycles(64) == pytest.approx(40.96)
+    ch.apply_dpm(DpmAction.DOWN)
+    assert ch.service_cycles(64) == pytest.approx(62.06, abs=0.01)
+    ch.apply_dpm(DpmAction.DOWN)
+    assert ch.service_cycles(64) == pytest.approx(81.92)
+
+
+def test_window_stats_reflect_queue():
+    engine = make_engine()
+    ch = engine.channels[(1, 0)]
+    stats = ch.window_stats()
+    assert stats.link_util == 0.0
+    assert stats.queue_empty
+    # Queue a packet on the owner's pair queue and re-read.
+    from repro.network.packet import PacketFactory
+
+    engine.pair_queue(1, 0).try_put(PacketFactory().make(4, 0, 0.0))
+    stats = ch.window_stats()
+    assert not stats.queue_empty
+
+
+def test_dark_channel_window_stats_are_empty():
+    engine = make_engine()
+    ch = engine.channels[(0, 2)]
+    stats = ch.window_stats()
+    assert stats.link_util == 0.0 and stats.queue_empty

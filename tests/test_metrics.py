@@ -1,0 +1,172 @@
+"""Unit tests for the measurement methodology and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.metrics import (
+    Collector,
+    MeasurementPlan,
+    RunResult,
+    format_kv,
+    format_table,
+    ratio,
+)
+from repro.network.packet import Packet
+
+
+def _pkt(created, delivered=None, labeled=False):
+    p = Packet(src=0, dst=1, created_at=created, labeled=labeled)
+    p.delivered_at = delivered
+    return p
+
+
+# ----------------------------------------------------------------------
+# MeasurementPlan / Collector
+# ----------------------------------------------------------------------
+
+def test_plan_boundaries():
+    plan = MeasurementPlan(warmup=100, measure=200, drain_limit=300)
+    assert plan.measure_end == 300
+    assert plan.hard_end == 600
+
+
+def test_plan_validation():
+    with pytest.raises(MeasurementError):
+        MeasurementPlan(warmup=-1)
+    with pytest.raises(MeasurementError):
+        MeasurementPlan(measure=0)
+
+
+def test_labeling_window():
+    plan = MeasurementPlan(warmup=100, measure=200)
+    c = Collector(plan, n_nodes=4)
+    assert not c.labeling(50)
+    assert c.labeling(100)
+    assert c.labeling(250)
+    assert not c.labeling(300)
+
+
+def test_collector_phase_counting():
+    plan = MeasurementPlan(warmup=100, measure=200)
+    c = Collector(plan, n_nodes=2)
+    # Warm-up injection: counted in totals only.
+    c.on_injected(_pkt(50), 50)
+    # Measurement-phase injection, labeled.
+    p = _pkt(150, labeled=True)
+    c.on_injected(p, 150)
+    assert c.injected_total == 2
+    assert c.injected_measure == 1
+    assert c.labeled_injected == 1
+    assert c.labeled_outstanding == 1
+    p.delivered_at = 250.0
+    c.on_delivered(p, 250)
+    assert c.delivered_measure == 1
+    assert c.labeled_delivered == 1
+    assert c.drained()
+    assert c.latency.mean == pytest.approx(100.0)
+
+
+def test_collector_result_metrics():
+    plan = MeasurementPlan(warmup=0, measure=100)
+    c = Collector(plan, n_nodes=2)
+    for t in (10, 20, 30):
+        p = _pkt(t, labeled=True)
+        c.on_injected(p, t)
+        p.delivered_at = t + 50
+        c.on_delivered(p, t + 50)
+    c.power_avg_mw = 123.0
+    r = c.result(tag="x")
+    assert r.throughput == pytest.approx(3 / (100 * 2))
+    assert r.offered == pytest.approx(3 / (100 * 2))
+    assert r.avg_latency == pytest.approx(50.0)
+    assert r.power_mw == 123.0
+    assert r.extra["tag"] == "x"
+    assert r.acceptance == pytest.approx(1.0)
+
+
+def test_collector_validation():
+    with pytest.raises(MeasurementError):
+        Collector(MeasurementPlan(), n_nodes=0)
+
+
+def test_run_result_summary_and_acceptance_zero_offered():
+    r = RunResult(
+        throughput=0.0, offered=0.0, avg_latency=0.0, p99_latency=0.0,
+        max_latency=0.0, power_mw=0.0,
+    )
+    assert r.acceptance == 0.0
+    assert "thr=" in r.summary()
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "-+-" in lines[2]
+    assert len(lines) == 5
+
+
+def test_format_table_validation():
+    with pytest.raises(MeasurementError):
+        format_table([], [])
+    with pytest.raises(MeasurementError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_kv():
+    text = format_kv({"alpha": 1.23456, "b": "x"}, title="H")
+    assert text.startswith("H")
+    assert "alpha" in text and "1.235" in text
+    assert format_kv({}) == ""
+
+
+def test_ratio():
+    assert ratio(2.0, 4.0) == 0.5
+    assert ratio(1.0, 0.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# ASCII chart
+# ----------------------------------------------------------------------
+
+def test_ascii_chart_renders_all_series():
+    from repro.experiments import ascii_chart
+
+    text = ascii_chart(
+        [0, 1, 2],
+        {"up": [0.0, 1.0, 2.0], "down": [2.0, 1.0, 0.0]},
+        title="demo",
+        width=20,
+        height=6,
+    )
+    assert "demo" in text
+    assert "o=up" in text and "x=down" in text
+    assert "o" in text and "x" in text
+
+
+def test_ascii_chart_handles_nan_points():
+    from repro.experiments import ascii_chart
+
+    text = ascii_chart([0, 1], {"s": [1.0, math.nan]}, width=20, height=5)
+    assert "s" in text
+
+
+def test_ascii_chart_validation():
+    from repro.experiments import ascii_chart
+    from repro.errors import MeasurementError
+
+    with pytest.raises(MeasurementError):
+        ascii_chart([], {"s": []})
+    with pytest.raises(MeasurementError):
+        ascii_chart([0, 1], {"s": [1.0]})
+    with pytest.raises(MeasurementError):
+        ascii_chart([0], {"s": [1.0]}, width=4)
+    with pytest.raises(MeasurementError):
+        ascii_chart([0, 1], {"s": [math.nan, math.nan]})

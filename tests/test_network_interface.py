@@ -1,0 +1,143 @@
+"""Edge-case tests for the network interfaces (SourceNI/SinkNI) and the
+detailed engine's optical boundary."""
+
+import pytest
+
+from repro.network import PacketFactory, SinkNI, SourceNI, VCRouter, table_routing
+from repro.sim import Simulator
+
+
+def build_pair(n_vcs=2, buf_depth=2, queue_capacity=None):
+    sim = Simulator()
+    router = VCRouter(
+        sim, n_ports=2, routing_fn=table_routing({0: 0, 1: 1}),
+        n_vcs=n_vcs, buf_depth=buf_depth,
+    )
+    delivered = []
+    sink = SinkNI(sim, on_packet=delivered.append)
+    sink.attach(router, 1)
+    spare = SinkNI(sim)
+    spare.attach(router, 0)
+    src = SourceNI(sim, router, 0, queue_capacity=queue_capacity)
+    router.start()
+    return sim, router, src, sink, delivered
+
+
+def test_source_ni_single_vc_serializes_packets():
+    sim, router, src, sink, delivered = build_pair(n_vcs=1)
+    factory = PacketFactory()
+    pkts = [factory.make(0, 1, 0.0) for _ in range(3)]
+    for p in pkts:
+        src.send(p)
+    sim.run(until=5000)
+    assert len(delivered) == 3
+    assert src.packets_injected == 3
+    # Single VC: strictly ordered delivery.
+    assert [p.pid for p in delivered] == [p.pid for p in pkts]
+
+
+def test_source_ni_two_vcs_interleave():
+    sim, router, src, sink, delivered = build_pair(n_vcs=2)
+    factory = PacketFactory()
+    for _ in range(4):
+        src.send(factory.make(0, 1, 0.0))
+    sim.run(until=5000)
+    assert len(delivered) == 4
+
+
+def test_source_ni_bounded_queue_applies_backpressure():
+    sim, router, src, sink, delivered = build_pair(queue_capacity=2)
+    factory = PacketFactory()
+    blocked = []
+
+    def producer():
+        for i in range(6):
+            req = src.send(factory.make(0, 1, sim.now))
+            blocked.append(not req.triggered)
+            yield req
+
+    sim.process(producer())
+    sim.run(until=10_000)
+    assert len(delivered) == 6
+    # At least one send had to wait for queue space.
+    assert any(blocked)
+
+
+def test_sink_ni_counts_flits_and_packets():
+    sim, router, src, sink, delivered = build_pair()
+    src.send(PacketFactory().make(0, 1, 0.0))
+    sim.run(until=2000)
+    assert sink.packets_received == 1
+    assert sink.flits_received == 8
+
+
+def test_injection_timestamp_set():
+    sim, router, src, sink, delivered = build_pair()
+    pkt = PacketFactory().make(0, 1, 0.0)
+    src.send(pkt)
+    sim.run(until=2000)
+    assert pkt.injected_at is not None
+    assert pkt.delivered_at > pkt.injected_at >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Detailed engine optical boundary
+# ----------------------------------------------------------------------
+
+def test_detailed_tx_sink_reassembles_whole_packets():
+    """The optical boundary is store-and-forward: the transmitter queue
+    holds whole packets, never partial flit runs."""
+    from repro.core.config import ERapidConfig
+    from repro.core.detailed import DetailedEngine
+    from repro.metrics.collector import MeasurementPlan
+    from repro.network.topology import ERapidTopology
+    from repro.traffic import WorkloadSpec
+
+    cfg = ERapidConfig(topology=ERapidTopology(boards=4, nodes_per_board=4))
+    # Load 0.2 N_c is below complement's static saturation (~0.27 N_c on
+    # R(1,4,4)), so the run must fully drain.
+    engine = DetailedEngine(
+        cfg,
+        WorkloadSpec(pattern="complement", load=0.2, seed=2),
+        MeasurementPlan(warmup=1000, measure=4000, drain_limit=6000),
+    )
+    result = engine.run()
+    assert result.labeled_delivered == result.labeled_injected > 0
+    for (b, w), sink_q in engine.tx_queues.items():
+        dest = engine.rwa.dest_served_by(b, w)
+        if dest == b:
+            continue
+        assert len(sink_q) <= 1  # nothing stuck at the optical boundary
+
+
+def test_detailed_engine_wavelength_stamping():
+    from repro.core.config import ERapidConfig
+    from repro.core.detailed import DetailedEngine
+    from repro.metrics.collector import MeasurementPlan
+    from repro.network.topology import ERapidTopology
+    from repro.traffic import WorkloadSpec
+
+    cfg = ERapidConfig(topology=ERapidTopology(boards=4, nodes_per_board=4))
+    engine = DetailedEngine(
+        cfg,
+        WorkloadSpec(pattern="complement", load=0.2, seed=2),
+        MeasurementPlan(warmup=500, measure=2000, drain_limit=4000),
+    )
+    stamped = []
+    engine.collector.on_delivered = engine.collector.on_delivered  # no-op ref
+    original = engine._on_delivered
+
+    def spy(pkt):
+        stamped.append(pkt.wavelength)
+        original(pkt)
+
+    engine._on_delivered = spy
+    # Rebind sinks' callback (they captured the bound method).
+    for sink in engine.sink_nis.values():
+        sink.on_packet = spy
+    engine.run()
+    remote = [w for w in stamped if w is not None]
+    assert remote, "remote packets must be stamped with their wavelength"
+    rwa = engine.rwa
+    # Complement on R(1,4,4): board 0 -> 3 uses λ (0-3) mod 4 = 1.
+    assert set(remote) <= {1, 2, 3}

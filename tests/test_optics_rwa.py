@@ -1,0 +1,144 @@
+"""Unit + property tests for wavelengths and the static RWA."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WavelengthError
+from repro.network.topology import ERapidTopology
+from repro.optics import StaticRWA, Wavelength, wavelength_grid
+
+
+# ----------------------------------------------------------------------
+# Wavelength
+# ----------------------------------------------------------------------
+
+def test_wavelength_grid_and_labels():
+    grid = wavelength_grid(4)
+    assert [w.label for w in grid] == ["λ0", "λ1", "λ2", "λ3"]
+    assert grid[0].nm == pytest.approx(1550.12)
+    assert grid[1].nm == pytest.approx(1550.92)
+    assert str(grid[2]) == "λ2"
+
+
+def test_wavelength_validation():
+    with pytest.raises(WavelengthError):
+        Wavelength(-1)
+    with pytest.raises(WavelengthError):
+        wavelength_grid(0)
+
+
+def test_wavelengths_orderable_and_hashable():
+    assert Wavelength(1) < Wavelength(2)
+    assert len({Wavelength(1), Wavelength(1)}) == 1
+
+
+# ----------------------------------------------------------------------
+# Static RWA — the paper's §2.1 examples
+# ----------------------------------------------------------------------
+
+def test_paper_example_board1_to_board0():
+    """'if any node on board 1 needs to communicate with any node in board
+    0, the wavelength used is λ1^(1)'"""
+    rwa = StaticRWA(4)
+    assert rwa.wavelength_for(1, 0) == 1
+
+
+def test_paper_example_board0_to_board1():
+    """'for reverse communication, the wavelength used is λ3^(0)'"""
+    rwa = StaticRWA(4)
+    assert rwa.wavelength_for(0, 1) == 3
+
+
+def test_rwa_formula_piecewise_matches_modular_form():
+    """The paper's piecewise λ_{B-(d-s)} / λ_{s-d} equals (s-d) mod B."""
+    B = 8
+    rwa = StaticRWA(B)
+    for s in range(B):
+        for d in range(B):
+            if s == d:
+                continue
+            expected = B - (d - s) if d > s else s - d
+            assert rwa.wavelength_for(s, d) == expected % B == (s - d) % B
+
+
+def test_rwa_self_loop_rejected():
+    with pytest.raises(WavelengthError):
+        StaticRWA(4).wavelength_for(2, 2)
+
+
+def test_rwa_wavelength_zero_never_used_remotely():
+    rwa = StaticRWA(8)
+    for s in range(8):
+        for d in range(8):
+            if s != d:
+                assert rwa.wavelength_for(s, d) != 0
+
+
+def test_dest_served_by_inverts_wavelength_for():
+    rwa = StaticRWA(8)
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            w = rwa.wavelength_for(s, d)
+            assert rwa.dest_served_by(s, w) == d
+
+
+def test_default_owner_inverts_incoming():
+    rwa = StaticRWA(8)
+    for d in range(8):
+        for s, w in rwa.incoming_wavelengths(d).items():
+            assert rwa.default_owner(d, w) == s
+
+
+@given(st.integers(2, 16))
+def test_rwa_receiver_collision_freedom(boards):
+    """Property: at every destination, incoming wavelengths are distinct."""
+    rwa = StaticRWA(boards)
+    rwa.validate()
+    for d in range(boards):
+        incoming = rwa.incoming_wavelengths(d)
+        assert len(set(incoming.values())) == boards - 1
+
+
+@given(st.integers(2, 16))
+def test_rwa_outgoing_wavelengths_distinct(boards):
+    """Property: a board's outgoing assignments never share a wavelength."""
+    rwa = StaticRWA(boards)
+    for s in range(boards):
+        outgoing = [rwa.wavelength_for(s, d) for d in range(boards) if d != s]
+        assert len(set(outgoing)) == boards - 1
+
+
+def test_assignment_map_structure():
+    rwa = StaticRWA(4)
+    amap = rwa.assignment_map()
+    assert set(amap.keys()) == {0, 1, 2, 3}
+    assert set(amap[0].keys()) == {1, 2, 3}
+    assert amap[1][0] == 1 and amap[0][1] == 3
+
+
+def test_render_table_contains_paper_cells():
+    table = StaticRWA(4).render_table()
+    assert "λ1^(1)" in table
+    assert "λ3^(0)" in table
+    assert table.count("\n") == 4  # header + 4 board rows
+
+
+def test_rwa_validation_errors():
+    with pytest.raises(WavelengthError):
+        StaticRWA(1)
+    rwa = StaticRWA(4)
+    with pytest.raises(WavelengthError):
+        rwa.wavelength_for(4, 0)
+    with pytest.raises(WavelengthError):
+        rwa.dest_served_by(0, 4)
+    with pytest.raises(WavelengthError):
+        rwa.default_owner(0, -1)
+
+
+def test_for_topology():
+    topo = ERapidTopology(boards=8, nodes_per_board=8)
+    rwa = StaticRWA.for_topology(topo)
+    assert rwa.boards == 8

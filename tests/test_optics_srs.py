@@ -1,0 +1,265 @@
+"""Unit + property tests for transmitters, couplers, receivers and the SRS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError, WavelengthError
+from repro.network.topology import ERapidTopology
+from repro.optics import (
+    OpticalLinkTiming,
+    OpticalReceiver,
+    PassiveCoupler,
+    SuperHighway,
+    Transmitter,
+    TransmitterArray,
+    validate_coupler_plane,
+)
+
+
+def make_srs(boards=4, nodes=4):
+    return SuperHighway(ERapidTopology(boards=boards, nodes_per_board=nodes))
+
+
+# ----------------------------------------------------------------------
+# Transmitter
+# ----------------------------------------------------------------------
+
+def test_transmitter_port_switching():
+    tx = Transmitter(board=0, wavelength=2, n_ports=4)
+    assert not tx.any_on
+    assert tx.set_port(1, True) is True
+    assert tx.set_port(1, True) is False  # no change
+    assert tx.is_on(1)
+    assert tx.active_ports() == {1}
+    assert tx.switch_count == 1
+    tx.set_port(3, True)
+    assert tx.active_ports() == {1, 3}
+    tx.set_port(1, False)
+    assert tx.active_ports() == {3}
+
+
+def test_transmitter_simultaneous_multi_port():
+    """§2.2: one transmitter can drive several destinations at once."""
+    tx = Transmitter(0, 1, 4)
+    for p in range(4):
+        tx.set_port(p, True)
+    assert tx.active_ports() == {0, 1, 2, 3}
+
+
+def test_transmitter_port_range():
+    tx = Transmitter(0, 0, 4)
+    with pytest.raises(WavelengthError):
+        tx.set_port(4, True)
+    with pytest.raises(WavelengthError):
+        Transmitter(0, 0, 1)
+
+
+def test_transmitter_array_channels():
+    arr = TransmitterArray(board=2, wavelengths=4, n_ports=4)
+    arr[1].set_port(3, True)
+    arr[2].set_port(0, True)
+    arr[2].set_port(3, True)
+    assert arr.active_channels() == {1: {3}, 2: {0, 3}}
+    assert arr.lasers_on() == 3
+    assert len(arr) == 4
+
+
+# ----------------------------------------------------------------------
+# Coupler
+# ----------------------------------------------------------------------
+
+def test_coupler_detects_collision():
+    a0 = TransmitterArray(0, 4, 4)
+    a1 = TransmitterArray(1, 4, 4)
+    a0[2].set_port(3, True)
+    a1[2].set_port(3, True)  # same wavelength toward same coupler
+    coupler = PassiveCoupler(3, 4)
+    with pytest.raises(WavelengthError):
+        coupler.validate([a0, a1])
+
+
+def test_coupler_merges_distinct_wavelengths():
+    """Figure 2(b): coupler 1 merges the same-numbered ports of all
+    transmitters — distinct wavelengths coexist."""
+    arrays = [TransmitterArray(b, 4, 4) for b in range(4)]
+    for b in range(4):
+        arrays[b][b].set_port(1, True)  # board b lights its λb toward board 1
+    coupler = PassiveCoupler(1, 4)
+    coupler.validate(arrays)
+    incident = coupler.incident_lasers(arrays)
+    assert incident == {0: [0], 1: [1], 2: [2], 3: [3]}
+
+
+def test_validate_coupler_plane_enumerates_channels():
+    arrays = [TransmitterArray(b, 4, 4) for b in range(4)]
+    arrays[0][3].set_port(1, True)
+    arrays[2][1].set_port(3, True)
+    channels = validate_coupler_plane(arrays, 4, 4)
+    assert set(channels) == {(0, 3, 1), (2, 1, 3)}
+
+
+# ----------------------------------------------------------------------
+# Receiver
+# ----------------------------------------------------------------------
+
+def test_receiver_reclock_penalty():
+    rx = OpticalReceiver(board=1, wavelength=2, bit_rate_gbps=5.0)
+    assert rx.usable(0.0)
+    rx.reclock(2.5, now=100.0, relock_cycles=65)
+    assert rx.bit_rate_gbps == 2.5
+    assert not rx.usable(150.0)
+    assert rx.usable(165.0)
+    assert rx.relock_count == 1
+
+
+def test_receiver_power_gating():
+    rx = OpticalReceiver(0, 0)
+    assert rx.set_powered(False) is True
+    assert rx.set_powered(False) is False
+    assert not rx.usable(0.0)
+    with pytest.raises(PowerModelError):
+        rx.reclock(5.0, 0.0, 65)
+    rx.set_powered(True)
+    assert rx.power_toggles == 2
+
+
+def test_receiver_bad_bit_rate():
+    rx = OpticalReceiver(0, 0)
+    with pytest.raises(PowerModelError):
+        rx.reclock(0.0, 0.0, 65)
+
+
+# ----------------------------------------------------------------------
+# Optical link timing — Table 1 cross-checks
+# ----------------------------------------------------------------------
+
+def test_serialization_matches_table1_rates():
+    t = OpticalLinkTiming()
+    # 64B packet = 512 bits; at 5 Gbps -> 102.4ns -> 40.96 cycles @400MHz
+    assert t.packet_service_cycles(64, 5.0) == pytest.approx(40.96)
+    assert t.packet_service_cycles(64, 2.5) == pytest.approx(81.92)
+    assert t.packet_service_cycles(64, 3.3) == pytest.approx(62.06, abs=0.01)
+
+
+def test_timing_validation():
+    t = OpticalLinkTiming()
+    with pytest.raises(Exception):
+        t.serialization_cycles(0, 5.0)
+    with pytest.raises(Exception):
+        t.serialization_cycles(8, 0.0)
+    with pytest.raises(Exception):
+        OpticalLinkTiming(clock_ghz=0.0)
+    assert t.effective_gbps(3, 5.0) == 15.0
+
+
+# ----------------------------------------------------------------------
+# SuperHighway
+# ----------------------------------------------------------------------
+
+def test_srs_static_bringup_matches_rwa():
+    srs = make_srs(4)
+    for s in range(4):
+        for d in range(4):
+            if s == d:
+                continue
+            w = srs.rwa.wavelength_for(s, d)
+            assert srs.owner_of(d, w) == s
+            chans = srs.channels_from(s, d)
+            assert len(chans) == 1 and chans[0].wavelength == w
+    # One channel per ordered pair.
+    assert len(srs.all_channels()) == 4 * 3
+    assert srs.lasers_on() == 4 * 3
+
+
+def test_srs_grant_transfers_ownership_and_lasers():
+    """The paper's §2.2 example: board 1 releases λ1 (its channel to board
+    2... here board 0 gains a second channel to the hot destination)."""
+    srs = make_srs(4)
+    dst = 2
+    w_static_b0 = srs.rwa.wavelength_for(0, dst)      # board 0's own channel
+    w_donated = srs.rwa.wavelength_for(1, dst)        # board 1's channel to 2
+    srs.grant(dst, w_donated, 0)
+    assert srs.owner_of(dst, w_donated) == 0
+    # Board 0 now owns two channels to dst; board 1 owns none.
+    assert {c.wavelength for c in srs.channels_from(0, dst)} == {
+        w_static_b0,
+        w_donated,
+    }
+    assert srs.channels_from(1, dst) == []
+    # Lasers follow: board 0's transmitter for w_donated lights port dst.
+    assert srs.tx_arrays[0][w_donated].is_on(dst)
+    assert not srs.tx_arrays[1][w_donated].is_on(dst)
+    srs.validate()
+
+
+def test_srs_grant_none_darkens_channel():
+    srs = make_srs(4)
+    w = srs.rwa.wavelength_for(3, 0)
+    srs.grant(0, w, None)
+    assert srs.owner_of(0, w) is None
+    assert srs.channels_from(3, 0) == []
+    assert srs.lasers_on() == 4 * 3 - 1
+
+
+def test_srs_grant_self_loop_rejected():
+    srs = make_srs(4)
+    with pytest.raises(WavelengthError):
+        srs.grant(2, 1, 2)
+
+
+def test_srs_grant_idempotent():
+    srs = make_srs(4)
+    w = srs.rwa.wavelength_for(1, 2)
+    before = srs.grants
+    srs.grant(2, w, 1)  # already the owner
+    assert srs.grants == before
+
+
+def test_srs_reset_restores_static():
+    srs = make_srs(4)
+    srs.grant(2, srs.rwa.wavelength_for(1, 2), 0)
+    srs.grant(0, srs.rwa.wavelength_for(3, 0), None)
+    srs.reset_to_static()
+    assert len(srs.all_channels()) == 12
+    for s in range(4):
+        for d in range(4):
+            if s != d:
+                assert srs.owner_of(d, srs.rwa.wavelength_for(s, d)) == s
+
+
+def test_srs_channels_into():
+    srs = make_srs(4)
+    incoming = srs.channels_into(2)
+    assert len(incoming) == 3
+    assert all(ch.dst == 2 for ch in incoming)
+    assert {ch.src for ch in incoming} == {0, 1, 3}
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 10_000), st.data())
+def test_srs_random_grant_sequences_keep_invariants(seed, data):
+    """Property: any sequence of legal grants keeps exactly one owner per
+    lit (λ, d) channel and a collision-free coupler plane."""
+    import numpy as np
+
+    srs = make_srs(4)
+    rng = np.random.default_rng(seed)
+    for _ in range(data.draw(st.integers(1, 12))):
+        d = int(rng.integers(0, 4))
+        w = int(rng.integers(1, 4))
+        choice = int(rng.integers(0, 5))
+        new_owner = None if choice == 4 else choice
+        if new_owner == d:
+            continue
+        srs.grant(d, w, new_owner)
+        live = srs.validate()
+        keys = [(c.wavelength, c.dst) for c in live]
+        assert len(keys) == len(set(keys))
+
+
+def test_srs_64_node_configuration():
+    srs = make_srs(boards=8, nodes=8)
+    assert len(srs.all_channels()) == 8 * 7
+    assert srs.lasers_on() == 56
+    srs.validate()

@@ -1,0 +1,262 @@
+"""Unit + property tests for the power models (Table 1 anchors included)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError, PowerModelError
+from repro.power import (
+    ComponentPower,
+    EnergyAccountant,
+    LinkPowerModel,
+    PowerLevel,
+    PowerLevelTable,
+    TABLE1_LEVELS,
+    TransitionModel,
+)
+
+
+# ----------------------------------------------------------------------
+# Component model
+# ----------------------------------------------------------------------
+
+def test_reference_point_matches_table1_total():
+    """At 5 Gbps / 0.9 V the component sum is ~43 mW (Table 1: 43.03)."""
+    model = ComponentPower()
+    assert model.link_mw(0.9, 5.0) == pytest.approx(43.30, abs=0.05)
+
+
+def test_reference_components_individual():
+    model = ComponentPower()
+    b = model.breakdown_mw(0.9, 5.0)
+    assert b["vcsel_driver"] == pytest.approx(1.23)
+    assert b["tia"] == pytest.approx(25.02)
+    assert b["cdr"] == pytest.approx(17.05)
+    assert b["vcsel"] == pytest.approx(0.0015)
+    assert b["photodetector"] == pytest.approx(0.0014)
+
+
+def test_low_level_scaling_lands_on_paper_value():
+    """The scaling laws applied to (0.45 V, 2.5 Gbps) give ~8.6 mW — the
+    published P_low total."""
+    model = ComponentPower()
+    assert model.link_mw(0.45, 2.5) == pytest.approx(8.6, abs=0.15)
+
+
+def test_transmitter_receiver_split():
+    model = ComponentPower()
+    tx = model.transmitter_mw(0.9, 5.0)
+    rx = model.receiver_mw(0.9, 5.0)
+    assert tx == pytest.approx(1.2315, abs=1e-3)
+    assert rx == pytest.approx(42.07, abs=0.01)
+    assert tx + rx == pytest.approx(model.link_mw(0.9, 5.0))
+
+
+@given(st.floats(0.2, 1.2), st.floats(1.0, 10.0))
+def test_component_power_monotone_in_vdd_and_rate(vdd, br):
+    """Property: raising V_DD or bit rate never lowers any component power."""
+    model = ComponentPower()
+    base = model.breakdown_mw(vdd, br)
+    up_v = model.breakdown_mw(vdd * 1.1, br)
+    up_b = model.breakdown_mw(vdd, br * 1.1)
+    for name in base:
+        assert up_v[name] >= base[name] - 1e-12
+        assert up_b[name] >= base[name] - 1e-12
+
+
+def test_component_model_validation():
+    model = ComponentPower()
+    with pytest.raises(PowerModelError):
+        model.component_mw("flux_capacitor", 0.9, 5.0)
+    with pytest.raises(PowerModelError):
+        model.component_mw("tia", 0.0, 5.0)
+    with pytest.raises(PowerModelError):
+        model.component_mw("tia", 0.9, -1.0)
+    with pytest.raises(PowerModelError):
+        ComponentPower(reference_vdd=0.0)
+
+
+# ----------------------------------------------------------------------
+# Power levels
+# ----------------------------------------------------------------------
+
+def test_table1_levels_exact():
+    low, mid, high = TABLE1_LEVELS
+    assert (low.bit_rate_gbps, low.vdd, low.link_power_mw) == (2.5, 0.45, 8.6)
+    assert (mid.bit_rate_gbps, mid.vdd, mid.link_power_mw) == (3.3, 0.60, 26.0)
+    assert (high.bit_rate_gbps, high.vdd, high.link_power_mw) == (5.0, 0.90, 43.03)
+
+
+def test_level_table_navigation():
+    table = PowerLevelTable()
+    low, mid, high = table.levels
+    assert table.lowest is low and table.highest is high
+    assert table.up(low) is mid and table.up(high) is high  # saturates
+    assert table.down(mid) is low and table.down(low) is low
+    assert table.steps_between(low, high) == 2
+    assert table.index_of(mid) == 1
+
+
+def test_level_table_validation():
+    with pytest.raises(PowerModelError):
+        PowerLevelTable([])
+    with pytest.raises(PowerModelError):
+        PowerLevelTable(
+            [PowerLevel("a", 5.0, 0.9, 43.0), PowerLevel("b", 2.5, 0.45, 8.6)]
+        )
+    with pytest.raises(PowerModelError):
+        PowerLevel("bad", -1.0, 0.9, 10.0)
+    table = PowerLevelTable()
+    with pytest.raises(PowerModelError):
+        table.index_of(PowerLevel("alien", 7.0, 1.0, 50.0))
+
+
+@given(st.integers(2, 10))
+def test_synthesized_levels_monotone(n):
+    """Property: synthesized ladders rise monotonically in rate, V and power,
+    pinned to the Table-1 extremes."""
+    table = PowerLevelTable.synthesize(n)
+    assert len(table) == n
+    rates = [l.bit_rate_gbps for l in table.levels]
+    powers = [l.link_power_mw for l in table.levels]
+    vdds = [l.vdd for l in table.levels]
+    assert rates == sorted(rates)
+    assert powers == sorted(powers)
+    assert vdds == sorted(vdds)
+    assert rates[0] == pytest.approx(2.5) and rates[-1] == pytest.approx(5.0)
+    assert powers[-1] == pytest.approx(43.03, abs=0.01)
+
+
+def test_synthesize_needs_two():
+    with pytest.raises(PowerModelError):
+        PowerLevelTable.synthesize(1)
+
+
+# ----------------------------------------------------------------------
+# Transitions
+# ----------------------------------------------------------------------
+
+def test_transition_stall_matches_paper():
+    """65-cycle conservative disable per adjacent level; 0 when unchanged."""
+    table = PowerLevelTable()
+    tm = TransitionModel()
+    low, mid, high = table.levels
+    assert tm.stall_cycles(table, low, low) == 0
+    assert tm.stall_cycles(table, low, mid) == 65
+    assert tm.stall_cycles(table, mid, low) == 65
+    assert tm.stall_cycles(table, low, high) == 130
+    assert tm.receiver_relock_cycles() == 65
+
+
+def test_transition_validation():
+    with pytest.raises(PowerModelError):
+        TransitionModel(frequency_relock_cycles=-1)
+
+
+# ----------------------------------------------------------------------
+# Link power accounting
+# ----------------------------------------------------------------------
+
+def test_link_power_off_is_zero():
+    lp = LinkPowerModel()
+    high = TABLE1_LEVELS[2]
+    assert lp.instantaneous_mw(False, high, True) == 0.0
+    assert lp.average_mw(False, high, 0.9) == 0.0
+
+
+def test_link_power_busy_is_level_power():
+    lp = LinkPowerModel()
+    high = TABLE1_LEVELS[2]
+    assert lp.instantaneous_mw(True, high, True) == pytest.approx(43.03)
+
+
+def test_link_power_idle_is_fractional():
+    lp = LinkPowerModel(idle_fraction=0.1)
+    high = TABLE1_LEVELS[2]
+    assert lp.instantaneous_mw(True, high, False) == pytest.approx(4.303)
+
+
+def test_link_average_interpolates():
+    lp = LinkPowerModel(idle_fraction=0.0)
+    high = TABLE1_LEVELS[2]
+    assert lp.average_mw(True, high, 0.5) == pytest.approx(43.03 / 2)
+
+
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_link_average_bounded(idle_frac, util):
+    lp = LinkPowerModel(idle_fraction=idle_frac)
+    level = TABLE1_LEVELS[1]
+    avg = lp.average_mw(True, level, util)
+    assert 0.0 <= avg <= level.link_power_mw + 1e-9
+
+
+def test_lower_level_at_double_util_saves_power():
+    """The DPM premise: serving the same bits at a lower level wins.
+
+    2x utilization at 2.5 Gbps (8.6 mW) beats 1x at 5 Gbps (43.03 mW).
+    """
+    lp = LinkPowerModel(idle_fraction=0.08)
+    low, _, high = TABLE1_LEVELS
+    assert lp.average_mw(True, low, 0.8) < lp.average_mw(True, high, 0.4)
+
+
+def test_link_power_validation():
+    with pytest.raises(PowerModelError):
+        LinkPowerModel(idle_fraction=1.5)
+    lp = LinkPowerModel()
+    with pytest.raises(PowerModelError):
+        lp.average_mw(True, TABLE1_LEVELS[0], 1.5)
+    with pytest.raises(PowerModelError):
+        lp.energy_mj(True, TABLE1_LEVELS[0], 0.5, -1.0)
+
+
+def test_energy_mj_units():
+    lp = LinkPowerModel(idle_fraction=0.0)
+    high = TABLE1_LEVELS[2]
+    # 1 second of fully-busy high level = 43.03 mJ.
+    cycles_per_second = 1e9 / 2.5
+    assert lp.energy_mj(True, high, 1.0, cycles_per_second) == pytest.approx(43.03)
+
+
+# ----------------------------------------------------------------------
+# Energy accountant
+# ----------------------------------------------------------------------
+
+def test_accountant_integrates_channels():
+    acc = EnergyAccountant()
+    acc.set_channel_power("a", 0.0, 10.0)
+    acc.set_channel_power("b", 0.0, 20.0)
+    acc.set_channel_power("a", 50.0, 0.0)
+    # a: 10mW over [0,50), 0 after; b: 20mW throughout.
+    assert acc.average_mw(100.0) == pytest.approx(10 * 0.5 + 20.0)
+    assert acc.total_now_mw() == pytest.approx(20.0)
+    assert acc.channel_power("b") == 20.0
+    assert acc.channel_power("missing") == 0.0
+    assert len(acc) == 2
+
+
+def test_accountant_window_reset():
+    acc = EnergyAccountant()
+    acc.set_channel_power("a", 0.0, 100.0)
+    acc.set_channel_power("a", 10.0, 0.0)
+    acc.reset_window(10.0)
+    assert acc.window_average_mw(20.0) == pytest.approx(0.0)
+    assert acc.average_mw(20.0) == pytest.approx(50.0)
+
+
+def test_accountant_energy_units():
+    acc = EnergyAccountant(cycle_ns=2.5)
+    acc.set_channel_power("a", 0.0, 40.0)
+    cycles_per_second = 1e9 / 2.5
+    acc.reset_window(0.0)
+    assert acc.window_energy_mj(cycles_per_second, 0.0) == pytest.approx(40.0)
+
+
+def test_accountant_validation():
+    with pytest.raises(MeasurementError):
+        EnergyAccountant(cycle_ns=0.0)
+    acc = EnergyAccountant()
+    with pytest.raises(MeasurementError):
+        acc.set_channel_power("a", 0.0, -1.0)
+    with pytest.raises(MeasurementError):
+        acc.window_energy_mj(0.0, 10.0)

@@ -1,0 +1,112 @@
+"""Analytic queueing-theory validation.
+
+Two layers:
+
+1. **Kernel**: a pure M/D/1 queue built from :class:`Simulator` +
+   :class:`MonitoredStore` must match the Pollaczek–Khinchine mean wait
+   ``W_q = rho * S / (2 * (1 - rho))`` closely — the discrete-event
+   machinery itself is quantitatively correct.
+
+2. **Engine**: the transmitter queue of a single hot board pair behaves
+   like M/D/1 with *shaped* arrivals — the 32-cycle send-port
+   serialization regularizes each node's stream, so the measured wait is
+   strictly positive and convex in rho but bounded *above* by the PK
+   value (smoother-than-Poisson input waits less).  Both bounds are
+   asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ERapidConfig, FastEngine
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.sim import MonitoredStore, Simulator
+from repro.traffic import WorkloadSpec
+
+SERVICE = 40.96  # 512 bits at 5 Gbps, in 400 MHz cycles
+
+
+def pk_wait(rho: float) -> float:
+    return rho * SERVICE / (2.0 * (1.0 - rho))
+
+
+# ----------------------------------------------------------------------
+# Layer 1: kernel-level M/D/1
+# ----------------------------------------------------------------------
+
+def run_md1(rho: float, horizon: float = 400_000.0, seed: int = 0):
+    sim = Simulator()
+    q = MonitoredStore(sim)
+    rng = np.random.default_rng(seed)
+    lam = rho / SERVICE
+
+    def arrivals():
+        while True:
+            yield sim.timeout(rng.exponential(1.0 / lam))
+            q.put(object())
+
+    def server():
+        while True:
+            yield q.get()
+            yield sim.timeout(SERVICE)
+
+    sim.process(arrivals())
+    sim.process(server())
+    sim.run(until=horizon)
+    return q.dwell.mean, q.dwell.count
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+def test_kernel_md1_matches_pollaczek_khinchine(rho):
+    measured, n = run_md1(rho)
+    assert n > 2000
+    assert measured == pytest.approx(pk_wait(rho), rel=0.12)
+
+
+# ----------------------------------------------------------------------
+# Layer 2: engine-level shaped M/D/1
+# ----------------------------------------------------------------------
+
+def run_pair_queue(load_rho, seed=3):
+    """Drive R(1,2,4)'s (0 -> 1) channel at utilization ``load_rho``."""
+    topo = ERapidTopology(boards=2, nodes_per_board=4)
+    cfg = ERapidConfig(topology=topo, tx_queue_capacity=64)
+    per_node = load_rho / SERVICE / 4
+    from repro.traffic.capacity import CapacityModel
+
+    nc = CapacityModel.uniform_capacity(topo)
+    wl = WorkloadSpec(pattern="complement", load=per_node / nc, seed=seed)
+    plan = MeasurementPlan(warmup=20000, measure=80000, drain_limit=20000)
+    engine = FastEngine(cfg, wl, plan)
+    engine.run()
+    q = engine.pair_queue(0, 1)
+    return q.dwell.mean, q.dwell.count, engine
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+def test_engine_wait_bounded_by_pk(rho):
+    measured, n, _ = run_pair_queue(rho)
+    assert n > 700
+    expected = pk_wait(rho)
+    # Shaped arrivals: below the Poisson-input bound, above 40 % of it.
+    assert 0.4 * expected < measured < 1.15 * expected, (
+        f"rho={rho}: measured {measured:.1f} vs PK {expected:.1f}"
+    )
+
+
+def test_engine_wait_grows_convexly_with_rho():
+    w3, _, _ = run_pair_queue(0.3)
+    w5, _, _ = run_pair_queue(0.5)
+    w8, _, _ = run_pair_queue(0.8)
+    assert w3 < w5 < w8
+    assert (w8 - w5) > 2.0 * (w5 - w3)
+
+
+def test_engine_utilization_matches_offered_rho():
+    """The channel's measured busy fraction equals the offered rho."""
+    _, _, engine = run_pair_queue(0.6, seed=1)
+    w = engine.srs.rwa.wavelength_for(0, 1)
+    ch = engine.channels[(w, 1)]
+    measured_util = ch.busy_signal.average(engine.sim.now)
+    assert measured_util == pytest.approx(0.6, rel=0.1)

@@ -1,0 +1,157 @@
+"""Unit-level tests for the RC protocol driver: stage timing, snapshot
+consumption and grant actuation — exercised against a real engine whose
+clock we drive manually (no traffic)."""
+
+import pytest
+
+from repro.core import ERapidConfig, FastEngine, P_B, NP_B
+from repro.core.dpm import LinkWindowStats
+from repro.core.reconfig_controller import PairWindowStats, WindowSnapshot
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.sim.trace import TraceLog
+from repro.traffic import WorkloadSpec
+
+
+def make_engine(policy=P_B, trace=None):
+    cfg = ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4), policy=policy
+    )
+    return FastEngine(
+        cfg,
+        WorkloadSpec(pattern="uniform", load=0.0, seed=1),
+        MeasurementPlan(warmup=100, measure=100, drain_limit=100),
+        trace=trace,
+    )
+
+
+def snapshot_with_hot_pair(engine, src=0, dst=3, util=0.9):
+    """A synthetic window snapshot: (src -> dst) congested, others idle."""
+    channels = {}
+    owners = {}
+    for ch in engine.channels.values():
+        channels[ch.key] = LinkWindowStats(0.0, 0.0, True)
+        owners[ch.key] = ch.owner
+    pairs = {}
+    topo = engine.topology
+    for s in range(topo.boards):
+        for d in range(topo.boards):
+            if s == d:
+                continue
+            hot = (s, d) == (src, dst)
+            pairs[(s, d)] = PairWindowStats(
+                buffer_util=util if hot else 0.0,
+                queue_empty=not hot,
+                channel_count=len(engine.srs.channels_from(s, d)),
+            )
+    return WindowSnapshot(
+        time=engine.sim.now, window_index=2, channels=channels,
+        owners=owners, pairs=pairs,
+    )
+
+
+def test_compute_plan_targets_hot_pair():
+    engine = make_engine()
+    snap = snapshot_with_hot_pair(engine, src=0, dst=3)
+    plan = engine.rcs[3].compute_plan(snap)
+    # Everything reallocatable toward board 3 goes to board 0: the two
+    # idle static channels (from boards 1 and 2) plus the dark λ0.
+    assert len(plan) == 3
+    assert all(owner == 0 for _, owner in plan)
+
+
+def test_compute_plan_other_boards_do_nothing():
+    engine = make_engine()
+    snap = snapshot_with_hot_pair(engine, src=0, dst=3)
+    for rc in engine.rcs[:3]:
+        assert rc.compute_plan(snap) == []
+
+
+def test_bandwidth_cycle_timing_and_actuation():
+    trace = TraceLog(categories={"protocol"})
+    engine = make_engine(trace=trace)
+    snap = snapshot_with_hot_pair(engine, src=0, dst=3)
+    engine.rcs[3].schedule_bandwidth_cycle(snap)
+    engine.sim.run()
+    control = engine.config.control
+    total = control.dbr_cycle_latency(4, 4)
+    # Grants actuate exactly at the Link Response stage.
+    grant_recs = [
+        r for r in trace.filter(category="protocol") if r.message.startswith("grant")
+    ]
+    assert grant_recs
+    assert all(r.time == pytest.approx(total) for r in grant_recs)
+    # Ownership actually changed.
+    assert len(engine.srs.channels_from(0, 3)) == 4
+    assert engine.rcs[3].grants_issued == 3
+    assert engine.rcs[3].bandwidth_cycles == 1
+
+
+def test_power_cycle_applies_to_owned_channels_only():
+    trace = TraceLog(categories={"protocol"})
+    engine = make_engine(trace=trace)
+    # Make board 1's outgoing channels look idle -> they must sleep; board
+    # 0's look mid-band -> hold.
+    channels = {}
+    owners = {}
+    for ch in engine.channels.values():
+        idle = ch.owner == 1
+        channels[ch.key] = LinkWindowStats(
+            0.0 if idle else 0.8, 0.0, True if idle else False
+        )
+        owners[ch.key] = ch.owner
+    snap = WindowSnapshot(
+        time=0.0, window_index=1, channels=channels, owners=owners, pairs={}
+    )
+    engine.rcs[1].schedule_power_cycle(snap)
+    engine.rcs[0].schedule_power_cycle(snap)
+    engine.sim.run()
+    for ch in engine.channels.values():
+        if ch.owner == 1:
+            assert ch.sleeping
+        elif ch.owner == 0:
+            assert not ch.sleeping
+            assert ch.level is engine.config.power_levels.highest
+
+
+def test_power_cycle_latency_matches_lc_ring():
+    trace = TraceLog(categories={"protocol"})
+    engine = make_engine(trace=trace)
+    snap = snapshot_with_hot_pair(engine)
+    engine.rcs[0].schedule_power_cycle(snap)
+    engine.sim.run()
+    recs = list(trace.filter(category="protocol", entity="RC0"))
+    sent = next(r for r in recs if "Power_Request sent" in r.message)
+    returned = next(r for r in recs if "returned" in r.message)
+    expected = engine.config.control.power_cycle_latency(4)
+    assert returned.time - sent.time == pytest.approx(expected)
+
+
+def test_np_b_policy_ignores_dpm_in_plan_application():
+    """NP-B grants wavelengths but its channels stay at P_high."""
+    engine = make_engine(policy=NP_B)
+    snap = snapshot_with_hot_pair(engine, src=2, dst=0)
+    engine.rcs[0].schedule_bandwidth_cycle(snap)
+    engine.sim.run()
+    assert len(engine.srs.channels_from(2, 0)) > 1
+    for ch in engine.channels.values():
+        assert ch.level is engine.config.power_levels.highest
+
+
+def test_stale_owner_in_snapshot_skipped_by_power_cycle():
+    """If ownership changed between snapshot and apply, the LC skips it."""
+    engine = make_engine()
+    channels = {}
+    owners = {}
+    for ch in engine.channels.values():
+        channels[ch.key] = LinkWindowStats(0.0, 0.0, True)
+        owners[ch.key] = ch.owner
+    snap = WindowSnapshot(
+        time=0.0, window_index=1, channels=channels, owners=owners, pairs={}
+    )
+    # Re-own (λ1, b0) from board 1 to board 2 *after* the snapshot.
+    engine.apply_grant(0, 1, 2)
+    engine.rcs[2].schedule_power_cycle(snap)
+    engine.sim.run()
+    # Board 2 now owns it, but the snapshot says board 1 did; no sleep.
+    assert not engine.channels[(1, 0)].sleeping

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event kernel (events, clock, scheduling)."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_orders_by_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(9.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_same_time_events_fire_in_fifo_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(3.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_time_ties():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "low", priority=5)
+    sim.schedule(1.0, fired.append, "high", priority=-5)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.schedule(50.0, lambda: None)
+    sim.run(until=20.0)
+    assert sim.now == 20.0
+    # Second run resumes and executes the remaining event.
+    sim.run()
+    assert sim.now == 50.0
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.run(until=5.0)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(7.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"] and sim.now == 7.0
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(3.0, fired.append, "y")
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(4.0, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 2.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_returns_none():
+    assert Simulator().peek() is None
+
+
+def test_event_count_increments():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.event_count == 5
+
+
+def test_waitable_trigger_twice_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger(1)
+    with pytest.raises(SimulationError):
+        ev.trigger(2)
+
+
+def test_waitable_late_registration_still_fires():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger("v")
+    got = []
+    ev.wait(lambda w: got.append(w.value))
+    sim.run()
+    assert got == ["v"]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    got = []
+    combo = sim.any_of([sim.timeout(5, "slow"), sim.timeout(2, "fast")])
+    combo.wait(lambda w: got.append(w.value))
+    sim.run()
+    assert got == [["fast"]]
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    got = []
+    combo = sim.all_of([sim.timeout(5, "slow"), sim.timeout(2, "fast")])
+    combo.wait(lambda w: got.append((sim.now, w.value)))
+    sim.run()
+    assert got == [(5.0, ["fast", "slow"])]
+
+
+def test_negative_timeout_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-3)

@@ -1,0 +1,219 @@
+"""Unit + property tests for statistics accumulators and RNG streams."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.sim import Histogram, RngRegistry, Tally, TimeWeighted, geometric_gap
+from repro.sim.stats import describe
+
+
+# ----------------------------------------------------------------------
+# Tally
+# ----------------------------------------------------------------------
+
+def test_tally_empty():
+    t = Tally()
+    assert t.count == 0 and t.mean == 0.0 and t.variance == 0.0
+
+
+def test_tally_known_values():
+    t = Tally()
+    for x in [2.0, 4.0, 6.0]:
+        t.add(x)
+    assert t.mean == pytest.approx(4.0)
+    assert t.variance == pytest.approx(4.0)
+    assert t.min == 2.0 and t.max == 6.0 and t.total == 12.0
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+def test_tally_matches_numpy(xs):
+    t = Tally()
+    for x in xs:
+        t.add(x)
+    assert t.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+    if len(xs) > 1:
+        assert t.variance == pytest.approx(float(np.var(xs, ddof=1)), rel=1e-6, abs=1e-4)
+
+
+@given(
+    st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+    st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+)
+def test_tally_merge_equals_combined(xs, ys):
+    a, b, c = Tally(), Tally(), Tally()
+    for x in xs:
+        a.add(x)
+        c.add(x)
+    for y in ys:
+        b.add(y)
+        c.add(y)
+    a.merge(b)
+    assert a.count == c.count
+    assert a.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-9)
+    assert a.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+
+
+def test_tally_merge_empty_cases():
+    a, b = Tally(), Tally()
+    a.merge(b)
+    assert a.count == 0
+    b.add(5.0)
+    a.merge(b)
+    assert a.count == 1 and a.mean == 5.0
+
+
+# ----------------------------------------------------------------------
+# TimeWeighted
+# ----------------------------------------------------------------------
+
+def test_time_weighted_piecewise_constant():
+    tw = TimeWeighted(0.0, 1.0)
+    tw.update(10.0, 3.0)   # value 1 over [0,10)
+    tw.update(20.0, 0.0)   # value 3 over [10,20)
+    assert tw.average(20.0) == pytest.approx((1 * 10 + 3 * 10) / 20)
+
+
+def test_time_weighted_window_reset():
+    tw = TimeWeighted(0.0, 2.0)
+    tw.update(10.0, 4.0)
+    tw.reset_window(10.0)
+    assert tw.window(20.0) == pytest.approx(4.0)
+    assert tw.average(20.0) == pytest.approx((2 * 10 + 4 * 10) / 20)
+
+
+def test_time_weighted_backwards_time_raises():
+    tw = TimeWeighted(5.0, 0.0)
+    with pytest.raises(MeasurementError):
+        tw.update(4.0, 1.0)
+
+
+def test_time_weighted_add_delta():
+    tw = TimeWeighted(0.0, 0.0)
+    tw.add(5.0, +2.0)
+    tw.add(10.0, -1.0)
+    assert tw.value == 1.0
+    assert tw.average(10.0) == pytest.approx((0 * 5 + 2 * 5) / 10)
+
+
+def test_time_weighted_zero_span_returns_value():
+    tw = TimeWeighted(0.0, 7.0)
+    assert tw.average(0.0) == 7.0
+    assert tw.window(0.0) == 7.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.001, 10.0), st.floats(0.0, 5.0)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_time_weighted_average_bounded_by_extremes(steps):
+    """Property: the time-weighted average lies within [min, max] of values."""
+    tw = TimeWeighted(0.0, steps[0][1])
+    t = 0.0
+    values = [steps[0][1]]
+    for dt, v in steps:
+        t += dt
+        tw.update(t, v)
+        values.append(v)
+    avg = tw.average(t)
+    assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+
+def test_histogram_bins_and_overflow():
+    h = Histogram(0.0, 10.0, 5)
+    for x in [0.5, 2.5, 2.6, 9.9, -1.0, 10.0]:
+        h.add(x)
+    assert h.counts == [1, 2, 0, 0, 1]
+    assert h.underflow == 1 and h.overflow == 1
+    assert h.n == 6
+
+
+def test_histogram_percentile_monotone():
+    h = Histogram(0.0, 100.0, 100)
+    for x in range(100):
+        h.add(x + 0.5)
+    assert h.percentile(50) == pytest.approx(50.0, abs=1.5)
+    assert h.percentile(10) <= h.percentile(90)
+
+
+def test_histogram_percentile_bad_q():
+    h = Histogram(0.0, 1.0, 2)
+    with pytest.raises(MeasurementError):
+        h.percentile(101)
+
+
+def test_histogram_bad_spec():
+    with pytest.raises(MeasurementError):
+        Histogram(1.0, 0.0, 4)
+    with pytest.raises(MeasurementError):
+        Histogram(0.0, 1.0, 0)
+
+
+def test_histogram_edges():
+    h = Histogram(0.0, 1.0, 4)
+    assert h.edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+def test_describe():
+    d = describe([1.0, 2.0, 3.0])
+    assert d["count"] == 3 and d["mean"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# RNG
+# ----------------------------------------------------------------------
+
+def test_rng_streams_reproducible():
+    a = RngRegistry(seed=7).stream("node0")
+    b = RngRegistry(seed=7).stream("node0")
+    assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+
+def test_rng_streams_independent_by_name():
+    reg = RngRegistry(seed=7)
+    xs = list(reg.stream("node0").integers(0, 1_000_000, 8))
+    ys = list(reg.stream("node1").integers(0, 1_000_000, 8))
+    assert xs != ys
+
+
+def test_rng_stream_cached():
+    reg = RngRegistry(seed=1)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_rng_spawn_differs_from_parent():
+    reg = RngRegistry(seed=3)
+    child = reg.spawn("trial0")
+    xs = list(reg.stream("s").integers(0, 1_000_000, 8))
+    ys = list(child.stream("s").integers(0, 1_000_000, 8))
+    assert xs != ys
+
+
+def test_geometric_gap_edge_cases():
+    rng = RngRegistry(seed=0).stream("g")
+    assert geometric_gap(rng, 0.0) >= 1 << 29
+    assert geometric_gap(rng, 1.0) == 1
+    assert geometric_gap(rng, 1.5) == 1
+
+
+@settings(max_examples=20)
+@given(st.floats(0.01, 0.99))
+def test_geometric_gap_mean_close_to_inverse_p(p):
+    """Property: mean inter-arrival ~= 1/p (law of large numbers, loose)."""
+    rng = np.random.Generator(np.random.PCG64(1234))
+    n = 4000
+    gaps = [geometric_gap(rng, p) for _ in range(n)]
+    mean = sum(gaps) / n
+    assert mean == pytest.approx(1.0 / p, rel=0.15)
+    assert min(gaps) >= 1

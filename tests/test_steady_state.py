@@ -1,0 +1,160 @@
+"""Tests for the steady-state output-analysis tooling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.metrics import (
+    MeasurementPlan,
+    ReplicationSummary,
+    batch_means,
+    mser_truncation,
+    replicate,
+)
+from repro.metrics.collector import RunResult
+
+
+def _result(thr, lat=100.0, pw=50.0):
+    return RunResult(
+        throughput=thr, offered=thr, avg_latency=lat, p99_latency=lat,
+        max_latency=lat, power_mw=pw,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch means
+# ----------------------------------------------------------------------
+
+def test_batch_means_constant_signal():
+    mean, half = batch_means([5.0] * 100, n_batches=10)
+    assert mean == 5.0
+    assert half == 0.0
+
+
+def test_batch_means_iid_normal_covers_truth():
+    rng = np.random.default_rng(0)
+    hits = 0
+    for trial in range(40):
+        samples = rng.normal(10.0, 2.0, 400)
+        mean, half = batch_means(list(samples), n_batches=10)
+        if abs(mean - 10.0) <= half:
+            hits += 1
+    # 95 % CI: expect ~38/40 hits; allow generous slack.
+    assert hits >= 32
+
+
+def test_batch_means_wider_for_autocorrelated_data():
+    """An AR(1) stream must get a wider interval than an IID one at the
+    same marginal variance — the reason batching exists."""
+    rng = np.random.default_rng(1)
+    n = 1000
+    phi = 0.9
+    ar = [0.0]
+    for _ in range(n - 1):
+        ar.append(phi * ar[-1] + rng.normal(0, 1))
+    iid = list(rng.normal(0, np.std(ar), n))
+    _, half_ar = batch_means(ar, n_batches=10)
+    _, half_iid = batch_means(iid, n_batches=10)
+    assert half_ar > half_iid
+
+
+def test_batch_means_validation():
+    with pytest.raises(MeasurementError):
+        batch_means([1.0] * 10, n_batches=1)
+    with pytest.raises(MeasurementError):
+        batch_means([1.0] * 5, n_batches=10)
+    with pytest.raises(MeasurementError):
+        batch_means([1.0] * 100, confidence=1.5)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.floats(-100, 100), min_size=40, max_size=200))
+def test_batch_means_mean_matches_sample_mean(xs):
+    mean, half = batch_means(xs, n_batches=10)
+    batch = len(xs) // 10
+    used = xs[: batch * 10]
+    assert mean == pytest.approx(sum(used) / len(used), rel=1e-9, abs=1e-9)
+    assert half >= 0.0
+
+
+# ----------------------------------------------------------------------
+# MSER truncation
+# ----------------------------------------------------------------------
+
+def test_mser_detects_warmup_transient():
+    """A decaying transient on top of stationary noise: MSER should cut a
+    meaningful prefix."""
+    rng = np.random.default_rng(2)
+    transient = [20.0 * math.exp(-i / 30.0) for i in range(100)]
+    steady = [0.0] * 400
+    signal = [t + s + rng.normal(0, 1) for t, s in zip(
+        transient + steady, [0.0] * 500
+    )]
+    cut = mser_truncation(signal, stride=5)
+    assert 20 <= cut <= 250
+
+
+def test_mser_stationary_signal_cuts_little():
+    rng = np.random.default_rng(3)
+    signal = list(rng.normal(5.0, 1.0, 300))
+    cut = mser_truncation(signal, stride=5)
+    assert cut < 150  # never more than half by construction
+
+
+def test_mser_validation():
+    with pytest.raises(MeasurementError):
+        mser_truncation([1.0] * 5, stride=5)
+
+
+# ----------------------------------------------------------------------
+# Replications
+# ----------------------------------------------------------------------
+
+def test_replication_summary_math():
+    results = [_result(0.010), _result(0.012), _result(0.011)]
+    summary = ReplicationSummary(results)
+    m = summary.metric("throughput")
+    assert m.mean == pytest.approx(0.011)
+    assert m.n == 3
+    assert m.half_width > 0
+    assert "throughput" in summary.format()
+    assert set(summary.summary()) == set(ReplicationSummary.METRICS)
+
+
+def test_replication_summary_validation():
+    with pytest.raises(MeasurementError):
+        ReplicationSummary([_result(1.0)])
+    with pytest.raises(MeasurementError):
+        ReplicationSummary([_result(1.0), _result(2.0)], confidence=0.0)
+
+
+def test_replicate_runs_engine_across_seeds():
+    from repro import ERapidSystem, WorkloadSpec
+
+    plan = MeasurementPlan(warmup=2000, measure=4000, drain_limit=6000)
+
+    def run(seed):
+        system = ERapidSystem.build(boards=4, nodes_per_board=4, policy="NP-NB")
+        return system.run(WorkloadSpec(pattern="uniform", load=0.4, seed=seed), plan)
+
+    summary = replicate(run, seeds=[1, 2, 3])
+    thr = summary.metric("throughput")
+    # Three seeds at identical offered load: tight interval around it.
+    assert thr.relative_error < 0.1
+    assert thr.n == 3
+
+
+def test_replicate_needs_two_seeds():
+    with pytest.raises(MeasurementError):
+        replicate(lambda s: _result(1.0), seeds=[1])
+
+
+def test_metric_summary_relative_error_zero_mean():
+    from repro.metrics.steady_state import MetricSummary
+
+    assert MetricSummary(0.0, 1.0, 3).relative_error == math.inf
+    assert "n=3" in str(MetricSummary(1.0, 0.1, 3))

@@ -1,0 +1,61 @@
+"""Unit tests for the structured trace log."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def test_record_and_filter_by_category():
+    log = TraceLog()
+    log.record(1.0, "protocol", "RC0", "hello", window=1)
+    log.record(2.0, "power", "LC3", "scale down")
+    assert len(log) == 2
+    assert [r.message for r in log.filter(category="protocol")] == ["hello"]
+    assert [r.entity for r in log.filter(category="power")] == ["LC3"]
+
+
+def test_filter_by_entity_and_since():
+    log = TraceLog()
+    for t in (1.0, 5.0, 9.0):
+        log.record(t, "x", "A", f"m{t}")
+    log.record(6.0, "x", "B", "other")
+    got = list(log.filter(entity="A", since=5.0))
+    assert [r.time for r in got] == [5.0, 9.0]
+
+
+def test_category_filtering_drops_at_record_time():
+    log = TraceLog(categories={"keep"})
+    log.record(1.0, "keep", "e", "yes")
+    log.record(1.0, "drop", "e", "no")
+    assert len(log) == 1
+    assert log.enabled("keep") and not log.enabled("drop")
+
+
+def test_retention_bound():
+    log = TraceLog(max_records=3)
+    for i in range(5):
+        log.record(float(i), "c", "e", f"m{i}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [r.message for r in log.records] == ["m2", "m3", "m4"]
+
+
+def test_sink_streaming():
+    log = TraceLog()
+    seen = []
+    log.add_sink(seen.append)
+    log.record(1.0, "c", "e", "m")
+    assert len(seen) == 1 and seen[0].message == "m"
+
+
+def test_record_format_contains_fields():
+    rec = TraceRecord(12.5, "protocol", "RC1", "grant", {"w": 3})
+    text = rec.format()
+    assert "12.5" in text and "RC1" in text and "grant" in text and "w=3" in text
+
+
+def test_log_format_renders_lines():
+    log = TraceLog()
+    log.record(1.0, "c", "e1", "one")
+    log.record(2.0, "c", "e2", "two")
+    text = log.format(category="c")
+    assert text.count("\n") == 1
+    assert "one" in text and "two" in text

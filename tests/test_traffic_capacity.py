@@ -1,0 +1,216 @@
+"""Tests for injection processes, the capacity model and workload specs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.topology import ERapidTopology
+from repro.traffic import (
+    BernoulliProcess,
+    CapacityModel,
+    CapacityParams,
+    OnOffProcess,
+    PoissonProcess,
+    TrafficSource,
+    WorkloadSpec,
+    complement,
+    make_pattern,
+)
+
+TOPO64 = ERapidTopology(boards=8, nodes_per_board=8)
+
+
+# ----------------------------------------------------------------------
+# Injection processes
+# ----------------------------------------------------------------------
+
+def test_bernoulli_mean_rate():
+    proc = BernoulliProcess(0.05)
+    rng = np.random.default_rng(0)
+    gaps = [proc.next_gap(rng) for _ in range(5000)]
+    assert np.mean(gaps) == pytest.approx(20.0, rel=0.1)
+    assert min(gaps) >= 1
+
+
+def test_poisson_mean_rate():
+    proc = PoissonProcess(0.05)
+    rng = np.random.default_rng(0)
+    gaps = [proc.next_gap(rng) for _ in range(5000)]
+    assert np.mean(gaps) == pytest.approx(20.0, rel=0.15)
+
+
+def test_onoff_long_run_rate_close_to_nominal():
+    proc = OnOffProcess(0.05, burstiness=4.0, mean_burst=8.0)
+    rng = np.random.default_rng(0)
+    gaps = [proc.next_gap(rng) for _ in range(20000)]
+    rate = len(gaps) / sum(gaps)
+    assert rate == pytest.approx(0.05, rel=0.25)
+
+
+def test_onoff_is_actually_bursty():
+    """Gap variance must exceed Bernoulli's at the same mean rate."""
+    rng = np.random.default_rng(7)
+    bern = [BernoulliProcess(0.05).next_gap(rng) for _ in range(10000)]
+    rng = np.random.default_rng(7)
+    proc = OnOffProcess(0.05, burstiness=6.0, mean_burst=10.0)
+    burst = [proc.next_gap(rng) for _ in range(10000)]
+    assert np.var(burst) > np.var(bern)
+
+
+def test_zero_rate_never_fires():
+    rng = np.random.default_rng(0)
+    assert BernoulliProcess(0.0).next_gap(rng) >= 1 << 29
+    assert PoissonProcess(0.0).next_gap(rng) >= 1 << 29
+    assert OnOffProcess(0.0).next_gap(rng) >= 1 << 29
+
+
+def test_process_validation():
+    with pytest.raises(ConfigurationError):
+        BernoulliProcess(-0.1)
+    with pytest.raises(ConfigurationError):
+        OnOffProcess(0.1, burstiness=0.5)
+    with pytest.raises(ConfigurationError):
+        OnOffProcess(0.1, mean_burst=0.0)
+
+
+def test_traffic_source_generates_pattern_destinations():
+    src = TrafficSource(0, complement(64), BernoulliProcess(0.1))
+    pkt = src.next_packet(now=10.0, labeled=True)
+    assert pkt.src == 0 and pkt.dst == 63
+    assert pkt.labeled and pkt.created_at == 10.0
+    assert src.generated == 1
+
+
+def test_traffic_source_node_range():
+    with pytest.raises(ConfigurationError):
+        TrafficSource(99, complement(64), BernoulliProcess(0.1))
+
+
+# ----------------------------------------------------------------------
+# Capacity model
+# ----------------------------------------------------------------------
+
+def test_capacity_params_rates():
+    p = CapacityParams()
+    # 5 Gbps / 0.4 GHz = 12.5 bits/cycle; /512 = 0.024414 packets/cycle.
+    assert p.mu_optical == pytest.approx(0.024414, abs=1e-5)
+    assert p.mu_electrical == pytest.approx(0.03125, abs=1e-6)
+
+
+def test_uniform_capacity_is_optically_bound():
+    """For R(1,8,8) uniform traffic the optical channels bind before the
+    6.4 Gbps electrical ports."""
+    nc = CapacityModel.uniform_capacity(TOPO64)
+    # Channel load per unit p: 8 nodes x (8/63) to each remote board = 64/63.
+    expected = CapacityParams().mu_optical * 63 / 64
+    assert nc == pytest.approx(expected, rel=1e-6)
+    assert nc < CapacityParams().mu_electrical
+
+
+def test_complement_saturates_much_earlier():
+    """§4.2: complement concentrates all of a board's traffic on one
+    channel, so static capacity is ~8x lower than uniform."""
+    nc_uniform = CapacityModel.uniform_capacity(TOPO64)
+    model = CapacityModel(TOPO64, complement(64))
+    frac = model.saturation_fraction(nc_uniform)
+    assert frac == pytest.approx((1 / 8) * (64 / 63), rel=1e-6)
+
+
+def test_reconfigured_complement_capacity_scales_with_channels():
+    """Granting k channels to the hot pair raises capacity ~k-fold until
+    the electrical injection bound kicks in."""
+    model = CapacityModel(TOPO64, complement(64))
+    base = model.max_injection()
+    B = 8
+    chans = np.ones((B, B)) - np.eye(B)
+    comp_pairs = [(s, (63 - s * 8) // 8) for s in range(B)]
+    for k in (2, 4, 7):
+        c = chans.copy()
+        for s, d in comp_pairs:
+            c[s, d] = k
+        cap = model.max_injection(c)
+        expected = min(k * base, CapacityParams().mu_electrical)
+        assert cap == pytest.approx(expected, rel=1e-6)
+
+
+def test_butterfly_and_shuffle_saturation_between():
+    """Both spread each board's traffic over 2 channels -> saturate around
+    2/8 of uniform capacity (before reconfiguration)."""
+    nc = CapacityModel.uniform_capacity(TOPO64)
+    for name in ("butterfly", "perfect_shuffle"):
+        model = CapacityModel(TOPO64, make_pattern(name, 64))
+        frac = model.saturation_fraction(nc)
+        assert 0.15 < frac < 0.6, (name, frac)
+
+
+def test_board_matrix_row_sums_match_remote_fraction():
+    model = CapacityModel(TOPO64, complement(64))
+    T = model.board_matrix()
+    # Complement: each board sends everything to its complement board.
+    assert T.sum() == pytest.approx(64.0)
+    for s in range(8):
+        assert T[s, 7 - s] == pytest.approx(8.0)
+
+
+def test_capacity_model_validation():
+    with pytest.raises(ConfigurationError):
+        CapacityModel(TOPO64, complement(16))
+    model = CapacityModel(TOPO64, complement(64))
+    with pytest.raises(ConfigurationError):
+        model.max_injection(np.ones((3, 3)))
+    with pytest.raises(ConfigurationError):
+        model.max_injection(np.zeros((8, 8)))
+    with pytest.raises(ConfigurationError):
+        model.saturation_fraction(0.0)
+    with pytest.raises(ConfigurationError):
+        CapacityParams(packet_bits=0)
+
+
+@settings(max_examples=15)
+@given(st.sampled_from(["uniform", "butterfly", "complement",
+                        "perfect_shuffle", "tornado", "neighbor"]))
+def test_capacity_positive_and_bounded(name):
+    """Property: every pattern's capacity is positive and below the
+    electrical injection ceiling."""
+    model = CapacityModel(TOPO64, make_pattern(name, 64))
+    cap = model.max_injection()
+    assert 0 < cap <= CapacityParams().mu_electrical + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Workload spec
+# ----------------------------------------------------------------------
+
+def test_workload_builds_one_source_per_node():
+    spec = WorkloadSpec(pattern="complement", load=0.5, seed=3)
+    sources = spec.build_sources(TOPO64)
+    assert len(sources) == 64
+    assert sources[0].next_packet(0.0).dst == 63
+
+
+def test_workload_injection_rate_scales_with_load():
+    lo = WorkloadSpec(load=0.1).injection_rate(TOPO64)
+    hi = WorkloadSpec(load=0.9).injection_rate(TOPO64)
+    assert hi == pytest.approx(9 * lo)
+
+
+def test_workload_reproducible_across_builds():
+    a = WorkloadSpec(pattern="uniform", load=0.5, seed=9).build_sources(TOPO64)
+    b = WorkloadSpec(pattern="uniform", load=0.5, seed=9).build_sources(TOPO64)
+    assert [s.next_packet(0.0).dst for s in a] == [
+        s.next_packet(0.0).dst for s in b
+    ]
+
+
+def test_workload_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(load=-1.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(process="fractal")
+
+
+def test_workload_describe():
+    text = WorkloadSpec(pattern="butterfly", load=0.3).describe()
+    assert "butterfly" in text and "0.30" in text

@@ -1,0 +1,192 @@
+"""Tests for the HPC collective/hotspot traffic patterns and the DPM
+history-smoothing extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    AllToAllPersonalized,
+    CyclingPattern,
+    HaloExchange,
+    HotspotPattern,
+    RingAllreduce,
+    WorkloadSpec,
+    hotspot,
+    make_pattern,
+)
+from repro.network.topology import ERapidTopology
+
+
+# ----------------------------------------------------------------------
+# Cycling patterns
+# ----------------------------------------------------------------------
+
+def test_all_to_all_linear_shift_schedule():
+    p = AllToAllPersonalized(4)
+    # Rank 0's rounds: 1, 2, 3, then wrap.
+    assert [p.dest(0) for _ in range(4)] == [1, 2, 3, 1]
+    # Rank 2's rounds: 3, 0, 1.
+    assert [p.dest(2) for _ in range(3)] == [3, 0, 1]
+
+
+def test_all_to_all_matrix_is_uniform_without_self():
+    m = AllToAllPersonalized(8).destination_matrix()
+    assert np.allclose(np.diag(m), 0.0)
+    off_diag = m[~np.eye(8, dtype=bool)]
+    assert np.allclose(off_diag, 1.0 / 7)
+
+
+def test_ring_allreduce_alternates_neighbours():
+    p = RingAllreduce(8)
+    assert [p.dest(3) for _ in range(4)] == [4, 2, 4, 2]
+    assert [p.dest(0) for _ in range(2)] == [1, 7]
+
+
+def test_halo_exchange_grid_neighbours():
+    p = HaloExchange(4, 4)
+    assert p.n_nodes == 16
+    # Node 5 (x=1, y=1): east 6, west 4, north 9, south 1.
+    dests = {p.dest(5) for _ in range(4)}
+    assert dests == {6, 4, 9, 1}
+
+
+def test_halo_exchange_wraps_periodically():
+    p = HaloExchange(4, 2)
+    # Node 0 (x=0, y=0): east 1, west 3, and ±y fold to node 4.
+    dests = [p.dest(0) for _ in range(3)]
+    assert set(dests) == {1, 3, 4}
+
+
+def test_halo_validation():
+    with pytest.raises(ConfigurationError):
+        HaloExchange(1, 4)
+
+
+def test_cycling_pattern_validation():
+    with pytest.raises(ConfigurationError):
+        CyclingPattern(4, [[1]], "bad")  # wrong list count
+    with pytest.raises(ConfigurationError):
+        CyclingPattern(2, [[0], [0]], "bad")  # self-send
+    with pytest.raises(ConfigurationError):
+        CyclingPattern(2, [[], [0]], "bad")  # empty
+
+
+@given(st.sampled_from([4, 8, 16]))
+def test_cycling_matrices_row_stochastic(n):
+    for pattern in (AllToAllPersonalized(n), RingAllreduce(n)):
+        m = pattern.destination_matrix()
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(m), 0.0)
+
+
+# ----------------------------------------------------------------------
+# Hotspot
+# ----------------------------------------------------------------------
+
+def test_hotspot_skews_toward_hot_node():
+    p = HotspotPattern(16, hot_node=3, fraction=0.5)
+    rng = np.random.default_rng(1)
+    dests = [p.dest(0, rng) for _ in range(2000)]
+    hot_share = dests.count(3) / len(dests)
+    # 0.5 direct + 1/15 of the uniform remainder ~ 0.533.
+    assert hot_share == pytest.approx(0.53, abs=0.05)
+
+
+def test_hotspot_never_self():
+    p = HotspotPattern(8, hot_node=0, fraction=0.9)
+    rng = np.random.default_rng(2)
+    assert all(p.dest(0, rng) != 0 for _ in range(200))
+
+
+def test_hotspot_matrix_rows_sum_to_one():
+    m = HotspotPattern(8, hot_node=2, fraction=0.3).destination_matrix()
+    assert np.allclose(m.sum(axis=1), 1.0)
+    assert np.allclose(np.diag(m), 0.0)
+    assert m[0, 2] > m[0, 1]
+
+
+def test_hotspot_validation():
+    with pytest.raises(ConfigurationError):
+        HotspotPattern(8, hot_node=8)
+    with pytest.raises(ConfigurationError):
+        HotspotPattern(8, fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        HotspotPattern(8).dest(0)  # needs rng
+
+
+def test_registry_entries():
+    assert make_pattern("hotspot", 64).name == "hotspot"
+    assert make_pattern("all_to_all", 64).name == "all_to_all"
+    assert make_pattern("ring_allreduce", 64).name == "ring_allreduce"
+
+
+def test_collectives_run_through_the_engine():
+    """End-to-end: the registered collective patterns drive a full run."""
+    from repro import ERapidSystem, MeasurementPlan
+
+    plan = MeasurementPlan(warmup=3000, measure=4000, drain_limit=6000)
+    for name in ("hotspot", "all_to_all", "ring_allreduce"):
+        system = ERapidSystem.build(boards=4, nodes_per_board=4, policy="P-B")
+        r = system.run(WorkloadSpec(pattern=name, load=0.3, seed=1), plan)
+        assert r.throughput > 0, name
+        assert r.labeled_delivered > 0, name
+
+
+# ----------------------------------------------------------------------
+# DPM smoothing
+# ----------------------------------------------------------------------
+
+def test_dpm_smoothing_validation():
+    from dataclasses import replace
+    from repro.core.policies import P_B
+
+    with pytest.raises(ConfigurationError):
+        replace(P_B, dpm_smoothing=1.0)
+    with pytest.raises(ConfigurationError):
+        replace(P_B, dpm_smoothing=-0.1)
+
+
+def test_dpm_smoothing_reduces_power_or_transitions():
+    """Smoothing must change behaviour measurably without breaking the run."""
+    from dataclasses import replace
+    from repro import ERapidSystem, MeasurementPlan
+    from repro.core.policies import P_B
+
+    plan = MeasurementPlan(warmup=6000, measure=8000, drain_limit=8000)
+    wl = WorkloadSpec(pattern="uniform", load=0.5, seed=1)
+    raw = ERapidSystem.build(boards=4, nodes_per_board=4, policy=P_B).run(wl, plan)
+    smooth_policy = replace(P_B, name="P-B-ewma", dpm_smoothing=0.6)
+    smooth = ERapidSystem.build(
+        boards=4, nodes_per_board=4, policy=smooth_policy
+    ).run(wl, plan)
+    assert smooth.throughput == pytest.approx(raw.throughput, rel=0.05)
+    assert smooth.power_mw != raw.power_mw
+
+
+def test_smoothed_util_math():
+    from repro.core import ERapidConfig, FastEngine
+    from dataclasses import replace
+    from repro.core.policies import P_B
+
+    cfg = ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4),
+        policy=replace(P_B, dpm_smoothing=0.5),
+    )
+    engine = FastEngine(cfg, WorkloadSpec(load=0.0))
+    ch = engine.channels[(1, 0)]
+    assert ch.smoothed_util(0.8) == pytest.approx(0.8)  # first window
+    assert ch.smoothed_util(0.0) == pytest.approx(0.4)
+    assert ch.smoothed_util(0.0) == pytest.approx(0.2)
+
+
+def test_unsmoothed_util_passthrough():
+    from repro.core import ERapidConfig, FastEngine
+
+    cfg = ERapidConfig(topology=ERapidTopology(boards=4, nodes_per_board=4))
+    engine = FastEngine(cfg, WorkloadSpec(load=0.0))
+    ch = engine.channels[(1, 0)]
+    assert ch.smoothed_util(0.8) == 0.8
+    assert ch.smoothed_util(0.1) == 0.1

@@ -1,0 +1,187 @@
+"""Unit + property tests for traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    PATTERNS,
+    UniformRandom,
+    bit_reverse,
+    butterfly,
+    complement,
+    make_pattern,
+    neighbor,
+    perfect_shuffle,
+    tornado,
+    transpose,
+)
+
+
+# ----------------------------------------------------------------------
+# Paper definitions, checked bit-by-bit on 64 nodes (n = 6)
+# ----------------------------------------------------------------------
+
+def test_butterfly_swaps_msb_lsb():
+    """a5..a1 a0 -> a0 a4..a1 a5"""
+    p = butterfly(64)
+    # 0b100000 (32) <-> 0b000001 (1)
+    assert p.dest(0b100000) == 0b000001
+    assert p.dest(0b000001) == 0b100000
+    # Equal MSB/LSB are fixed points.
+    assert p.dest(0b100001) == 0b100001
+    assert p.dest(0b010110) == 0b010110
+
+
+def test_complement_flips_all_bits():
+    p = complement(64)
+    assert p.dest(0) == 63
+    assert p.dest(63) == 0
+    assert p.dest(0b101010) == 0b010101
+    # §4.2: "nodes 0,1,2..7 on board 0 communicates with node 63,62,..56".
+    for node in range(8):
+        assert p.dest(node) == 63 - node
+
+
+def test_perfect_shuffle_rotates_left():
+    """a5 a4..a0 -> a4..a0 a5"""
+    p = perfect_shuffle(64)
+    assert p.dest(0b100000) == 0b000001
+    assert p.dest(0b000001) == 0b000010
+    assert p.dest(0b110101) == 0b101011
+
+
+def test_bit_reverse():
+    p = bit_reverse(64)
+    assert p.dest(0b100000) == 0b000001
+    assert p.dest(0b110100) == 0b001011
+
+
+def test_transpose():
+    p = transpose(64)
+    # a5a4a3 a2a1a0 -> a2a1a0 a5a4a3
+    assert p.dest(0b111000) == 0b000111
+    assert p.dest(0b101010) == 0b010101
+
+
+def test_tornado_and_neighbor():
+    t = tornado(64)
+    assert t.dest(0) == 31
+    assert t.dest(40) == (40 + 31) % 64
+    n = neighbor(64)
+    assert n.dest(63) == 0
+    assert n.dest(5) == 6
+
+
+@pytest.mark.parametrize("name", ["butterfly", "complement", "perfect_shuffle",
+                                  "bit_reverse", "transpose"])
+def test_permutations_are_bijective(name):
+    p = make_pattern(name, 64)
+    dests = [p.dest(s) for s in range(64)]
+    assert sorted(dests) == list(range(64))
+
+
+@given(st.sampled_from(["butterfly", "complement", "perfect_shuffle",
+                        "bit_reverse", "tornado", "neighbor"]),
+       st.sampled_from([4, 16, 64, 256]))
+def test_permutation_matrix_is_doubly_stochastic(name, n):
+    p = make_pattern(name, n)
+    m = p.destination_matrix()
+    assert np.allclose(m.sum(axis=0), 1.0)
+    assert np.allclose(m.sum(axis=1), 1.0)
+
+
+def test_permutations_require_power_of_two():
+    for name in ("butterfly", "complement", "perfect_shuffle", "bit_reverse"):
+        with pytest.raises(ConfigurationError):
+            make_pattern(name, 48)
+
+
+def test_transpose_requires_even_bits():
+    with pytest.raises(ConfigurationError):
+        transpose(32)  # 5 bits
+    transpose(64)  # 6 bits: fine
+
+
+def test_tornado_works_for_non_power_of_two():
+    t = tornado(10)
+    assert t.dest(0) == 4
+
+
+# ----------------------------------------------------------------------
+# Uniform
+# ----------------------------------------------------------------------
+
+def test_uniform_never_self():
+    p = UniformRandom(16)
+    rng = np.random.default_rng(0)
+    for _ in range(500):
+        src = int(rng.integers(0, 16))
+        assert p.dest(src, rng) != src
+
+
+def test_uniform_covers_all_destinations():
+    p = UniformRandom(8)
+    rng = np.random.default_rng(1)
+    seen = {p.dest(3, rng) for _ in range(500)}
+    assert seen == set(range(8)) - {3}
+
+
+def test_uniform_matrix():
+    m = UniformRandom(4).destination_matrix()
+    assert np.allclose(np.diag(m), 0.0)
+    assert np.allclose(m.sum(axis=1), 1.0)
+    assert m[0, 1] == pytest.approx(1 / 3)
+
+
+def test_uniform_needs_rng():
+    with pytest.raises(ConfigurationError):
+        UniformRandom(8).dest(0)
+
+
+def test_uniform_distribution_is_flat():
+    """Chi-square-ish sanity: all destinations within 3 sigma of the mean."""
+    p = UniformRandom(8)
+    rng = np.random.default_rng(42)
+    n = 7000
+    counts = np.zeros(8)
+    for _ in range(n):
+        counts[p.dest(0, rng)] += 1
+    expected = n / 7
+    sigma = np.sqrt(n * (1 / 7) * (6 / 7))
+    assert counts[0] == 0
+    assert np.all(np.abs(counts[1:] - expected) < 4 * sigma)
+
+
+# ----------------------------------------------------------------------
+# Registry / misc
+# ----------------------------------------------------------------------
+
+def test_registry_contains_paper_patterns():
+    for name in ("uniform", "butterfly", "complement", "perfect_shuffle"):
+        assert name in PATTERNS
+
+
+def test_make_pattern_unknown():
+    with pytest.raises(ConfigurationError):
+        make_pattern("zipf", 64)
+
+
+def test_src_range_checked():
+    p = complement(16)
+    with pytest.raises(ConfigurationError):
+        p.dest(16)
+
+
+def test_min_nodes():
+    with pytest.raises(ConfigurationError):
+        UniformRandom(1)
+
+
+def test_mapping_property():
+    p = complement(4)
+    assert p.mapping == [3, 2, 1, 0]
+    assert p.is_permutation
+    assert not UniformRandom(4).is_permutation
