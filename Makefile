@@ -1,0 +1,31 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test lint determinism typecheck baseline
+
+# The single correctness gate: tier-1 tests, the simulation-invariant
+# linter (ratcheted against analysis-baseline.json), the determinism
+# audit, and mypy when it is installed.
+check: test lint determinism typecheck
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.analysis lint src tests benchmarks examples
+
+determinism:
+	$(PYTHON) -m repro.analysis determinism
+
+# mypy is an optional dev dependency; skip gracefully when absent so
+# `make check` works in the minimal runtime environment.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "typecheck: mypy not installed, skipping (pip install .[dev])"; \
+	fi
+
+# Re-ratchet the lint baseline (the file may only ever shrink).
+baseline:
+	$(PYTHON) -m repro.analysis lint src tests benchmarks examples --write-baseline

@@ -1,0 +1,43 @@
+"""Correctness tooling for the E-RAPID reproduction.
+
+The headline results (power savings and latency under Lock-Step
+reconfiguration) rest on *bit-reproducible* discrete-event runs: common
+random numbers make the four NP/P × NB/B configurations comparable, and
+every figure is a diff between seeded runs.  This package enforces that
+discipline mechanically:
+
+* :mod:`repro.analysis.linter` — an AST lint pass with repo-specific rules
+  (SIM001–SIM006): no wall-clock time in simulation code, no randomness
+  outside :class:`repro.sim.rng.RngRegistry` streams, no mutable default
+  arguments, no float equality on simulation timestamps, no kernel
+  re-entry from callbacks, and ``slots=True`` on hot-path dataclasses.
+* :mod:`repro.analysis.determinism` — a determinism auditor that runs a
+  small 16-node experiment twice under one seed plus twice under a
+  permuted event-insertion order and diffs trace streams and metric
+  summaries — a race detector for the event kernel.
+* :mod:`repro.analysis.baseline` — a ratchet: pre-existing findings live
+  in a checked-in baseline file and may only ever be removed.
+
+Run everything with ``python -m repro.analysis`` (see ``--help``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, RatchetResult
+from repro.analysis.determinism import AuditCheck, AuditReport, RunFingerprint, audit
+from repro.analysis.linter import Finding, lint_paths, lint_source
+from repro.analysis.rules import RULES, Rule
+
+__all__ = [
+    "AuditCheck",
+    "AuditReport",
+    "Baseline",
+    "Finding",
+    "RatchetResult",
+    "RULES",
+    "Rule",
+    "RunFingerprint",
+    "audit",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,191 @@
+"""CLI plumbing for ``python -m repro.analysis``.
+
+Subcommands
+-----------
+``lint PATH...``
+    Run the SIM001–SIM006 lint pass.  Exit 0 when no *new* findings exist
+    relative to the ratchet baseline; exit 1 otherwise.
+``determinism``
+    Run the determinism audit (same-seed and permuted-insertion-order
+    repeatability on a small 16-node experiment).  Exit 0 on pass.
+``all``
+    Both of the above; exit non-zero if either gate fails.
+
+``--format=json`` emits machine-readable findings for future tooling (the
+benchmarks panel consumes this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.determinism import audit
+from repro.analysis.linter import Finding, lint_paths
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _findings_json(findings: Sequence[Finding]) -> List[dict]:
+    return [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "code": f.code,
+            "message": f.message,
+            "hint": f.rule.hint,
+        }
+        for f in findings
+    ]
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, include_fixtures=args.include_fixtures)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(_DEFAULT_BASELINE)
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    result = baseline.ratchet(findings)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": result.ok,
+                    "new": _findings_json(result.new),
+                    "known": _findings_json(result.known),
+                    "stale": result.stale,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in result.new:
+            print(f.format())
+            print(f"    hint: {f.rule.hint}")
+        if result.known:
+            print(f"{len(result.known)} known finding(s) tolerated by baseline")
+        if result.stale:
+            print(
+                f"note: {len(result.stale)} baseline entr(ies) no longer "
+                "reproduce — ratchet down with --write-baseline"
+            )
+        if result.ok:
+            print("lint: clean")
+        else:
+            print(f"lint: {len(result.new)} new finding(s)")
+    return 0 if result.ok else 1
+
+
+def _run_determinism(args: argparse.Namespace) -> int:
+    try:
+        report = audit(
+            seed=args.seed, boards=args.boards, nodes_per_board=args.nodes_per_board
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    lint_rc = _run_lint(args)
+    det_rc = _run_determinism(args)
+    return max(lint_rc, det_rc)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Correctness tooling: simulation-invariant linter and "
+        "determinism auditor for the E-RAPID reproduction.",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the SIM001–SIM006 lint pass")
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help=f"ratchet baseline file (default: ./{_DEFAULT_BASELINE})",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also lint */fixtures/* files (skipped by default: the test "
+        "suite keeps intentionally-bad snippets there)",
+    )
+    lint.set_defaults(func=_run_lint)
+
+    det = sub.add_parser("determinism", help="run the determinism audit")
+    det.add_argument("--seed", type=int, default=1)
+    det.add_argument("--boards", type=int, default=4)
+    det.add_argument("--nodes-per-board", type=int, default=4)
+    det.set_defaults(func=_run_determinism)
+
+    both = sub.add_parser("all", help="lint + determinism audit")
+    both.add_argument("paths", nargs="+", help="files or directories to lint")
+    both.add_argument("--baseline", default=None)
+    both.add_argument("--no-baseline", action="store_true")
+    both.add_argument("--write-baseline", action="store_true")
+    both.add_argument("--include-fixtures", action="store_true")
+    both.add_argument("--seed", type=int, default=1)
+    both.add_argument("--boards", type=int, default=4)
+    both.add_argument("--nodes-per-board", type=int, default=4)
+    both.set_defaults(func=_run_all)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    rc = args.func(args)
+    return int(rc)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

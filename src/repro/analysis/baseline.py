@@ -1,0 +1,83 @@
+"""Ratchet baseline for lint findings.
+
+The baseline file (``analysis-baseline.json`` at the repo root) records the
+findings that existed when the linter was introduced.  The ratchet rule:
+
+* a finding **not** in the baseline fails the build (no new debt), and
+* a baseline entry that no longer reproduces is *stale* — the expectation
+  is that it is removed (``--write-baseline``), so the file only ever
+  shrinks.
+
+Keys are ``path:CODE:line`` with repo-relative forward-slash paths, so the
+file is stable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, List, Sequence
+
+from repro.analysis.linter import Finding
+
+__all__ = ["Baseline", "RatchetResult"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class RatchetResult:
+    """Outcome of comparing current findings against the baseline."""
+
+    #: Findings not covered by the baseline — these fail the gate.
+    new: List[Finding] = field(default_factory=list)
+    #: Findings covered by the baseline — tolerated, ratcheted debt.
+    known: List[Finding] = field(default_factory=list)
+    #: Baseline keys that no longer reproduce — remove via --write-baseline.
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+@dataclass(frozen=True, slots=True)
+class Baseline:
+    """An immutable set of tolerated finding keys."""
+
+    keys: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(f"malformed baseline file {path}")
+        return cls(keys=frozenset(str(k) for k in data["findings"]))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(keys=frozenset(f.key for f in findings))
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Ratchet baseline for `python -m repro.analysis lint`. "
+                "Entries may only ever be removed; new findings must be "
+                "fixed, not added here."
+            ),
+            "findings": sorted(self.keys),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def ratchet(self, findings: Sequence[Finding]) -> RatchetResult:
+        """Split ``findings`` into new vs. known and report stale keys."""
+        new = [f for f in findings if f.key not in self.keys]
+        known = [f for f in findings if f.key in self.keys]
+        present = {f.key for f in findings}
+        stale = sorted(self.keys - present)
+        return RatchetResult(new=new, known=known, stale=stale)

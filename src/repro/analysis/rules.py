@@ -1,0 +1,157 @@
+"""The simulation-invariant rule registry.
+
+Each rule has a stable code (``SIM001``…), a one-line title, a rationale
+docstring, an autofix hint, and a *scope* — the set of module prefixes the
+rule applies to.  Scoping matters: wall-clock time is fine in an experiment
+runner's progress log but poison inside the event kernel, so SIM001 only
+fires in the simulation packages.
+
+A finding can be suppressed on one line with ``# sim-lint: ignore`` or
+``# sim-lint: ignore[SIM004]``; suppressions are for the rare deliberate
+exception and should carry a neighbouring comment saying why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Rule", "RULES", "rule_for"]
+
+#: Module prefixes that make up the deterministic simulation core: code here
+#: executes inside (or feeds state into) the event kernel's run loop.
+SIM_CORE_PREFIXES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.core",
+    "repro.network",
+    "repro.optics",
+)
+
+#: Hot-path modules: objects instantiated per packet/flit/event.  Dataclasses
+#: here must declare ``slots=True`` (SIM006).
+HOT_PATH_PREFIXES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.network",
+)
+
+#: Everything shipped under ``repro.`` except the tooling itself.
+REPRO_PREFIXES: Tuple[str, ...] = ("repro",)
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One lint rule: code, summary, rationale and autofix hint."""
+
+    code: str
+    title: str
+    rationale: str
+    hint: str
+    #: Module prefixes the rule applies to; ``None`` means every file.
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: Optional[str]) -> bool:
+        """Whether this rule is active for ``module`` (dotted name)."""
+        if self.scope is None:
+            return True
+        if module is None:
+            return False
+        return any(
+            module == p or module.startswith(p + ".") for p in self.scope
+        )
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="SIM001",
+        title="wall-clock source in simulation code",
+        rationale=(
+            "Simulation code must be a pure function of (config, seed).  "
+            "`time.time`, `time.perf_counter`, `time.monotonic`, "
+            "`datetime.now` and friends leak host wall-clock state into the "
+            "run, silently breaking bit-reproducibility of every figure."
+        ),
+        hint=(
+            "Use the simulation clock (`sim.now`) for model time; keep "
+            "wall-clock profiling in the experiment runner layer "
+            "(repro.experiments) or behind a benchmark harness."
+        ),
+        scope=SIM_CORE_PREFIXES,
+    ),
+    Rule(
+        code="SIM002",
+        title="randomness outside RngRegistry streams",
+        rationale=(
+            "All stochastic draws must flow through a named "
+            "`RngRegistry.stream(...)` generator so that common random "
+            "numbers hold across the four NP/P × NB/B configurations.  Bare "
+            "`random.*`, `np.random.default_rng()` and the global "
+            "`np.random.*` state are unseeded (or shared), so one extra "
+            "draw anywhere perturbs every downstream result."
+        ),
+        hint=(
+            "Accept an `np.random.Generator` parameter and have the caller "
+            "pass `registry.stream('<entity name>')`."
+        ),
+        scope=REPRO_PREFIXES,
+    ),
+    Rule(
+        code="SIM003",
+        title="mutable default argument",
+        rationale=(
+            "A mutable default (`[]`, `{}`, `set()`, …) is created once at "
+            "def time and shared by every call — state leaks across "
+            "simulation runs that must be independent."
+        ),
+        hint="Default to None and create the object inside the function body.",
+        scope=None,
+    ),
+    Rule(
+        code="SIM004",
+        title="float equality on simulation timestamps",
+        rationale=(
+            "Simulation time is a float; `==`/`!=` on timestamps works until "
+            "someone introduces a fractional latency, then events silently "
+            "stop matching.  Windows and phases must use ordered "
+            "comparisons (`<=`, `<`) or integer cycle counts."
+        ),
+        hint=(
+            "Compare with <=/< against phase boundaries, or use "
+            "`math.isclose` where approximate coincidence is really meant."
+        ),
+        scope=REPRO_PREFIXES,
+    ),
+    Rule(
+        code="SIM005",
+        title="kernel re-entry from a callback or process",
+        rationale=(
+            "`Simulator.run()` is not reentrant: calling it from an event "
+            "callback or a process generator re-enters the dispatch loop "
+            "mid-event and corrupts the (time, priority, FIFO) total order.  "
+            "Only top-level drivers may pump the kernel."
+        ),
+        hint=(
+            "Return control to the kernel (yield a waitable / schedule an "
+            "event) instead of calling run() from model code."
+        ),
+        scope=None,
+    ),
+    Rule(
+        code="SIM006",
+        title="hot-path dataclass without slots=True",
+        rationale=(
+            "Packets, flits, events and trace rows are instantiated millions "
+            "of times per run; a __dict__ per instance costs memory and "
+            "cache misses, and open attribute namespaces hide typos that "
+            "determinism tests can't see."
+        ),
+        hint="Declare the dataclass with @dataclass(slots=True, ...).",
+        scope=HOT_PATH_PREFIXES,
+    ),
+)
+
+_BY_CODE = {r.code: r for r in RULES}
+
+
+def rule_for(code: str) -> Rule:
+    """Look up a rule by its ``SIMxxx`` code."""
+    return _BY_CODE[code]

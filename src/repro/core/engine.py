@@ -174,12 +174,33 @@ class FastEngine:
     # ------------------------------------------------------------------
     # Processes
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Register all simulation processes (idempotent guard)."""
+    def start(
+        self,
+        *,
+        node_order: Optional[List[int]] = None,
+        channel_order: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        """Register all simulation processes (idempotent guard).
+
+        ``node_order`` / ``channel_order`` override the registration order
+        of the per-node and per-channel processes.  Registration order only
+        sets the FIFO sequence numbers of same-time start-up events, so a
+        deterministic model produces identical results under any
+        permutation of the *same* order — the determinism auditor
+        (:mod:`repro.analysis.determinism`) exploits this to flag hidden
+        iteration-order dependence.
+        """
         if self._started:
             raise ConfigurationError("engine already started")
         self._started = True
-        for node in range(self.topology.total_nodes):
+        nodes = list(range(self.topology.total_nodes))
+        if node_order is not None:
+            if sorted(node_order) != nodes:
+                raise ConfigurationError(
+                    f"node_order must permute 0..{len(nodes) - 1}"
+                )
+            nodes = list(node_order)
+        for node in nodes:
             model = self.node_model(node)
             source = self.sources[node]
             if hasattr(source.process, "bind_clock"):
@@ -187,7 +208,15 @@ class FastEngine:
             self.sim.process(self._injector_proc(model, source), name=f"inj{node}")
             self.sim.process(self._send_proc(model), name=f"send{node}")
             self.sim.process(self._recv_proc(model), name=f"recv{node}")
-        for ch in self.channels.values():
+        if channel_order is not None:
+            if sorted(channel_order) != sorted(self.channels):
+                raise ConfigurationError(
+                    "channel_order must permute the engine's channel keys"
+                )
+            channels = [self.channels[key] for key in channel_order]
+        else:
+            channels = list(self.channels.values())
+        for ch in channels:
             self.sim.process(self._channel_proc(ch), name=f"ch{ch.key}")
         self.lockstep.start()
 

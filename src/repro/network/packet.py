@@ -34,7 +34,7 @@ class FlitType(Enum):
     HEAD_TAIL = "head_tail"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 
@@ -80,7 +80,7 @@ class Packet:
         return f"<Packet #{self.pid} {self.src}->{self.dst} {self.size_flits}f>"
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit of a packet."""
 

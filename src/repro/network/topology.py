@@ -17,7 +17,7 @@ from repro.errors import TopologyError
 __all__ = ["ERapidTopology", "Ring"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ERapidTopology:
     """Address arithmetic for an R(C, B, D) system (C = 1 in the paper's runs)."""
 

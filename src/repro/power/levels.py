@@ -38,7 +38,7 @@ class PowerLevel:
 
 
 #: The paper's Table 1 levels.
-TABLE1_LEVELS: tuple = (
+TABLE1_LEVELS: tuple[PowerLevel, ...] = (
     PowerLevel("P_low", 2.5, 0.45, 8.6),
     PowerLevel("P_mid", 3.3, 0.60, 26.0),
     PowerLevel("P_high", 5.0, 0.90, 43.03),

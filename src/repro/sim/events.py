@@ -37,7 +37,7 @@ class ScheduledEvent:
         self,
         time: float,
         fn: Callable[..., None],
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
         priority: int = 0,
     ) -> None:
         self.time = time

@@ -28,6 +28,7 @@ from typing import Any, Callable, Generator, List, Optional
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import CompositeWait, ScheduledEvent, Timeout, Waitable
 from repro.sim.process import Process
+from repro.sim.trace import TraceLog
 
 __all__ = ["Simulator"]
 
@@ -42,7 +43,7 @@ class Simulator:
         records process starts/ends (models add their own records).
     """
 
-    def __init__(self, trace: Optional[Any] = None) -> None:
+    def __init__(self, trace: Optional[TraceLog] = None) -> None:
         self._now: float = 0.0
         self._heap: List[ScheduledEvent] = []
         self._running = False
@@ -116,7 +117,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Processes
     # ------------------------------------------------------------------
-    def process(self, generator: Generator, name: str = "") -> Process:
+    def process(self, generator: Generator[Any, Any, None], name: str = "") -> Process:
         """Register a generator as a concurrent process; starts at ``now``."""
         proc = Process(self, generator, name=name)
         self._processes.append(proc)

@@ -42,7 +42,12 @@ class Process(Waitable):
 
     __slots__ = ("generator", "name", "_waiting_on", "_alive")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, None],
+        name: str = "",
+    ) -> None:
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise ProcessError(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, TYPE_CHECKING
 
+from repro.sim.events import Waitable
 from repro.sim.resources import Store
 from repro.sim.stats import Tally, TimeWeighted
 
@@ -57,7 +58,7 @@ class MonitoredStore(Store):
     # ------------------------------------------------------------------
     # Store hooks
     # ------------------------------------------------------------------
-    def put(self, item: Any):  # noqa: D102 - see Store.put
+    def put(self, item: Any) -> Waitable:  # noqa: D102 - see Store.put
         self.arrivals += 1
         had_getter = bool(self._getters)
         req = super().put(item)

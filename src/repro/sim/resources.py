@@ -94,7 +94,7 @@ class Store:
         return len(self._items)
 
     @property
-    def items(self) -> tuple:
+    def items(self) -> tuple[Any, ...]:
         """Snapshot of buffered items (oldest first)."""
         return tuple(self._items)
 

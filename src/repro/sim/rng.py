@@ -9,18 +9,27 @@ an *independent, named* stream derived from a single experiment seed, so
   NP/P × NB/B configurations at identical injected workloads).
 
 Streams use :class:`numpy.random.Generator` (PCG64) seeded via
-``numpy.random.SeedSequence.spawn``-style derivation keyed on a stable hash
-of the stream name.
+:class:`numpy.random.SeedSequence` with a ``spawn_key`` derived from the
+*full byte sequence* of the stream name.  Earlier revisions keyed streams
+on ``zlib.crc32(name)``, which maps distinct names to the same 32-bit key
+with birthday-paradox probability (~1 % at 10k streams) — a silent loss of
+stream independence.  The spawn-key derivation is injective in the name, so
+distinct names can never share a stream state, while the master-seed
+semantics (one integer seed reproduces the whole experiment) are unchanged.
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
 __all__ = ["RngRegistry", "geometric_gap"]
+
+#: Domain-separation tags so ``stream(name)`` and ``spawn(name)`` can never
+#: derive the same SeedSequence from one name.
+_STREAM_DOMAIN = 0
+_SPAWN_DOMAIN = 1
 
 
 class RngRegistry:
@@ -30,20 +39,27 @@ class RngRegistry:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
+    def _derive(self, name: str, domain: int) -> np.random.SeedSequence:
+        """SeedSequence keyed on the full name bytes (collision-free)."""
+        spawn_key: Tuple[int, ...] = (domain, *name.encode("utf-8"))
+        return np.random.SeedSequence(self.seed, spawn_key=spawn_key)
+
     def stream(self, name: str) -> np.random.Generator:
         """The generator for ``name`` (created on first use, then cached)."""
         gen = self._streams.get(name)
         if gen is None:
-            # Stable across processes/platforms: key on CRC32 of the name.
-            key = zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
-            gen = np.random.Generator(np.random.PCG64([self.seed, key]))
+            gen = np.random.Generator(
+                np.random.PCG64(self._derive(name, _STREAM_DOMAIN))
+            )
             self._streams[name] = gen
         return gen
 
     def spawn(self, name: str) -> "RngRegistry":
         """A child registry whose streams are independent of the parent's."""
-        key = zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
-        return RngRegistry(seed=(self.seed * 1_000_003 + key) & 0x7FFFFFFF)
+        child_seed = int(
+            self._derive(name, _SPAWN_DOMAIN).generate_state(1, np.uint64)[0]
+        )
+        return RngRegistry(seed=child_seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RngRegistry seed={self.seed} streams={len(self._streams)}>"

@@ -202,7 +202,7 @@ class Histogram:
         return f"<Histogram n={self.n} [{self.lo},{self.hi}) x{self.bins}>"
 
 
-def describe(samples: Sequence[float]) -> dict:
+def describe(samples: Sequence[float]) -> dict[str, float]:
     """Convenience: summary dict for a sequence of samples (used in reports)."""
     t = Tally()
     for s in samples:

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 __all__ = ["TraceRecord", "TraceLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace row."""
 

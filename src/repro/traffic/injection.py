@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.network.packet import Packet, PacketFactory
-from repro.sim.rng import geometric_gap
+from repro.sim.rng import RngRegistry, geometric_gap
 from repro.traffic.patterns import TrafficPattern
 
 __all__ = [
@@ -159,7 +159,13 @@ class TrafficSource:
         self.pattern = pattern
         self.process = process
         self.factory = factory or PacketFactory()
-        self.rng = rng if rng is not None else np.random.default_rng(node)
+        # Fallback stream for ad-hoc construction (tests, examples); real
+        # workloads pass a stream from their own seeded registry.
+        self.rng = (
+            rng
+            if rng is not None
+            else RngRegistry(seed=0).stream(f"source.{node}")
+        )
         self.generated = 0
 
     def next_gap(self) -> float:

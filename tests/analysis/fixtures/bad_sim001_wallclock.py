@@ -1,0 +1,12 @@
+# sim-lint: module=repro.sim.fixture
+"""SIM001 fixture: wall-clock sources inside simulation code."""
+import time
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def profile():
+    return time.monotonic() - perf_counter()

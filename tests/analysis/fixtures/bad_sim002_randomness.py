@@ -1,0 +1,16 @@
+# sim-lint: module=repro.core.fixture
+"""SIM002 fixture: randomness that bypasses RngRegistry streams."""
+import random
+import numpy as np
+
+
+def draw():
+    return random.random()
+
+
+def make_generator():
+    return np.random.default_rng()
+
+
+def global_state_draw():
+    return np.random.uniform(0.0, 1.0)

@@ -1,0 +1,10 @@
+"""SIM003 fixture: mutable default arguments (unscoped rule)."""
+
+
+def collect(values=[]):
+    values.append(1)
+    return values
+
+
+def index(table={}, *, seen=set()):
+    return table, seen

@@ -1,0 +1,10 @@
+# sim-lint: module=repro.network.fixture
+"""SIM004 fixture: float equality on simulation timestamps."""
+
+
+def window_closed(sim, boundary):
+    return sim.now == boundary
+
+
+def same_delivery(pkt, other):
+    return pkt.delivered_at != other.delivered_at

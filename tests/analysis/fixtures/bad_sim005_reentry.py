@@ -1,0 +1,13 @@
+"""SIM005 fixture: kernel re-entry from a process and a callback."""
+
+
+def pump_from_process(sim):
+    yield sim.timeout(10)
+    sim.run(until=100)
+
+
+def install_callback(sim):
+    def on_fire(_event):
+        sim.run(until=sim.now + 1)
+
+    return on_fire

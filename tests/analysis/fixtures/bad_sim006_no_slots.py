@@ -1,0 +1,14 @@
+# sim-lint: module=repro.network.fixture
+"""SIM006 fixture: hot-path dataclass without slots."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Credit:
+    port: int
+    vc: int
+
+
+@dataclass(frozen=True)
+class Stamp:
+    at: float

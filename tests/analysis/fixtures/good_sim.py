@@ -1,0 +1,48 @@
+# sim-lint: module=repro.sim.fixture
+"""Known-good fixture: the allowed counterparts of every SIM rule."""
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class Credit:
+    """SIM006: hot-path dataclass with slots declared."""
+
+    port: int
+    vc: int
+
+
+def make_stream(seed: int) -> np.random.Generator:
+    """SIM002: constructing seeded generator machinery is allowed."""
+    seq = np.random.SeedSequence(seed, spawn_key=(1, 2))
+    return np.random.Generator(np.random.PCG64(seq))
+
+
+def window_closed(now: float, boundary: float) -> bool:
+    """SIM004: ordered comparison on timestamps is the sanctioned form."""
+    return now >= boundary
+
+
+def collect(values: Optional[List[int]] = None) -> List[int]:
+    """SIM003: None default, construct inside the body."""
+    out = values if values is not None else []
+    out.append(1)
+    return out
+
+
+def top_level_driver(sim) -> float:
+    """SIM005: a plain top-level driver may pump the kernel."""
+    sim.run(until=100)
+    return sim.now
+
+
+def microbench() -> int:
+    """SIM005: a locally-built sub-simulator is not re-entry."""
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    sim.schedule(0.0, lambda: None)
+    sim.run()
+    return sim.event_count

@@ -1,0 +1,150 @@
+"""Ratchet-baseline semantics and CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import Baseline
+from repro.analysis.linter import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_finding(path="src/repro/sim/x.py", code="SIM003", line=4):
+    return Finding(path=path, line=line, col=0, code=code, message="test finding")
+
+
+# ----------------------------------------------------------------------
+# Ratchet semantics
+# ----------------------------------------------------------------------
+
+def test_empty_baseline_marks_everything_new():
+    f = make_finding()
+    result = Baseline().ratchet([f])
+    assert result.new == [f]
+    assert result.known == []
+    assert result.stale == []
+    assert not result.ok
+
+
+def test_known_findings_are_tolerated():
+    f = make_finding()
+    baseline = Baseline.from_findings([f])
+    result = baseline.ratchet([f])
+    assert result.new == []
+    assert result.known == [f]
+    assert result.ok
+
+
+def test_stale_entries_are_reported():
+    gone = make_finding(line=99)
+    still = make_finding(line=4)
+    baseline = Baseline.from_findings([gone, still])
+    result = baseline.ratchet([still])
+    assert result.ok
+    assert result.stale == [gone.key]
+
+
+def test_same_line_different_code_is_new():
+    baseline = Baseline.from_findings([make_finding(code="SIM003")])
+    result = baseline.ratchet([make_finding(code="SIM004")])
+    assert not result.ok
+
+
+def test_write_load_round_trip(tmp_path):
+    f1 = make_finding(line=4)
+    f2 = make_finding(path="src/repro/network/y.py", code="SIM006", line=9)
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([f1, f2]).write(path)
+
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert sorted(payload["findings"]) == sorted([f1.key, f2.key])
+
+    loaded = Baseline.load(path)
+    assert loaded.keys == frozenset({f1.key, f2.key})
+
+
+def test_load_missing_file_is_empty_baseline(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").keys == frozenset()
+
+
+def test_load_malformed_file_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[]")
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_shipped_baseline_is_empty():
+    """The tree ships lint-clean; the checked-in baseline holds no debt."""
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    assert baseline.keys == frozenset()
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+
+def test_cli_lint_clean_tree_exits_zero(capsys):
+    rc = main(["lint", str(REPO_ROOT / "src"), "--no-baseline"])
+    assert rc == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_cli_lint_bad_fixture_exits_one(capsys):
+    rc = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_sim003_mutable_default.py"),
+            "--no-baseline",
+            "--include-fixtures",
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SIM003" in out and "new finding" in out
+
+
+def test_cli_lint_json_format(capsys):
+    rc = main(
+        [
+            "--format=json",
+            "lint",
+            str(FIXTURES / "bad_sim004_float_eq.py"),
+            "--no-baseline",
+            "--include-fixtures",
+        ]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert [f["code"] for f in payload["new"]] == ["SIM004", "SIM004"]
+    assert [f["line"] for f in payload["new"]] == [6, 10]
+
+
+def test_cli_baseline_tolerates_then_ratchets(tmp_path, capsys):
+    bad = str(FIXTURES / "bad_sim006_no_slots.py")
+    baseline = str(tmp_path / "baseline.json")
+
+    rc = main(["lint", bad, "--baseline", baseline, "--write-baseline",
+               "--include-fixtures"])
+    assert rc == 0
+
+    rc = main(["lint", bad, "--baseline", baseline, "--include-fixtures"])
+    assert rc == 0
+    assert "tolerated by baseline" in capsys.readouterr().out
+
+    rc = main(["lint", str(FIXTURES / "good_sim.py"), "--baseline", baseline,
+               "--include-fixtures"])
+    assert rc == 0
+    assert "no longer reproduce" in capsys.readouterr().out
+
+
+def test_cli_missing_path_exits_two(capsys):
+    rc = main(["lint", "definitely/not/a/path.py"])
+    assert rc == 2
+    assert "no such path" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""Determinism auditor tests.
+
+Covers the three promises of the auditor: the real engine fingerprints
+identically run-over-run, an intentionally nondeterministic toy kernel is
+flagged, and fingerprint comparison pinpoints the first divergence.
+"""
+
+from repro.analysis.determinism import (
+    AuditReport,
+    audit,
+    check_repeatable,
+    compare_fingerprints,
+    fingerprint_parts,
+    simulate_fingerprint,
+)
+
+
+def test_fingerprint_is_pure_function_of_parts():
+    a = fingerprint_parts(["e1", "e2"], {"latency": 1.5, "power": 0.25})
+    b = fingerprint_parts(["e1", "e2"], {"power": 0.25, "latency": 1.5})
+    assert a.digest == b.digest  # metric insertion order must not matter
+    c = fingerprint_parts(["e1", "e3"], {"latency": 1.5, "power": 0.25})
+    assert a.digest != c.digest
+
+
+def test_compare_fingerprints_reports_first_divergence():
+    a = fingerprint_parts(["e1", "e2"], {"latency": 1.5})
+    b = fingerprint_parts(["e1", "e9"], {"latency": 1.5})
+    diff = compare_fingerprints(a, b)
+    assert diff is not None
+    assert "trace line 1" in diff and "e2" in diff and "e9" in diff
+
+    c = fingerprint_parts(["e1", "e2"], {"latency": 1.5})
+    d = fingerprint_parts(["e1", "e2"], {"latency": 2.5})
+    diff = compare_fingerprints(c, d)
+    assert diff is not None and "latency" in diff
+
+    assert compare_fingerprints(a, a) is None
+
+
+def test_real_engine_same_seed_same_fingerprint():
+    f1 = simulate_fingerprint(seed=7, boards=2, nodes_per_board=2)
+    f2 = simulate_fingerprint(seed=7, boards=2, nodes_per_board=2)
+    assert f1.digest == f2.digest
+    assert f1.metrics == f2.metrics
+
+
+def test_real_engine_different_seed_different_fingerprint():
+    f1 = simulate_fingerprint(seed=7, boards=2, nodes_per_board=2)
+    f2 = simulate_fingerprint(seed=8, boards=2, nodes_per_board=2)
+    assert f1.digest != f2.digest
+
+
+def test_permuted_insertion_order_is_repeatable():
+    f1 = simulate_fingerprint(seed=7, boards=2, nodes_per_board=2, permuted=True)
+    f2 = simulate_fingerprint(seed=7, boards=2, nodes_per_board=2, permuted=True)
+    assert f1.digest == f2.digest
+
+
+def test_audit_passes_on_the_real_engine():
+    report = audit(seed=3, boards=2, nodes_per_board=2)
+    assert report.ok
+    assert len(report.checks) == 2
+    assert all(c.ok for c in report.checks)
+    payload = report.to_json()
+    assert payload["ok"] is True
+    names = {c["name"] for c in payload["checks"]}
+    assert names == {
+        "same-seed repeatability (default event-insertion order)",
+        "same-seed repeatability (permuted event-insertion order)",
+    }
+    assert "deterministic" in report.format()
+
+
+class _BrokenKernel:
+    """Toy kernel whose event order leaks incidental interpreter state.
+
+    Iterating a set of strings is the classic accidental-nondeterminism
+    bug: the order depends on interpreter state, not the seed.  We model
+    it deterministically-per-call with a class counter so the test does
+    not itself depend on hash randomization.
+    """
+
+    calls = 0
+
+    def run(self):
+        type(self).calls += 1
+        events = [f"ev{i}" for i in range(4)]
+        if type(self).calls % 2 == 0:  # order flips on every other run
+            events.reverse()
+        return events
+
+
+def test_nondeterministic_toy_kernel_is_flagged():
+    def make_fingerprint():
+        lines = _BrokenKernel().run()
+        return fingerprint_parts(lines, {"events": float(len(lines))})
+
+    check = check_repeatable("broken toy kernel", make_fingerprint, runs=2)
+    assert not check.ok
+    assert "run 0 vs run 1" in check.detail
+    assert "trace line 0" in check.detail
+
+    report = AuditReport(checks=(check,))
+    assert not report.ok
+    assert "FAIL" in report.format()
+    assert "NONDETERMINISM DETECTED" in report.format()
+
+
+def test_deterministic_toy_kernel_passes():
+    def make_fingerprint():
+        return fingerprint_parts(["a", "b"], {"n": 2.0})
+
+    check = check_repeatable("ok toy kernel", make_fingerprint, runs=3)
+    assert check.ok
+    assert "bit-identical" in check.detail

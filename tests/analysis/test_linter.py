@@ -1,0 +1,182 @@
+"""Linter tests: exact rule codes and line numbers per fixture.
+
+The on-disk fixtures under ``tests/analysis/fixtures/`` carry a
+``# sim-lint: module=...`` marker so the scoped rules (SIM001/2/4/6) fire
+outside the package tree; inline snippets pass ``module=`` directly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.linter import lint_paths, lint_source, module_name_for_path
+from repro.analysis.rules import RULES, rule_for
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes_and_lines(findings):
+    return [(f.code, f.line) for f in findings]
+
+
+def lint_fixture(name):
+    return lint_paths([FIXTURES / name], include_fixtures=True)
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: exact codes and line numbers
+# ----------------------------------------------------------------------
+
+def test_sim001_wallclock_fixture():
+    findings = lint_fixture("bad_sim001_wallclock.py")
+    assert codes_and_lines(findings) == [
+        ("SIM001", 4),   # from time import perf_counter
+        ("SIM001", 8),   # time.time()
+        ("SIM001", 12),  # time.monotonic()
+        ("SIM001", 12),  # perf_counter() via the from-import alias
+    ]
+
+
+def test_sim002_randomness_fixture():
+    findings = lint_fixture("bad_sim002_randomness.py")
+    assert codes_and_lines(findings) == [
+        ("SIM002", 3),   # import random
+        ("SIM002", 8),   # random.random()
+        ("SIM002", 12),  # np.random.default_rng()
+        ("SIM002", 16),  # np.random.uniform(...)
+    ]
+
+
+def test_sim003_mutable_default_fixture():
+    findings = lint_fixture("bad_sim003_mutable_default.py")
+    assert codes_and_lines(findings) == [
+        ("SIM003", 4),   # values=[]
+        ("SIM003", 9),   # table={}
+        ("SIM003", 9),   # seen=set()
+    ]
+
+
+def test_sim004_float_eq_fixture():
+    findings = lint_fixture("bad_sim004_float_eq.py")
+    assert codes_and_lines(findings) == [
+        ("SIM004", 6),   # sim.now == boundary
+        ("SIM004", 10),  # delivered_at != ...
+    ]
+
+
+def test_sim005_reentry_fixture():
+    findings = lint_fixture("bad_sim005_reentry.py")
+    assert codes_and_lines(findings) == [
+        ("SIM005", 6),   # sim.run() inside a process generator
+        ("SIM005", 11),  # sim.run() inside a callback closure
+    ]
+
+
+def test_sim006_no_slots_fixture():
+    findings = lint_fixture("bad_sim006_no_slots.py")
+    assert codes_and_lines(findings) == [
+        ("SIM006", 7),   # class Credit (bare @dataclass)
+        ("SIM006", 13),  # class Stamp (@dataclass(frozen=True), no slots)
+    ]
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("good_sim.py") == []
+
+
+def test_fixtures_dir_skipped_without_flag():
+    assert lint_paths([FIXTURES]) == []
+    assert lint_paths([FIXTURES], include_fixtures=True) != []
+
+
+# ----------------------------------------------------------------------
+# Scoping
+# ----------------------------------------------------------------------
+
+def test_sim001_only_fires_in_simulation_core():
+    snippet = "import time\n\ndef f():\n    return time.time()\n"
+    assert lint_source(snippet, module="repro.experiments.runner") == []
+    hits = lint_source(snippet, module="repro.sim.kernel")
+    assert codes_and_lines(hits) == [("SIM001", 4)]
+
+
+def test_sim006_only_fires_in_hot_paths():
+    snippet = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\nclass Row:\n    x: int\n"
+    )
+    assert lint_source(snippet, module="repro.metrics.report") == []
+    hits = lint_source(snippet, module="repro.network.credit")
+    assert codes_and_lines(hits) == [("SIM006", 4)]
+
+
+def test_unscoped_file_gets_only_universal_rules():
+    snippet = (
+        "import time\n\n"
+        "def f(xs=[]):\n"
+        "    return time.time(), xs\n"
+    )
+    hits = lint_source(snippet)  # no module: SIM001 inactive, SIM003 active
+    assert codes_and_lines(hits) == [("SIM003", 3)]
+
+
+def test_module_name_derived_from_path():
+    assert (
+        module_name_for_path(Path("src/repro/sim/kernel.py")) == "repro.sim.kernel"
+    )
+    assert module_name_for_path(Path("src/repro/optics/__init__.py")) == "repro.optics"
+    assert module_name_for_path(Path("tests/test_foo.py")) is None
+
+
+# ----------------------------------------------------------------------
+# Suppressions, allowances, registry
+# ----------------------------------------------------------------------
+
+def test_suppression_comment_silences_one_line():
+    snippet = (
+        "def f(sim, t):\n"
+        "    return sim.now == t  # sim-lint: ignore[SIM004]\n"
+    )
+    assert lint_source(snippet, module="repro.sim.x") == []
+
+
+def test_suppression_with_wrong_code_does_not_silence():
+    snippet = (
+        "def f(sim, t):\n"
+        "    return sim.now == t  # sim-lint: ignore[SIM001]\n"
+    )
+    assert codes_and_lines(lint_source(snippet, module="repro.sim.x")) == [
+        ("SIM004", 2)
+    ]
+
+
+def test_rng_machinery_construction_allowed():
+    snippet = (
+        "import numpy as np\n\n"
+        "def make(seed):\n"
+        "    seq = np.random.SeedSequence(seed, spawn_key=(1,))\n"
+        "    return np.random.Generator(np.random.PCG64(seq))\n"
+    )
+    assert lint_source(snippet, module="repro.sim.rng") == []
+
+
+def test_pytest_approx_comparisons_allowed():
+    snippet = (
+        "import pytest\n\n"
+        "def check(sim):\n"
+        "    assert sim.now == pytest.approx(10.0)\n"
+    )
+    assert lint_source(snippet, module="repro.sim.x") == []
+
+
+def test_every_rule_has_code_title_and_hint():
+    for rule in RULES:
+        assert rule.code.startswith("SIM") and len(rule.code) == 6
+        assert rule.title and rule.rationale and rule.hint
+        assert rule_for(rule.code) is rule
+
+
+def test_shipped_tree_is_lint_clean():
+    """The satellite promise: the real src/ tree has zero findings."""
+    repo_root = Path(__file__).resolve().parents[2]
+    assert lint_paths([repo_root / "src"]) == []

@@ -58,8 +58,11 @@ def test_engine_invariants_hold_everywhere(params):
     assert in_flight <= len(engine.channels) + 2 * 16 + 16
 
     # --- latency floor -------------------------------------------------
+    # Physical floor: a board-local packet pays two 32-cycle port
+    # serializations plus the 4-cycle router pipeline; remote packets pay
+    # strictly more, so no mix can average below 68.
     if result.labeled_delivered:
-        assert result.avg_latency >= 100.0
+        assert result.avg_latency >= 68.0
 
     # --- power bounds ---------------------------------------------------
     max_mw = len(engine.srs.all_channels()) * 43.03

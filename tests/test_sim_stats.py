@@ -200,6 +200,33 @@ def test_rng_spawn_differs_from_parent():
     assert xs != ys
 
 
+def test_rng_crc32_colliding_names_get_distinct_streams():
+    """Regression: name keying must be injective, not hash-based.
+
+    'l98cu' and 'pvdba' share a CRC32 (0x5304d385); under the old
+    zlib.crc32-derived stream keys they would have drawn identical
+    sequences.  SeedSequence spawn keys built from the name bytes keep
+    them distinct.
+    """
+    import zlib
+
+    a_name, b_name = "l98cu", "pvdba"
+    assert zlib.crc32(a_name.encode()) == zlib.crc32(b_name.encode())
+    reg = RngRegistry(seed=7)
+    xs = list(reg.stream(a_name).integers(0, 1_000_000, 16))
+    ys = list(reg.stream(b_name).integers(0, 1_000_000, 16))
+    assert xs != ys
+
+
+def test_rng_stream_and_spawn_domains_are_separated():
+    """The same name used for stream() and spawn() must not alias state."""
+    reg = RngRegistry(seed=7)
+    stream_draws = list(reg.stream("trial0").integers(0, 1_000_000, 8))
+    child = reg.spawn("trial0")
+    child_draws = list(child.stream("trial0").integers(0, 1_000_000, 8))
+    assert stream_draws != child_draws
+
+
 def test_geometric_gap_edge_cases():
     rng = RngRegistry(seed=0).stream("g")
     assert geometric_gap(rng, 0.0) >= 1 << 29
