@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint determinism typecheck baseline
+.PHONY: check test lint determinism typecheck baseline bench
 
 # The single correctness gate: tier-1 tests, the simulation-invariant
 # linter (ratcheted against analysis-baseline.json), the determinism
@@ -29,3 +29,7 @@ typecheck:
 # Re-ratchet the lint baseline (the file may only ever shrink).
 baseline:
 	$(PYTHON) -m repro.analysis lint src tests benchmarks examples --write-baseline
+
+# Regenerate the tracked performance reports (BENCH_*.json at repo root).
+bench:
+	$(PYTHON) -m repro.perf bench

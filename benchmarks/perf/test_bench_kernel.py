@@ -1,0 +1,42 @@
+"""Bench: event-kernel throughput, current kernel vs frozen legacy kernel.
+
+This is the tracked form of the hot-path optimization claim: the current
+tuple-keyed kernel must process events faster than the pre-optimization
+object-heap kernel preserved in :mod:`repro.perf.legacy`.  The full
+(non-``--quick``) numbers live in ``BENCH_kernel.json`` at the repo root,
+regenerated with ``make bench``; this bench runs the reduced workload so
+CI smoke stays cheap, and only sanity-checks the measurement itself —
+timer noise on shared runners makes a hard speedup gate flaky, so the
+ratio assertion here is deliberately loose.
+"""
+
+import json
+
+from repro.perf.bench import bench_kernel, write_report
+
+
+def test_bench_kernel_smoke(results_dir):
+    report = bench_kernel(quick=True)
+
+    # Structural validity: both kernels ran and produced positive rates.
+    for family in ("storm", "audit16"):
+        assert report[family]["current"]["events_per_sec"] > 0
+        assert report[family]["legacy"]["events_per_sec"] > 0
+        assert report[family]["speedup"] > 0
+
+    # Both kernels must execute the *same* deterministic workload.
+    assert report["storm"]["current"]["events"] == report["storm"]["legacy"]["events"]
+    assert (
+        report["audit16"]["current"]["events"]
+        == report["audit16"]["legacy"]["events"]
+    )
+
+    path = results_dir / "bench_kernel_quick.json"
+    write_report(report, path)
+    print(
+        "kernel quick: storm {:.2f}x, audit16 {:.2f}x vs legacy "
+        "[saved to {}]".format(
+            report["storm"]["speedup"], report["audit16"]["speedup"], path
+        )
+    )
+    assert json.loads(path.read_text())["benchmark"] == "kernel"

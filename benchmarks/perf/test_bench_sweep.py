@@ -1,0 +1,45 @@
+"""Bench: end-to-end sweep wall time — serial vs process pool vs cache.
+
+Wall-time numbers are informational (they depend on the runner); what is
+asserted hard is the determinism contract that makes the parallel and
+cached paths usable at all: every execution mode must fingerprint
+bit-identical to the serial sweep, and a warm cache must serve every run
+without executing anything.
+"""
+
+import json
+
+from repro.perf.bench import bench_sweep, write_report
+
+
+def test_bench_sweep_smoke(results_dir):
+    report = bench_sweep(quick=True, jobs=2)
+
+    det = report["determinism"]
+    assert det["parallel_matches_serial"], det
+    assert det["cached_matches_serial"], det
+
+    # The warm pass must be 100% hits: one store per run on the cold pass,
+    # one hit per run on the warm pass, zero stray misses afterwards.
+    stats = report["cache_stats"]
+    assert stats["stores"] == report["runs"]
+    assert stats["hits"] == report["runs"]
+    assert stats["misses"] == report["runs"]  # cold pass misses only
+
+    assert report["serial_seconds"] > 0
+    assert report["parallel_seconds"] > 0
+    assert report["cache_warm_seconds"] > 0
+
+    path = results_dir / "bench_sweep_quick.json"
+    write_report(report, path)
+    print(
+        "sweep quick ({} runs): serial {:.2f}s, jobs=2 {:.2f}s, "
+        "warm cache {:.2f}s [saved to {}]".format(
+            report["runs"],
+            report["serial_seconds"],
+            report["parallel_seconds"],
+            report["cache_warm_seconds"],
+            path,
+        )
+    )
+    assert json.loads(path.read_text())["benchmark"] == "sweep"

@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 from repro.core.config import ControlParams, ERapidConfig
 from repro.core.engine import FastEngine
 from repro.core.policies import make_policy
-from repro.metrics.collector import MeasurementPlan
+from repro.metrics.collector import MeasurementPlan, RunResult
 from repro.network.topology import ERapidTopology
 from repro.sim.trace import TraceLog
 from repro.traffic.workload import WorkloadSpec
@@ -42,6 +42,7 @@ __all__ = [
     "AuditReport",
     "audit",
     "simulate_fingerprint",
+    "sweep_fingerprint",
     "fingerprint_parts",
     "check_repeatable",
     "compare_fingerprints",
@@ -193,6 +194,26 @@ def simulate_fingerprint(
         metrics[f"extra.{k}"] = v
     trace_lines = [rec.format() for rec in trace.records]
     return fingerprint_parts(trace_lines, metrics)
+
+
+def sweep_fingerprint(results: Dict[str, List[RunResult]]) -> str:
+    """SHA-256 over a ``{policy: [RunResult, ...]}`` sweep outcome.
+
+    The digest covers every scalar metric and ``extra`` entry of every
+    run via the exact (repr-based) :meth:`RunResult.to_dict` encoding, so
+    two sweeps fingerprint equal iff they are bit-identical.  Used to
+    assert that parallel (``jobs=N``) and cached sweep execution
+    reproduce serial output exactly.
+    """
+    payload = json.dumps(
+        {
+            policy: [r.to_dict() for r in runs]
+            for policy, runs in sorted(results.items())
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

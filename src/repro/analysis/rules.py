@@ -32,6 +32,7 @@ SIM_CORE_PREFIXES: Tuple[str, ...] = (
 HOT_PATH_PREFIXES: Tuple[str, ...] = (
     "repro.sim",
     "repro.network",
+    "repro.core",
 )
 
 #: Everything shipped under ``repro.`` except the tooling itself.

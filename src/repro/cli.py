@@ -3,8 +3,8 @@
 ::
 
     erapid run       --pattern complement --policy P-B --load 0.5
-    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--csv out.csv]
-    erapid reproduce --out results/
+    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--csv out.csv]
+    erapid reproduce --out results/ [--jobs N] [--no-cache]
     erapid fig3
     erapid table1
     erapid rwa       --boards 8
@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--boards", type=int, default=8)
     sweep.add_argument("--nodes", type=int, default=8)
     sweep.add_argument("--csv", default=None, help="write results to CSV")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the (policy x load) matrix in N worker processes "
+        "(bit-identical to serial)",
+    )
 
     sub.add_parser("table1", help="regenerate Table 1")
     sub.add_parser("fig3", help="design-space time series (Figure 3)")
@@ -62,6 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repro_cmd.add_argument("--out", default="results")
     repro_cmd.add_argument("--loads", default="0.1,0.3,0.5,0.7,0.9")
+    repro_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep stage (bit-identical to serial)",
+    )
+    repro_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed run cache "
+        "($ERAPID_CACHE_DIR or ~/.cache/erapid/runs)",
+    )
 
     rwa = sub.add_parser("rwa", help="print the static RWA (Figure 1)")
     rwa.add_argument("--boards", type=int, default=4)
@@ -115,7 +134,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             pattern=args.pattern, loads=loads, boards=args.boards,
             nodes_per_board=args.nodes,
         )
-        panel = FigurePanel.run(spec)
+
+        def sweep_progress(policy: str, load: float, result) -> None:
+            print(
+                f"  {policy:>5} load={load:.1f} thr={result.throughput:.4f} "
+                f"power={result.power_mw:.1f}mW"
+            )
+
+        panel = FigurePanel.run(spec, progress=sweep_progress, jobs=args.jobs)
         print(panel.render())
         if args.csv:
             path = write_csv(args.csv, sweep_rows(panel.results))
@@ -139,7 +165,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.runner import reproduce_all
 
         loads = tuple(float(x) for x in args.loads.split(","))
-        reproduce_all(args.out, loads=loads)
+        reproduce_all(
+            args.out, loads=loads, jobs=args.jobs, cache=not args.no_cache
+        )
         return 0
 
     if args.command == "rwa":

@@ -25,6 +25,8 @@ __all__ = ["BoardModel"]
 class BoardModel:
     """Nodes + per-destination transmitter queues for one board."""
 
+    __slots__ = ("board", "nodes", "tx_queues")
+
     def __init__(
         self,
         sim: "Simulator",

@@ -21,7 +21,7 @@ from repro.core.policies import ReconfigPolicy, NP_NB
 __all__ = ["RouterParams", "ControlParams", "ERapidConfig"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouterParams:
     """Electrical router model (Table 1, after the SGI Spider chip)."""
 
@@ -66,7 +66,7 @@ class RouterParams:
         return (self.packet_bytes * 8) // self.channel_bits
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlParams:
     """Lock-Step control-plane timing (§3.2 / Figure 4)."""
 
@@ -106,7 +106,7 @@ class ControlParams:
         return sum(self.dbr_stage_latencies(boards, nodes_per_board).values())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ERapidConfig:
     """Everything one E-RAPID simulation run needs."""
 

@@ -35,7 +35,7 @@ from repro.optics.rwa import StaticRWA
 __all__ = ["DestDemand", "WavelengthState", "dbr_plan", "classify"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WavelengthState:
     """One incoming wavelength at the destination (RC's link-statistic row)."""
 
@@ -46,7 +46,7 @@ class WavelengthState:
     failed: bool = False          # dead laser/receiver: never grantable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DestDemand:
     """One source board's demand toward the destination."""
 

@@ -28,7 +28,7 @@ from repro.core.policies import Thresholds
 __all__ = ["LinkWindowStats", "DpmAction", "dpm_decide"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkWindowStats:
     """One LC's hardware counters over the previous window R_w."""
 

@@ -33,6 +33,25 @@ __all__ = ["OpticalChannel"]
 class OpticalChannel:
     """State + LC for one (λ, destination board) optical channel."""
 
+    __slots__ = (
+        "engine",
+        "wavelength",
+        "dest",
+        "key",
+        "level",
+        "sleeping",
+        "stall_until",
+        "busy",
+        "busy_signal",
+        "work_signal",
+        "idle",
+        "packets_served",
+        "dpm_transitions",
+        "sleeps",
+        "wakes",
+        "util_smoothed",
+    )
+
     def __init__(self, engine: "FastEngine", wavelength: int, dest: int) -> None:
         self.engine = engine
         self.wavelength = wavelength

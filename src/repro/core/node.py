@@ -20,6 +20,8 @@ __all__ = ["NodeModel"]
 class NodeModel:
     """Queues and counters for one compute node."""
 
+    __slots__ = ("node_id", "board", "send_queue", "recv_queue", "injected", "delivered")
+
     def __init__(self, sim: "Simulator", node_id: int, board: int) -> None:
         self.node_id = node_id
         self.board = board

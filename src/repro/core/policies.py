@@ -34,7 +34,7 @@ __all__ = ["Thresholds", "ReconfigPolicy", "NP_NB", "P_NB", "NP_B", "P_B",
            "POLICIES", "make_policy"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Thresholds:
     """Utilization thresholds driving DPM (§3.1) and DBR (§3.2)."""
 
@@ -63,7 +63,7 @@ class Thresholds:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReconfigPolicy:
     """One corner of the power/bandwidth design space."""
 

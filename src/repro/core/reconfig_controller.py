@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["WindowSnapshot", "PairWindowStats", "ReconfigController"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PairWindowStats:
     """Per (source, dest) board-pair stats over the closed window."""
 
@@ -44,7 +44,7 @@ class PairWindowStats:
     channel_count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowSnapshot:
     """Everything the RCs need from the window that just closed."""
 

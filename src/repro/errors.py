@@ -45,3 +45,8 @@ class ProtocolError(ReproError):
 
 class MeasurementError(ReproError):
     """Raised for invalid measurement configuration (e.g. zero-length window)."""
+
+
+class CacheError(ReproError):
+    """Raised when a run-cache key cannot be derived (unfingerprintable
+    configuration object) — never for a routine miss."""

@@ -4,12 +4,20 @@
 whole evaluation — Table 1, Figures 1/3/4/5/6 and the ablations — and
 writes text renderings plus CSVs into the output directory.  This is the
 programmatic equivalent of running the full bench suite.
+
+The dominant cost is stage 3, the Figure 5/6 load sweeps: a (4 patterns ×
+4 policies × loads) matrix of independent runs.  That stage fans out to a
+process pool (``jobs=N`` / ``erapid reproduce --jobs N``) and is backed by
+the content-addressed run cache (:mod:`repro.perf.cache`), so a repeated
+invocation replays the sweep stage entirely from disk.  Stage timings are
+measured with ``time.perf_counter`` and reported per stage in the final
+log line.
 """
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.ablations import (
@@ -21,9 +29,10 @@ from repro.experiments.ablations import (
 from repro.experiments.fig3 import render_fig3, run_fig3
 from repro.experiments.figures import FigurePanel
 from repro.experiments.io import sweep_rows, write_csv
-from repro.experiments.sweep import SweepSpec
+from repro.experiments.sweep import SweepSpec, run_sweep_matrix
 from repro.experiments.table1 import render_table1, table1_checks
-from repro.metrics.collector import MeasurementPlan
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.perf.cache import RunCache
 
 __all__ = ["reproduce_all", "FIGURE_PATTERNS"]
 
@@ -36,16 +45,39 @@ FIGURE_PATTERNS = {
 }
 
 
+def _resolve_cache(cache: Union[bool, RunCache, None]) -> Optional[RunCache]:
+    """``True`` → default store, ``False``/``None`` → disabled."""
+    if isinstance(cache, RunCache):
+        return cache
+    if cache:
+        return RunCache()
+    return None
+
+
 def reproduce_all(
     out_dir: Union[str, Path],
     loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     plan: Optional[MeasurementPlan] = None,
     log: Callable[[str], None] = print,
+    jobs: int = 1,
+    cache: Union[bool, RunCache, None] = True,
 ) -> Dict[str, Path]:
-    """Run every experiment; returns {artifact name: path}."""
+    """Run every experiment; returns {artifact name: path}.
+
+    Parameters
+    ----------
+    jobs:
+        Process-pool width for the sweep stage (``1`` = serial).  Output
+        is bit-identical for every value.
+    cache:
+        ``True`` (default) memoizes sweep runs in the default run cache
+        (``$ERAPID_CACHE_DIR`` or ``~/.cache/erapid/runs``); pass a
+        :class:`RunCache` to choose the store, or ``False`` to disable.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     plan = plan or MeasurementPlan(warmup=8000, measure=10000, drain_limit=16000)
+    run_cache = _resolve_cache(cache)
     written: Dict[str, Path] = {}
 
     def save(name: str, text: str) -> None:
@@ -54,7 +86,7 @@ def reproduce_all(
         written[name] = path
         log(f"  wrote {path}")
 
-    t0 = time.time()
+    start = perf_counter()
     log("[1/4] Table 1 + Figure 1 ...")
     table1_checks()
     save("table1_parameters", render_table1())
@@ -63,20 +95,51 @@ def reproduce_all(
     rwa = StaticRWA(8)
     rwa.validate()
     save("fig1_rwa", "Static RWA, R(1,8,8):\n" + rwa.render_table())
+    table_s = perf_counter() - start
 
+    start = perf_counter()
     log("[2/4] Figure 3 design-space time series ...")
     save("fig3_design_space", render_fig3(run_fig3()))
+    fig3_s = perf_counter() - start
 
-    log("[3/4] Figure 5/6 load sweeps (4 patterns x 4 policies) ...")
-    for name, pattern in FIGURE_PATTERNS.items():
-        panel = FigurePanel.run(
-            SweepSpec(pattern=pattern, loads=tuple(loads), plan=plan)
+    start = perf_counter()
+    mode = f"jobs={jobs}" if jobs > 1 else "serial"
+    cache_note = "cached" if run_cache is not None else "no cache"
+    log(f"[3/4] Figure 5/6 load sweeps (4 patterns x 4 policies, {mode}, "
+        f"{cache_note}) ...")
+    specs = {
+        name: SweepSpec(pattern=pattern, loads=tuple(loads), plan=plan)
+        for name, pattern in FIGURE_PATTERNS.items()
+    }
+
+    def progress(
+        panel: str, policy: str, load: float, result: RunResult, cached: bool
+    ) -> None:
+        suffix = " (cached)" if cached else ""
+        log(
+            f"  [{panel}] {policy:>5} load={load:.1f} "
+            f"thr={result.throughput:.4f} power={result.power_mw:.1f}mW{suffix}"
         )
+
+    matrix = run_sweep_matrix(
+        specs, progress=progress, jobs=jobs, cache=run_cache
+    )
+    for name, spec in specs.items():
+        panel = FigurePanel(spec, matrix[name])
         save(name, panel.render())
         csv_path = write_csv(out / f"{name}.csv", sweep_rows(panel.results))
         written[f"{name}.csv"] = csv_path
         log(f"  wrote {csv_path}")
+    if run_cache is not None:
+        stats = run_cache.stats()
+        total = stats["hits"] + stats["misses"]
+        log(
+            f"  sweep cache: {stats['hits']}/{total} hits "
+            f"({stats['stores']} stored) in {run_cache.root}"
+        )
+    sweeps_s = perf_counter() - start
 
+    start = perf_counter()
     log("[4/4] Ablations ...")
     for name, fn in (
         ("ablation_window", ablate_window),
@@ -86,6 +149,12 @@ def reproduce_all(
     ):
         _, table = fn()
         save(name, table)
+    ablations_s = perf_counter() - start
 
-    log(f"done in {time.time() - t0:.0f}s — {len(written)} artifacts in {out}")
+    total_s = table_s + fig3_s + sweeps_s + ablations_s
+    log(
+        f"done in {total_s:.1f}s (table {table_s:.1f}s, fig3 {fig3_s:.1f}s, "
+        f"sweeps {sweeps_s:.1f}s, ablations {ablations_s:.1f}s) — "
+        f"{len(written)} artifacts in {out}"
+    )
     return written

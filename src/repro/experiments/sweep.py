@@ -4,24 +4,57 @@
 network capacity; each (policy, pattern, load) triple is one simulation
 run.  :func:`run_sweep` executes the matrix with common random numbers
 across policies so curves differ only by the mechanism under test.
+
+Every cell of the matrix is an independent simulation, so the runner
+supports:
+
+* ``jobs=N`` — fan the runs out to a process pool
+  (:mod:`repro.perf.executor`); results are reassembled in task order and
+  are bit-identical to serial execution;
+* ``cache=RunCache(...)`` — skip runs whose content address
+  (:mod:`repro.perf.cache`) is already on disk;
+* ``progress(...)`` — stream per-run completion lines (cache hits first,
+  in deterministic order, then live runs as they finish).
+
+:func:`run_sweep_matrix` is the multi-panel generalization ``reproduce``
+uses to fan all four Figure 5/6 panels into one pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.config import ERapidConfig
-from repro.core.engine import FastEngine
 from repro.core.policies import POLICIES
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MeasurementPlan, RunResult
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["SweepSpec", "run_sweep", "PAPER_LOADS"]
+__all__ = [
+    "SweepSpec",
+    "run_sweep",
+    "run_sweep_matrix",
+    "PAPER_LOADS",
+    "MatrixProgress",
+    "SweepProgress",
+]
 
 #: §4's sweep points.
 PAPER_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: ``progress(policy, load, result)`` — per-run completion hook.
+SweepProgress = Callable[[str, float, RunResult], None]
+#: ``progress(panel, policy, load, result, cached)`` — matrix-wide hook.
+MatrixProgress = Callable[[str, str, float, RunResult, bool], None]
 
 
 @dataclass(frozen=True)
@@ -48,36 +81,125 @@ class SweepSpec:
                 raise ConfigurationError(f"unknown policy {p!r}")
 
 
+def _default_config(spec: SweepSpec) -> ERapidConfig:
+    from repro.network.topology import ERapidTopology
+
+    return ERapidConfig(
+        topology=ERapidTopology(
+            boards=spec.boards, nodes_per_board=spec.nodes_per_board
+        )
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     base_config: Optional[ERapidConfig] = None,
-    progress=None,
+    progress: Optional[SweepProgress] = None,
+    jobs: int = 1,
+    cache: Optional["RunCache"] = None,
 ) -> Dict[str, List[RunResult]]:
     """Run the full (policy × load) matrix; returns {policy: [results]}.
 
     ``progress(policy, load, result)`` is invoked after each run when
-    given (the CLI uses it for live output).
+    given (the CLI uses it for live output).  ``jobs``/``cache`` behave as
+    documented on :func:`run_sweep_matrix`; outputs are bit-identical for
+    every ``jobs`` value and across cache hits.
     """
-    from repro.network.topology import ERapidTopology
+    matrix_progress: Optional[MatrixProgress] = None
+    if progress is not None:
+        hook = progress  # narrow for the closure
 
-    if base_config is None:
-        base_config = ERapidConfig(
-            topology=ERapidTopology(
-                boards=spec.boards, nodes_per_board=spec.nodes_per_board
-            )
-        )
-    results: Dict[str, List[RunResult]] = {}
-    for policy_name in spec.policies:
-        config = base_config.with_policy(POLICIES[policy_name])
-        runs: List[RunResult] = []
-        for load in spec.loads:
-            workload = WorkloadSpec(
-                pattern=spec.pattern, load=load, seed=spec.seed
-            )
-            engine = FastEngine(config, workload, spec.plan)
-            result = engine.run()
-            runs.append(result)
-            if progress is not None:
-                progress(policy_name, load, result)
-        results[policy_name] = runs
-    return results
+        def matrix_progress(
+            panel: str, policy: str, load: float, result: RunResult, cached: bool
+        ) -> None:
+            hook(policy, load, result)
+
+    return run_sweep_matrix(
+        {"sweep": spec},
+        base_configs={"sweep": base_config} if base_config is not None else None,
+        progress=matrix_progress,
+        jobs=jobs,
+        cache=cache,
+    )["sweep"]
+
+
+def run_sweep_matrix(
+    specs: Mapping[str, SweepSpec],
+    base_configs: Optional[Mapping[str, Optional[ERapidConfig]]] = None,
+    progress: Optional[MatrixProgress] = None,
+    jobs: int = 1,
+    cache: Optional["RunCache"] = None,
+) -> Dict[str, Dict[str, List[RunResult]]]:
+    """Run several sweep panels as one flat (panel × policy × load) batch.
+
+    Parameters
+    ----------
+    specs:
+        ``{panel name: SweepSpec}``; iteration order fixes task order.
+    base_configs:
+        Optional per-panel config override (same keys as ``specs``).
+    progress:
+        ``progress(panel, policy, load, result, cached)`` — called once
+        per run: immediately (deterministic order) for cache hits, then
+        as live runs complete.
+    jobs:
+        Process-pool width; ``1`` executes inline.  Results are
+        reassembled by task index, so every ``jobs`` value yields
+        byte-identical output.
+    cache:
+        Optional :class:`repro.perf.cache.RunCache`; hits skip execution,
+        misses are stored after running.
+
+    Returns ``{panel: {policy: [RunResult per load]}}``.
+    """
+    from repro.perf.executor import RunTask, execute_tasks
+
+    results: Dict[str, Dict[str, List[Optional[RunResult]]]] = {
+        name: {p: [None] * len(spec.loads) for p in spec.policies}
+        for name, spec in specs.items()
+    }
+    tasks: List[RunTask] = []
+    #: Parallel to ``tasks``: (panel, policy, load, slot index, cache key).
+    meta: List[Tuple[str, str, float, int, Optional[str]]] = []
+
+    for name, spec in specs.items():
+        base = (base_configs or {}).get(name) or _default_config(spec)
+        for policy_name in spec.policies:
+            config = base.with_policy(POLICIES[policy_name])
+            for li, load in enumerate(spec.loads):
+                workload = WorkloadSpec(
+                    pattern=spec.pattern, load=load, seed=spec.seed
+                )
+                key: Optional[str] = None
+                if cache is not None:
+                    key = cache.key_for(config, workload, spec.plan)
+                    hit = cache.get(key)
+                    if hit is not None:
+                        results[name][policy_name][li] = hit
+                        if progress is not None:
+                            progress(name, policy_name, load, hit, True)
+                        continue
+                tasks.append(RunTask(config, workload, spec.plan))
+                meta.append((name, policy_name, load, li, key))
+
+    def on_result(index: int, result: RunResult) -> None:
+        name, policy_name, load, li, key = meta[index]
+        results[name][policy_name][li] = result
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        if progress is not None:
+            progress(name, policy_name, load, result, False)
+
+    execute_tasks(tasks, jobs=jobs, on_result=on_result)
+
+    # All slots are filled now; narrow Optional away for callers.
+    return {
+        name: {p: list(runs) for p, runs in panels.items()}  # type: ignore[misc]
+        for name, panels in results.items()
+    }
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.cache import RunCache

@@ -140,6 +140,30 @@ class RunResult:
         """Delivered / offered during the measurement window."""
         return self.throughput / self.offered if self.offered > 0 else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict; exact float round trip (Python repr shortest-
+        float guarantees), so serialize → deserialize is bit-identical.
+        Used by the on-disk run cache and the sweep fingerprints."""
+        return {
+            "throughput": self.throughput,
+            "offered": self.offered,
+            "avg_latency": self.avg_latency,
+            "p99_latency": self.p99_latency,
+            "max_latency": self.max_latency,
+            "power_mw": self.power_mw,
+            "labeled_injected": self.labeled_injected,
+            "labeled_delivered": self.labeled_delivered,
+            "delivered_measure": self.delivered_measure,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        fields = dict(data)
+        extra = fields.pop("extra", {})
+        return cls(extra=dict(extra), **fields)  # type: ignore[arg-type]
+
     def summary(self) -> str:
         return (
             f"thr={self.throughput:.5f} pkt/node/cyc  "

@@ -34,6 +34,8 @@ class VCStatus(Enum):
 class InputVC:
     """State for one virtual channel at a router input port."""
 
+    __slots__ = ("buffer", "status", "out_port", "out_vc")
+
     def __init__(self, sim: "Simulator", depth: int, name: str = "") -> None:
         self.buffer = FlitBuffer(sim, depth, name=name)
         self.status = VCStatus.IDLE
@@ -70,6 +72,8 @@ class InputVC:
 
 class OutputVC:
     """State for one virtual channel at a router output port."""
+
+    __slots__ = ("credits", "allocated_to")
 
     def __init__(self, downstream_depth: int) -> None:
         self.credits = CreditCounter(downstream_depth)

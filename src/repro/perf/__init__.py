@@ -1,0 +1,36 @@
+"""Performance layer: parallel sweep execution, run caching, benchmarks.
+
+The paper's evaluation is a (pattern × policy × load) matrix of
+*independent* simulation runs; this package makes that matrix cheap:
+
+``repro.perf.executor``
+    Fans runs out to a process pool with picklable task/result transport.
+    Results are bit-identical to serial execution — each run seeds its own
+    :class:`~repro.sim.rng.RngRegistry` from the workload seed via
+    ``SeedSequence`` spawn keys, so worker scheduling cannot perturb any
+    stream (the common-random-numbers contract survives parallelism).
+
+``repro.perf.cache``
+    A content-addressed on-disk store keyed on the full run description
+    ``(ERapidConfig, WorkloadSpec, MeasurementPlan, kernel version)``;
+    repeated ``reproduce_all``/bench invocations skip already-computed
+    runs.
+
+``repro.perf.bench``
+    The tracked benchmark harness (``python -m repro.perf bench``): kernel
+    events/sec against the frozen pre-optimization reference kernel
+    (:mod:`repro.perf.legacy`), and end-to-end sweep wall time
+    serial vs parallel vs cached.  Writes ``BENCH_kernel.json`` and
+    ``BENCH_sweep.json`` at the repo root.
+"""
+
+from repro.perf.cache import RunCache, default_cache_dir, run_cache_key
+from repro.perf.executor import RunTask, execute_tasks
+
+__all__ = [
+    "RunCache",
+    "RunTask",
+    "default_cache_dir",
+    "execute_tasks",
+    "run_cache_key",
+]

@@ -1,0 +1,101 @@
+"""``python -m repro.perf`` — the tracked benchmark entry point.
+
+Usage::
+
+    python -m repro.perf bench [--quick] [--jobs N] [--only kernel|sweep]
+                               [--output DIR]
+
+Writes ``BENCH_kernel.json`` / ``BENCH_sweep.json`` into ``--output``
+(default: the current directory, i.e. the repo root when invoked from a
+checkout or via ``make bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.perf.bench import run_benchmarks
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="E-RAPID performance benchmarks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    bench = sub.add_parser("bench", help="run the tracked benchmarks")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workloads (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="process-pool width for the sweep benchmark (default: 4)",
+    )
+    bench.add_argument(
+        "--only",
+        choices=("kernel", "sweep", "all"),
+        default="all",
+        help="run a single benchmark family (default: all)",
+    )
+    bench.add_argument(
+        "--output",
+        type=Path,
+        default=Path("."),
+        help="directory for BENCH_*.json reports (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = run_benchmarks(
+        args.output, quick=args.quick, jobs=args.jobs, which=args.only
+    )
+    if "kernel" in reports:
+        k = reports["kernel"]
+        print(
+            "kernel: storm {:.0f} ev/s vs legacy {:.0f} ev/s ({:.2f}x); "
+            "audit16 {:.0f} ev/s vs legacy {:.0f} ev/s ({:.2f}x)".format(
+                k["storm"]["current"]["events_per_sec"],
+                k["storm"]["legacy"]["events_per_sec"],
+                k["storm"]["speedup"],
+                k["audit16"]["current"]["events_per_sec"],
+                k["audit16"]["legacy"]["events_per_sec"],
+                k["audit16"]["speedup"],
+            )
+        )
+        print(f"  -> {args.output / 'BENCH_kernel.json'}")
+    if "sweep" in reports:
+        s = reports["sweep"]
+        det = s["determinism"]
+        print(
+            "sweep ({runs} runs): serial {serial:.2f}s, jobs={jobs} "
+            "{par:.2f}s, cache cold {cold:.2f}s, warm {warm:.2f}s".format(
+                runs=s["runs"],
+                serial=s["serial_seconds"],
+                jobs=s["jobs"],
+                par=s["parallel_seconds"],
+                cold=s["cache_cold_seconds"],
+                warm=s["cache_warm_seconds"],
+            )
+        )
+        print(
+            "  determinism: parallel=={serial} {a}, cached=={serial} {b}".format(
+                serial="serial",
+                a="OK" if det["parallel_matches_serial"] else "MISMATCH",
+                b="OK" if det["cached_matches_serial"] else "MISMATCH",
+            )
+        )
+        print(f"  -> {args.output / 'BENCH_sweep.json'}")
+        if not (det["parallel_matches_serial"] and det["cached_matches_serial"]):
+            print("bench: determinism cross-check FAILED", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,280 @@
+"""Tracked benchmark harness (``python -m repro.perf bench``).
+
+Two benchmark families, each writing a JSON report at the repo root so
+performance is tracked *in the tree* alongside the code it measures:
+
+``BENCH_kernel.json``
+    Kernel events/sec on (a) a pure event storm (timeout chains plus a
+    cancellation stream, no network model) and (b) the full 16-node audit
+    experiment, each measured against **both** the current
+    :class:`~repro.sim.kernel.Simulator` and the frozen pre-optimization
+    reference kernel (:mod:`repro.perf.legacy`).  The ``speedup`` field is
+    therefore re-measured on every machine, never a stale constant.
+
+``BENCH_sweep.json``
+    End-to-end wall time for a small load sweep executed serially, through
+    the process pool, and from a warm run cache — plus a determinism
+    cross-check asserting the serial and parallel sweeps fingerprint
+    identically.
+
+Timing uses ``time.perf_counter`` (wall clock is fine here: this module is
+*about* wall time and is exempt from SIM001, which guards the simulation
+core only).  Reported rates are best-of-N to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+from repro.core.config import ControlParams, ERapidConfig
+from repro.core.policies import make_policy
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.perf.cache import RunCache
+from repro.perf.legacy import LegacySimulator
+from repro.sim.kernel import KERNEL_VERSION, Simulator
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = [
+    "bench_kernel",
+    "bench_sweep",
+    "run_benchmarks",
+    "write_report",
+]
+
+#: Any class exposing the Simulator scheduling/run API.
+SimFactory = Callable[[], Any]
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmarks
+# ----------------------------------------------------------------------
+def _storm(sim: Any, chains: int, hops: int) -> int:
+    """Pure event storm: ``chains`` interleaved self-rescheduling chains.
+
+    Every third hop also schedules a decoy event and cancels it, so the
+    storm exercises the cancellation/compaction path as well as the raw
+    push/pop/dispatch loop.  Entirely deterministic — no RNG.
+    """
+    schedule = sim.schedule
+
+    def hop(chain: int, remaining: int) -> None:
+        if remaining <= 0:
+            return
+        if remaining % 3 == 0:
+            decoy = schedule(2.0, _noop)
+            decoy.cancel()
+        schedule(1.0 + (chain % 7) * 0.125, hop, chain, remaining - 1)
+
+    for c in range(chains):
+        schedule(float(c % 13) * 0.0625, hop, c, hops)
+    sim.run()
+    return int(sim.event_count)
+
+
+def _noop() -> None:
+    return None
+
+
+def _time_storm(
+    sim_factory: SimFactory, chains: int, hops: int, repeats: int
+) -> Dict[str, float]:
+    best_eps = 0.0
+    events = 0
+    for _ in range(repeats):
+        sim = sim_factory()
+        start = perf_counter()
+        events = _storm(sim, chains, hops)
+        elapsed = perf_counter() - start
+        best_eps = max(best_eps, events / elapsed if elapsed > 0 else 0.0)
+    return {"events": float(events), "events_per_sec": best_eps}
+
+
+@contextmanager
+def _engine_kernel(sim_cls: type) -> Iterator[None]:
+    """Temporarily swap the Simulator class the engine instantiates."""
+    import repro.core.engine as engine_mod
+
+    original = engine_mod.Simulator
+    engine_mod.Simulator = sim_cls  # type: ignore[misc,assignment]
+    try:
+        yield
+    finally:
+        engine_mod.Simulator = original  # type: ignore[misc]
+
+
+def _audit_run() -> Tuple[int, float]:
+    """One 16-node audit-workload engine run; returns (events, seconds)."""
+    from repro.core.engine import FastEngine
+
+    config = ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4),
+        policy=make_policy("P-B"),
+        control=ControlParams(window_cycles=500),
+        seed=1,
+    )
+    plan = MeasurementPlan(warmup=500.0, measure=1500.0, drain_limit=3000.0)
+    workload = WorkloadSpec(pattern="uniform", load=0.4, seed=1)
+    engine = FastEngine(config, workload, plan)
+    start = perf_counter()
+    engine.run()
+    elapsed = perf_counter() - start
+    return int(engine.sim.event_count), elapsed
+
+
+def _time_audit(sim_cls: type, repeats: int) -> Dict[str, float]:
+    best_eps = 0.0
+    events = 0
+    with _engine_kernel(sim_cls):
+        for _ in range(repeats):
+            events, elapsed = _audit_run()
+            best_eps = max(best_eps, events / elapsed if elapsed > 0 else 0.0)
+    return {"events": float(events), "events_per_sec": best_eps}
+
+
+def bench_kernel(quick: bool = False) -> Dict[str, Any]:
+    """Kernel events/sec, current vs frozen legacy kernel."""
+    repeats = 1 if quick else 3
+    chains, hops = (64, 40) if quick else (256, 120)
+
+    storm_current = _time_storm(Simulator, chains, hops, repeats)
+    storm_legacy = _time_storm(LegacySimulator, chains, hops, repeats)
+    audit_current = _time_audit(Simulator, repeats)
+    audit_legacy = _time_audit(LegacySimulator, repeats)
+
+    def _speedup(cur: Dict[str, float], old: Dict[str, float]) -> float:
+        if old["events_per_sec"] <= 0:
+            return 0.0
+        return cur["events_per_sec"] / old["events_per_sec"]
+
+    return {
+        "benchmark": "kernel",
+        "kernel_version": KERNEL_VERSION,
+        "python": platform.python_version(),
+        "quick": quick,
+        "repeats": repeats,
+        "storm": {
+            "chains": chains,
+            "hops": hops,
+            "current": storm_current,
+            "legacy": storm_legacy,
+            "speedup": _speedup(storm_current, storm_legacy),
+        },
+        "audit16": {
+            "workload": "uniform load=0.4 seed=1, 4x4 boards, P-B",
+            "current": audit_current,
+            "legacy": audit_legacy,
+            "speedup": _speedup(audit_current, audit_legacy),
+        },
+        # Headline number: full-engine speedup on the audit workload.
+        "speedup": _speedup(audit_current, audit_legacy),
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep wall-time benchmark
+# ----------------------------------------------------------------------
+def bench_sweep(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
+    """End-to-end sweep wall time: serial vs pool vs warm cache."""
+    from repro.analysis.determinism import sweep_fingerprint
+    from repro.experiments.sweep import SweepSpec, run_sweep
+
+    if quick:
+        spec = SweepSpec(
+            pattern="uniform",
+            loads=(0.2, 0.4),
+            policies=("NP-NB", "P-B"),
+            boards=2,
+            nodes_per_board=4,
+            seed=1,
+            plan=MeasurementPlan(warmup=200.0, measure=600.0, drain_limit=1500.0),
+        )
+    else:
+        spec = SweepSpec(
+            pattern="uniform",
+            loads=(0.2, 0.4, 0.6),
+            policies=("NP-NB", "P-NB", "NP-B", "P-B"),
+            boards=4,
+            nodes_per_board=4,
+            seed=1,
+            plan=MeasurementPlan(warmup=500.0, measure=1500.0, drain_limit=3000.0),
+        )
+
+    start = perf_counter()
+    serial = run_sweep(spec)
+    serial_s = perf_counter() - start
+
+    start = perf_counter()
+    parallel = run_sweep(spec, jobs=jobs)
+    parallel_s = perf_counter() - start
+
+    serial_fp = sweep_fingerprint(serial)
+    parallel_fp = sweep_fingerprint(parallel)
+
+    with tempfile.TemporaryDirectory(prefix="erapid-bench-cache-") as tmp:
+        cache = RunCache(tmp)
+        start = perf_counter()
+        run_sweep(spec, cache=cache)
+        cold_s = perf_counter() - start
+        start = perf_counter()
+        cached = run_sweep(spec, cache=cache)
+        warm_s = perf_counter() - start
+        cached_fp = sweep_fingerprint(cached)
+        cache_stats = cache.stats()
+
+    runs = len(spec.loads) * len(spec.policies)
+    return {
+        "benchmark": "sweep",
+        "kernel_version": KERNEL_VERSION,
+        "python": platform.python_version(),
+        "quick": quick,
+        "runs": runs,
+        "jobs": jobs,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "cache_cold_seconds": cold_s,
+        "cache_warm_seconds": warm_s,
+        "cache_stats": cache_stats,
+        "determinism": {
+            "serial_fingerprint": serial_fp,
+            "parallel_fingerprint": parallel_fp,
+            "cached_fingerprint": cached_fp,
+            "parallel_matches_serial": parallel_fp == serial_fp,
+            "cached_matches_serial": cached_fp == serial_fp,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def write_report(report: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def run_benchmarks(
+    output_dir: Path,
+    quick: bool = False,
+    jobs: int = 4,
+    which: str = "all",
+) -> Dict[str, Dict[str, Any]]:
+    """Run the selected benchmarks and write ``BENCH_*.json`` reports.
+
+    ``which`` is ``"kernel"``, ``"sweep"`` or ``"all"``.  Returns the
+    reports keyed by family.
+    """
+    output_dir.mkdir(parents=True, exist_ok=True)
+    reports: Dict[str, Dict[str, Any]] = {}
+    if which in ("kernel", "all"):
+        reports["kernel"] = bench_kernel(quick=quick)
+        write_report(reports["kernel"], output_dir / "BENCH_kernel.json")
+    if which in ("sweep", "all"):
+        reports["sweep"] = bench_sweep(quick=quick, jobs=jobs)
+        write_report(reports["sweep"], output_dir / "BENCH_sweep.json")
+    return reports

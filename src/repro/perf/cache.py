@@ -1,0 +1,196 @@
+"""Content-addressed on-disk cache for simulation runs.
+
+A simulation run is a pure function of ``(ERapidConfig, WorkloadSpec,
+MeasurementPlan, kernel version)`` — the determinism auditor
+(:mod:`repro.analysis.determinism`) exists to keep it that way.  That
+purity makes runs memoizable: the cache key is a SHA-256 over a canonical
+JSON encoding of the full run description, and the value is the
+:class:`~repro.metrics.collector.RunResult` (whose JSON round trip is
+exact, so a cache hit is bit-identical to re-running).
+
+Invalidation is structural, never temporal:
+
+* any config/workload/plan field change → different key;
+* a kernel semantics change → :data:`repro.sim.kernel.KERNEL_VERSION`
+  bump → different key for *every* run;
+* a corrupt or truncated entry reads as a miss (and is re-written).
+
+The store location is ``$ERAPID_CACHE_DIR`` when set, else
+``~/.cache/erapid/runs``.  Entries are one JSON file per key, written
+atomically (tmp file + rename) so concurrent workers can share a cache
+directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.config import ERapidConfig
+from repro.errors import CacheError
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.power.levels import PowerLevelTable
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["RunCache", "run_cache_key", "default_cache_dir", "canonical_payload"]
+
+#: Bump when the cache entry *format* changes (key derivation or value
+#: encoding) — orthogonal to the kernel version, which tracks simulation
+#: semantics.
+CACHE_FORMAT = 1
+
+_ENV_VAR = "ERAPID_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$ERAPID_CACHE_DIR`` when set, else ``~/.cache/erapid/runs``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "erapid" / "runs"
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding
+# ----------------------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """Reduce a run-description object to canonical JSON-ready data.
+
+    Dataclasses encode as ``{"<ClassName>": {field: value, ...}}`` (the
+    class name guards against two config types with coincidentally equal
+    fields).  Anything unrecognized raises :class:`CacheError` — a new
+    config component must be taught to the fingerprint, never silently
+    repr'd (a memory address in the key would defeat caching; a partial
+    encoding would alias distinct configs).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {type(obj).__name__: fields}
+    if isinstance(obj, PowerLevelTable):
+        return {"PowerLevelTable": [_canonical(l) for l in obj.levels]}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    raise CacheError(
+        f"cannot fingerprint {type(obj).__name__!r} for the run cache; "
+        "teach repro.perf.cache._canonical about it"
+    )
+
+
+def canonical_payload(
+    config: ERapidConfig,
+    workload: WorkloadSpec,
+    plan: MeasurementPlan,
+) -> Dict[str, Any]:
+    """The full, canonical description of one run (pre-hash)."""
+    from repro.sim.kernel import KERNEL_VERSION
+
+    return {
+        "cache_format": CACHE_FORMAT,
+        "kernel_version": KERNEL_VERSION,
+        "config": _canonical(config),
+        "workload": _canonical(workload),
+        "plan": _canonical(plan),
+    }
+
+
+def run_cache_key(
+    config: ERapidConfig,
+    workload: WorkloadSpec,
+    plan: MeasurementPlan,
+) -> str:
+    """SHA-256 content address of one run."""
+    payload = json.dumps(
+        canonical_payload(config, workload, plan),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+class RunCache:
+    """On-disk run store with hit/miss/store counters.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.  Created
+        lazily on the first :meth:`put`.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        config: ERapidConfig,
+        workload: WorkloadSpec,
+        plan: MeasurementPlan,
+    ) -> str:
+        return run_cache_key(config, workload, plan)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (counts a hit/miss)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            result = RunResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt or truncated entry: a miss, never an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (atomic tmp-file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        payload = json.dumps(
+            {"cache_format": CACHE_FORMAT, "result": result.to_dict()},
+            sort_keys=True,
+        )
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for f in self.root.glob("*.json"):
+            f.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RunCache {self.root} hits={self.hits} misses={self.misses} "
+            f"stores={self.stores}>"
+        )

@@ -1,0 +1,99 @@
+"""Process-pool execution of independent simulation runs.
+
+Every cell of the paper's (pattern × policy × load) evaluation matrix is
+an independent simulation, so the matrix parallelizes perfectly — the only
+thing to get right is determinism:
+
+* **Seeding.**  A run's randomness is fully described by its
+  :class:`~repro.traffic.workload.WorkloadSpec` seed: the engine builds a
+  fresh :class:`~repro.sim.rng.RngRegistry` whose per-entity streams are
+  ``numpy.random.SeedSequence``-spawned from that seed (injective in the
+  stream name).  No RNG state crosses process boundaries, so a run's
+  draws are identical whether it executes inline, in a worker, or in any
+  worker interleaving — the common-random-numbers contract across the
+  four NP/P × NB/B policies is preserved under any ``jobs`` value.
+
+* **Transport.**  A :class:`RunTask` carries only frozen declarative
+  dataclasses (config/workload/plan) into the worker; the
+  :class:`~repro.metrics.collector.RunResult` coming back is plain data.
+  Both pickle cleanly under every multiprocessing start method.
+
+* **Assembly.**  Results are reassembled by task index, so the output
+  sequence never depends on completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, cast
+
+from repro.core.config import ERapidConfig
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["RunTask", "execute_run", "execute_tasks"]
+
+#: ``on_result(index, result)`` — invoked as runs complete (completion
+#: order under ``jobs > 1``, task order serially).
+ResultHook = Callable[[int, RunResult], None]
+
+
+@dataclass(frozen=True, slots=True)
+class RunTask:
+    """One simulation run, described declaratively (picklable)."""
+
+    config: ERapidConfig
+    workload: WorkloadSpec
+    plan: MeasurementPlan
+
+
+def execute_run(task: RunTask) -> RunResult:
+    """Run one task to completion in the current process."""
+    from repro.core.engine import FastEngine
+
+    return FastEngine(task.config, task.workload, task.plan).run()
+
+
+def _execute_indexed(indexed: Tuple[int, RunTask]) -> Tuple[int, RunResult]:
+    """Worker entry point (module-level so it pickles under spawn)."""
+    index, task = indexed
+    return index, execute_run(task)
+
+
+def execute_tasks(
+    tasks: Sequence[RunTask],
+    jobs: int = 1,
+    on_result: Optional[ResultHook] = None,
+) -> List[RunResult]:
+    """Execute ``tasks``; returns results in task order.
+
+    ``jobs <= 1`` runs inline (zero pool overhead); ``jobs > 1`` fans out
+    to a :class:`~concurrent.futures.ProcessPoolExecutor` of at most
+    ``min(jobs, len(tasks))`` workers.  The returned list is ordered by
+    task index either way, so callers observe identical output.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: List[Optional[RunResult]] = [None] * len(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        for i, task in enumerate(tasks):
+            result = execute_run(task)
+            results[i] = result
+            if on_result is not None:
+                on_result(i, result)
+        return cast(List[RunResult], results)
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        pending = {
+            pool.submit(_execute_indexed, (i, task))
+            for i, task in enumerate(tasks)
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                index, result = fut.result()
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+    return cast(List[RunResult], results)

@@ -1,0 +1,181 @@
+"""Frozen pre-optimization reference kernel (benchmark baseline).
+
+This is the event kernel exactly as it stood before the hot-path
+optimization pass (tuple-keyed heap entries, ``schedule_fast``, lazy
+compaction, inlined dispatch loop): an **object heap** whose entries are
+:class:`LegacyScheduledEvent` instances ordered by a Python-level
+``__lt__`` that builds two tuples per comparison, with every scheduling
+call allocating a handle object and the run loop dispatching through
+``step()``.
+
+It exists so the kernel microbenchmark (``python -m repro.perf bench``)
+can report a *measured* speedup over the pre-PR kernel on every machine,
+forever — not a number hard-coded at optimization time.  It is a drop-in
+``Simulator`` substitute (same waitable/process machinery from
+:mod:`repro.sim`), so the benchmark can run the full engine against it.
+
+Do not "fix" or optimize this module; its value is standing still.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import CompositeWait, Timeout, Waitable
+from repro.sim.process import Process
+from repro.sim.trace import TraceLog
+
+__all__ = ["LegacySimulator", "LegacyScheduledEvent"]
+
+_seq = itertools.count()
+
+
+class LegacyScheduledEvent:
+    """Pre-PR heap entry: compares via tuple-building ``__lt__``."""
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_seq)
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "LegacyScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+class LegacySimulator:
+    """The pre-optimization ``Simulator``, API-compatible with the current
+    one (including :meth:`schedule_fast`, which here pays the full legacy
+    allocation cost — that *is* the baseline being measured)."""
+
+    def __init__(self, trace: Optional[TraceLog] = None) -> None:
+        self._now: float = 0.0
+        self._heap: List[LegacyScheduledEvent] = []
+        self._running = False
+        self._stopped = False
+        self.trace = trace
+        self.on_event: Optional[Callable[..., None]] = None
+        self._processes: List[Process] = []
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        return self._event_count
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> LegacyScheduledEvent:
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay!r} in the past")
+        ev = LegacyScheduledEvent(self._now + delay, fn, args, priority)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> LegacyScheduledEvent:
+        if time < self._now:
+            raise SchedulingError(f"cannot schedule at t={time} < now={self._now}")
+        ev = LegacyScheduledEvent(time, fn, args, priority)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_fast(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        # Pre-PR there was no fast path: every event allocated a handle.
+        self.schedule(delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    def event(self) -> Waitable:
+        return Waitable(self)  # type: ignore[arg-type]
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)  # type: ignore[arg-type]
+
+    def any_of(self, waitables: List[Waitable]) -> CompositeWait:
+        return CompositeWait(self, waitables, mode="any")  # type: ignore[arg-type]
+
+    def all_of(self, waitables: List[Waitable]) -> CompositeWait:
+        return CompositeWait(self, waitables, mode="all")  # type: ignore[arg-type]
+
+    def process(self, generator: Generator[Any, Any, None], name: str = "") -> Process:
+        proc = Process(self, generator, name=name)  # type: ignore[arg-type]
+        self._processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event heap yielded an event in the past")
+            self._now = ev.time
+            self._event_count += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            if until is not None and until < self._now:
+                raise SchedulingError(f"run(until={until}) is before now={self._now}")
+            while self._heap and not self._stopped:
+                if until is not None and self._heap[0].time > until:
+                    break
+                self.step()
+            if until is not None and not self._stopped:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LegacySimulator now={self._now} pending={len(self._heap)}>"

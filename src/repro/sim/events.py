@@ -24,14 +24,17 @@ _seq = itertools.count()
 
 
 class ScheduledEvent:
-    """A callback scheduled on the kernel's event heap.
+    """A cancellation handle for a callback on the kernel's event heap.
 
-    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule` and
-    compare by ``(time, priority, seq)`` which gives a deterministic total
-    order: earlier time first, then lower priority number, then FIFO.
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`.
+    The kernel's heap itself stores plain ``(time, priority, seq, handle,
+    fn, args)`` tuples (native tuple comparison, no ``__lt__`` dispatch);
+    the handle rides along so :meth:`cancel` can mark the entry dead.  The
+    total order is ``(time, priority, seq)``: earlier time first, then
+    lower priority number, then FIFO.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -39,17 +42,29 @@ class ScheduledEvent:
         fn: Callable[..., None],
         args: tuple[Any, ...] = (),
         priority: int = 0,
+        seq: Optional[int] = None,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
-        self.seq = next(_seq)
+        self.seq = next(_seq) if seq is None else seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when popped."""
+        """Mark the event so the kernel skips it when popped.
+
+        The owning kernel counts pending cancellations and compacts its
+        heap once dead entries exceed a fraction of it, so cancel-heavy
+        models don't degrade pop cost for the rest of the run.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -89,7 +104,7 @@ class Waitable:
         """Register ``callback(self)`` to run when the waitable fires."""
         if self._triggered:
             # Fire on the heap at `now` so ordering stays deterministic.
-            self.sim.schedule(0.0, callback, self)
+            self.sim.schedule_fast(0.0, callback, self)
         else:
             assert self.callbacks is not None
             self.callbacks.append(callback)
@@ -102,8 +117,9 @@ class Waitable:
         self.value = value
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None
+        schedule_fast = self.sim.schedule_fast
         for cb in callbacks:
-            self.sim.schedule(0.0, cb, self)
+            schedule_fast(0.0, cb, self)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -124,7 +140,7 @@ class Timeout(Waitable):
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
         self.delay = delay
-        sim.schedule(delay, self._fire, value)
+        sim.schedule_fast(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         self.trigger(value)

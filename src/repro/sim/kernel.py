@@ -18,19 +18,59 @@ Typical use::
     store = Store(sim)
     sim.process(producer(sim, store))
     sim.run(until=100)
+
+Hot-path design
+---------------
+The event heap stores **plain tuples** ``(time, priority, seq, handle,
+fn, args)`` so that ``heapq``'s C implementation compares native tuples
+directly — the per-comparison tuple construction of an object-heap
+``ScheduledEvent.__lt__`` is gone, and ``seq`` is unique so a comparison
+never reaches the non-orderable payload slots.  :meth:`Simulator.schedule`
+still returns a cancellable :class:`ScheduledEvent` handle, but the
+internal hot paths (timeouts, waitable triggers, process start-up) go
+through :meth:`Simulator.schedule_fast`, which pushes a handle-less entry
+and allocates nothing beyond the tuple itself.
+
+Cancelled events are skipped lazily when popped; when cancelled entries
+exceed a fraction of the heap (:data:`COMPACT_MIN_CANCELLED` /
+:data:`COMPACT_FRACTION`) the heap is compacted in place so a cancel-heavy
+model cannot degrade pop cost for the rest of the run.
+
+:meth:`Simulator.run` binds the heap and dispatch state to locals and
+carries **zero per-event instrumentation** unless an :attr:`Simulator.
+on_event` hook is installed, in which case a separate (slower) dispatch
+loop invokes the hook for every executed event.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from math import inf
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import CompositeWait, ScheduledEvent, Timeout, Waitable
 from repro.sim.process import Process
 from repro.sim.trace import TraceLog
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "KERNEL_VERSION"]
+
+#: Version tag of the kernel's *observable semantics* (event total order,
+#: timing model).  Content-addressed run caches include this in their keys:
+#: bump it whenever a kernel change could alter simulation results, so
+#: stale cached runs are invalidated instead of silently reused.
+KERNEL_VERSION = "2"
+
+#: Compaction triggers only once at least this many cancellations are
+#: pending — tiny heaps are cheaper to drain than to rebuild.
+COMPACT_MIN_CANCELLED = 64
+#: ... and only when cancelled entries exceed this fraction of the heap.
+COMPACT_FRACTION = 0.5
+
+#: One heap entry: (time, priority, seq, handle-or-None, fn, args).
+_HeapEntry = Tuple[
+    float, int, int, Optional[ScheduledEvent], Callable[..., None], Tuple[Any, ...]
+]
 
 
 class Simulator:
@@ -45,10 +85,17 @@ class Simulator:
 
     def __init__(self, trace: Optional[TraceLog] = None) -> None:
         self._now: float = 0.0
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
+        self._cancelled = 0
         self._running = False
         self._stopped = False
         self.trace = trace
+        #: Optional per-event instrumentation hook ``fn(time, fn, args)``;
+        #: when None (the default) the dispatch loop takes the fast path.
+        self.on_event: Optional[
+            Callable[[float, Callable[..., None], Tuple[Any, ...]], None]
+        ] = None
         self._processes: List[Process] = []
         self._event_count = 0
 
@@ -75,8 +122,10 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay!r} in the past")
-        ev = ScheduledEvent(self._now + delay, fn, args, priority)
-        heapq.heappush(self._heap, ev)
+        time = self._now + delay
+        self._seq = seq = self._seq + 1
+        ev = ScheduledEvent(time, fn, args, priority, seq=seq, sim=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev, fn, args))
         return ev
 
     def schedule_at(
@@ -91,9 +140,47 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time} < now={self._now}"
             )
-        ev = ScheduledEvent(time, fn, args, priority)
-        heapq.heappush(self._heap, ev)
+        self._seq = seq = self._seq + 1
+        ev = ScheduledEvent(time, fn, args, priority, seq=seq, sim=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev, fn, args))
         return ev
+
+    def schedule_fast(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Hot-path scheduling: default priority, no cancellation handle.
+
+        The internal machinery (timeouts, waitable triggers, process
+        start-up) schedules millions of events per run and never cancels
+        them; this entry point skips the :class:`ScheduledEvent`
+        allocation entirely.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay!r} in the past")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self._now + delay, 0, seq, None, fn, args))
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping (called by ScheduledEvent.cancel)
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        self._cancelled = cancelled = self._cancelled + 1
+        if (
+            cancelled >= COMPACT_MIN_CANCELLED
+            and cancelled > len(self._heap) * COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: a running dispatch loop holds a local reference
+        to the heap list, so the list object must stay the same.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if e[3] is None or not e[3].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Waitable factories
@@ -131,15 +218,19 @@ class Simulator:
 
         Returns ``False`` when the heap is empty (nothing executed).
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            time, _prio, _seq, handle, fn, args = heapq.heappop(heap)
+            if handle is not None and handle.cancelled:
+                self._cancelled -= 1
                 continue
-            if ev.time < self._now:  # pragma: no cover - defensive
+            if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event heap yielded an event in the past")
-            self._now = ev.time
+            self._now = time
             self._event_count += 1
-            ev.fn(*ev.args)
+            if self.on_event is not None:
+                self.on_event(time, fn, args)
+            fn(*args)
             return True
         return False
 
@@ -159,15 +250,47 @@ class Simulator:
                 raise SchedulingError(
                     f"run(until={until}) is before now={self._now}"
                 )
-            while self._heap and not self._stopped:
-                if until is not None and self._heap[0].time > until:
-                    break
-                self.step()
+            if self.on_event is None:
+                self._run_fast(inf if until is None else until)
+            else:
+                # Instrumented path: step() fires the hook per event.
+                while self._heap and not self._stopped:
+                    if until is not None and self._heap[0][0] > until:
+                        break
+                    self.step()
             if until is not None and not self._stopped:
                 self._now = max(self._now, until)
         finally:
             self._running = False
         return self._now
+
+    def _run_fast(self, limit: float) -> None:
+        """The uninstrumented dispatch loop (hot path).
+
+        Everything touched per event is bound to a local: the heap list,
+        ``heappop``, and the event-count accumulator.  ``self._now`` is
+        still written through the instance so callbacks observe the
+        advancing clock.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        count = 0
+        try:
+            while heap and not self._stopped:
+                entry = heap[0]
+                time = entry[0]
+                if time > limit:
+                    break
+                heappop(heap)
+                handle = entry[3]
+                if handle is not None and handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._now = time
+                count += 1
+                entry[4](*entry[5])
+        finally:
+            self._event_count += count
 
     def stop(self) -> None:
         """Stop a running :meth:`run` after the current event completes."""
@@ -175,9 +298,15 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            handle = heap[0][3]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return heap[0][0]
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self._now} pending={len(self._heap)}>"

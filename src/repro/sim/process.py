@@ -59,7 +59,7 @@ class Process(Waitable):
         self._waiting_on: Optional[Waitable] = None
         self._alive = True
         # Start the process at the current time, after already-queued events.
-        sim.schedule(0.0, self._resume, None, None)
+        sim.schedule_fast(0.0, self._resume, None, None)
 
     # ------------------------------------------------------------------
     @property

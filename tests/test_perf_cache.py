@@ -1,0 +1,167 @@
+"""Content-addressed run cache: hits, misses, structural invalidation."""
+
+import json
+
+import pytest
+
+from repro.analysis.determinism import sweep_fingerprint
+from repro.core.config import ControlParams, ERapidConfig
+from repro.core.policies import POLICIES
+from repro.errors import CacheError
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.network.topology import ERapidTopology
+from repro.perf.cache import RunCache, default_cache_dir, run_cache_key
+from repro.traffic.workload import WorkloadSpec
+
+PLAN = MeasurementPlan(warmup=200, measure=600, drain_limit=1500)
+
+
+@pytest.fixture()
+def run_desc():
+    config = ERapidConfig(
+        topology=ERapidTopology(boards=2, nodes_per_board=4)
+    ).with_policy(POLICIES["P-B"])
+    return config, WorkloadSpec("uniform", 0.3, seed=1), PLAN
+
+
+def fake_result(**overrides):
+    fields = dict(
+        throughput=0.5,
+        offered=0.6,
+        avg_latency=123.4,
+        p99_latency=456.7,
+        max_latency=789.0,
+        power_mw=1000.0,
+        labeled_injected=10,
+        labeled_delivered=9,
+        delivered_measure=100,
+        extra={"grants": 3},
+    )
+    fields.update(overrides)
+    return RunResult(**fields)
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_key_is_deterministic_and_config_sensitive(run_desc):
+    config, workload, plan = run_desc
+    key = run_cache_key(config, workload, plan)
+    assert key == run_cache_key(config, workload, plan)
+    # Any field change → different key.
+    other_cfg = config.with_policy(POLICIES["NP-NB"])
+    assert run_cache_key(other_cfg, workload, plan) != key
+    other_wl = WorkloadSpec("uniform", 0.4, seed=1)
+    assert run_cache_key(config, other_wl, plan) != key
+    other_ctl = ERapidConfig(
+        topology=config.topology,
+        policy=config.policy,
+        control=ControlParams(window_cycles=500),
+    )
+    assert run_cache_key(other_ctl, workload, plan) != key
+
+
+def test_key_invalidated_by_kernel_version_bump(run_desc, monkeypatch):
+    config, workload, plan = run_desc
+    before = run_cache_key(config, workload, plan)
+    monkeypatch.setattr("repro.sim.kernel.KERNEL_VERSION", "test-bump")
+    assert run_cache_key(config, workload, plan) != before
+
+
+def test_unknown_object_raises_cache_error(run_desc):
+    from repro.perf.cache import _canonical
+
+    with pytest.raises(CacheError):
+        _canonical(object())
+
+
+def test_default_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("ERAPID_CACHE_DIR", str(tmp_path / "alt"))
+    assert default_cache_dir() == tmp_path / "alt"
+    monkeypatch.delenv("ERAPID_CACHE_DIR")
+    assert default_cache_dir().name == "runs"
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_miss_then_hit_round_trips_exactly(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    assert cache.get(key) is None
+    result = fake_result()
+    cache.put(key, result)
+    got = cache.get(key)
+    assert got is not None
+    assert got.to_dict() == result.to_dict()
+    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    cache.put(key, fake_result())
+    (tmp_path / f"{key}.json").write_text("{ truncated")
+    assert cache.get(key) is None
+
+
+def test_clear_removes_entries(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    cache.put(key, fake_result())
+    assert cache.clear() == 1
+    assert cache.get(key) is None
+
+
+def test_entry_file_is_json_with_format_tag(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    cache.put(key, fake_result())
+    payload = json.loads((tmp_path / f"{key}.json").read_text())
+    assert payload["cache_format"] == 1
+    assert payload["result"]["throughput"] == 0.5
+
+
+# ----------------------------------------------------------------------
+# Sweep integration
+# ----------------------------------------------------------------------
+def test_cached_sweep_is_bit_identical(tmp_path):
+    spec = SweepSpec(
+        pattern="uniform",
+        loads=(0.2, 0.4),
+        policies=("NP-NB", "P-B"),
+        boards=2,
+        nodes_per_board=4,
+        seed=1,
+        plan=PLAN,
+    )
+    cache = RunCache(tmp_path)
+    first = run_sweep(spec, cache=cache)
+    assert cache.stats()["stores"] == 4
+    second = run_sweep(spec, cache=cache)
+    assert cache.stats()["hits"] == 4
+    assert sweep_fingerprint(first) == sweep_fingerprint(second)
+    # No cache → no disk traffic, same results.
+    uncached = run_sweep(spec)
+    assert sweep_fingerprint(uncached) == sweep_fingerprint(first)
+
+
+def test_reproduce_cli_has_cache_and_jobs_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["reproduce", "--out", "x", "--jobs", "4", "--no-cache"]
+    )
+    assert args.jobs == 4
+    assert args.no_cache is True
+
+
+def test_resolve_cache_modes(tmp_path):
+    from repro.experiments.runner import _resolve_cache
+
+    assert _resolve_cache(False) is None
+    assert _resolve_cache(None) is None
+    store = RunCache(tmp_path)
+    assert _resolve_cache(store) is store
+    assert _resolve_cache(True) is not None

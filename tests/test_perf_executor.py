@@ -1,0 +1,100 @@
+"""Parallel sweep execution must be bit-identical to serial execution.
+
+The acceptance contract for ``--jobs``: the same :class:`SweepSpec` run at
+``jobs=1`` and ``jobs=4`` produces identical :class:`RunResult` sequences
+and identical determinism fingerprints — worker scheduling must be
+unobservable in the results.
+"""
+
+import pytest
+
+from repro.analysis.determinism import sweep_fingerprint
+from repro.experiments.sweep import SweepSpec, run_sweep, run_sweep_matrix
+from repro.metrics.collector import MeasurementPlan
+from repro.perf.executor import RunTask, execute_run, execute_tasks
+
+TINY_PLAN = MeasurementPlan(warmup=200, measure=600, drain_limit=1500)
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        pattern="uniform",
+        loads=(0.2, 0.4),
+        policies=("NP-NB", "P-B"),
+        boards=2,
+        nodes_per_board=4,
+        seed=1,
+        plan=TINY_PLAN,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def test_jobs4_bit_identical_to_serial():
+    spec = tiny_spec()
+    serial = run_sweep(spec, jobs=1)
+    parallel = run_sweep(spec, jobs=4)
+
+    assert list(serial) == list(parallel)  # same policies, same order
+    for policy in serial:
+        for a, b in zip(serial[policy], parallel[policy]):
+            assert a.to_dict() == b.to_dict()
+    assert sweep_fingerprint(serial) == sweep_fingerprint(parallel)
+
+
+def test_executor_preserves_task_order_and_reports_completions():
+    spec = tiny_spec()
+    from repro.core.config import ERapidConfig
+    from repro.core.policies import POLICIES
+    from repro.network.topology import ERapidTopology
+    from repro.traffic.workload import WorkloadSpec
+
+    config = ERapidConfig(
+        topology=ERapidTopology(boards=2, nodes_per_board=4)
+    ).with_policy(POLICIES["P-B"])
+    tasks = [
+        RunTask(config, WorkloadSpec("uniform", load, seed=1), TINY_PLAN)
+        for load in (0.2, 0.3, 0.4)
+    ]
+    seen = []
+    results = execute_tasks(tasks, jobs=2, on_result=lambda i, r: seen.append(i))
+    assert sorted(seen) == [0, 1, 2]
+    # Task order in the returned list regardless of completion order.
+    inline = [execute_run(t) for t in tasks]
+    assert [r.to_dict() for r in results] == [r.to_dict() for r in inline]
+
+
+def test_executor_rejects_nonpositive_jobs():
+    with pytest.raises(ValueError):
+        execute_tasks([], jobs=0)
+
+
+def test_matrix_runs_multiple_panels_in_one_batch():
+    specs = {
+        "uniform": tiny_spec(),
+        "complement": tiny_spec(pattern="complement"),
+    }
+    matrix = run_sweep_matrix(specs, jobs=4)
+    assert set(matrix) == {"uniform", "complement"}
+    for name, spec in specs.items():
+        assert set(matrix[name]) == set(spec.policies)
+        for runs in matrix[name].values():
+            assert len(runs) == len(spec.loads)
+    # Each panel individually matches its standalone serial sweep.
+    for name, spec in specs.items():
+        assert sweep_fingerprint(matrix[name]) == sweep_fingerprint(
+            run_sweep(spec)
+        )
+
+
+def test_progress_streams_one_line_per_run():
+    spec = tiny_spec()
+    lines = []
+    run_sweep(
+        spec,
+        progress=lambda policy, load, r: lines.append((policy, load)),
+        jobs=4,
+    )
+    assert sorted(lines) == sorted(
+        (p, l) for p in spec.policies for l in spec.loads
+    )

@@ -170,3 +170,114 @@ def test_negative_timeout_raises():
     sim = Simulator()
     with pytest.raises(SimulationError):
         sim.timeout(-3)
+
+
+# ----------------------------------------------------------------------
+# Hot-path machinery: schedule_fast, lazy compaction, on_event hook
+# ----------------------------------------------------------------------
+def test_schedule_fast_interleaves_fifo_with_schedule():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule_fast(1.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "c")
+    sim.schedule_fast(1.0, fired.append, "d")
+    sim.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_schedule_fast_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule_fast(-0.5, lambda: None)
+
+
+def test_mass_cancellation_compacts_heap():
+    from repro.sim.kernel import COMPACT_MIN_CANCELLED
+
+    sim = Simulator()
+    keep = []
+    handles = [
+        sim.schedule(10.0, keep.append, i)
+        for i in range(2 * COMPACT_MIN_CANCELLED)
+    ]
+    survivors = set(range(0, len(handles), 4))
+    for i, h in enumerate(handles):
+        if i not in survivors:
+            h.cancel()
+    # At least one compaction fired: the heap physically shrank (a purely
+    # lazy kernel would still hold all 128 entries), and the pending
+    # cancelled count was reset below the threshold.
+    assert len(sim._heap) < len(handles)
+    assert sim._cancelled < COMPACT_MIN_CANCELLED
+    sim.run()
+    assert keep == sorted(survivors)
+    assert sim.event_count == len(survivors)
+
+
+def test_cancellation_below_threshold_stays_lazy():
+    sim = Simulator()
+    handles = [sim.schedule(5.0, lambda: None) for _ in range(10)]
+    for h in handles[:5]:
+        h.cancel()
+    # Too few cancels to compact: entries stay, flagged, until popped.
+    assert len(sim._heap) == 10
+    sim.run()
+    assert sim.event_count == 5
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert sim._cancelled == 1
+
+
+def test_compaction_during_run_keeps_dispatching():
+    from repro.sim.kernel import COMPACT_MIN_CANCELLED
+
+    sim = Simulator()
+    fired = []
+    victims = [
+        sim.schedule(50.0, fired.append, "victim")
+        for _ in range(2 * COMPACT_MIN_CANCELLED)
+    ]
+
+    def massacre():
+        for v in victims:
+            v.cancel()
+
+    sim.schedule(1.0, massacre)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run()
+    # The in-run compaction must not strand the later event.
+    assert fired == ["after"]
+    assert sim.now == 50.0 or sim.now == 2.0  # clock stops at last executed
+
+
+def test_on_event_hook_sees_every_event():
+    sim = Simulator()
+    seen = []
+    sim.on_event = lambda time, fn, args: seen.append((time, args))
+    sim.schedule(1.0, lambda: None)
+    sim.schedule_fast(2.0, lambda x: None, "payload")
+    sim.run()
+    assert [t for t, _ in seen] == [1.0, 2.0]
+    assert seen[1][1] == ("payload",)
+    assert sim.event_count == 2
+
+
+def test_instrumented_and_fast_paths_agree():
+    def build(hooked):
+        sim = Simulator()
+        fired = []
+        if hooked:
+            sim.on_event = lambda *a: None
+        for tag in range(20):
+            sim.schedule(float(tag % 5), fired.append, tag)
+        sim.schedule_fast(2.5, fired.append, "mid")
+        sim.run()
+        return fired, sim.now, sim.event_count
+
+    assert build(True) == build(False)
