@@ -1,0 +1,41 @@
+"""Bench: whole-engine packets/sec — callback engine vs frozen coroutine.
+
+Wall-time ratios from shared runners are informational (the full
+best-of-3 numbers live in ``BENCH_engine.json`` at the repo root), but
+the bit-identity contract is asserted hard: the callback-state-machine
+engine must fingerprint identically to the coroutine engine on every
+``RunResult`` field except the executed-event count, serially and
+through the process pool.
+"""
+
+import json
+
+from repro.perf.bench import bench_engine, write_report
+
+
+def test_bench_engine_smoke(results_dir):
+    report = bench_engine(quick=True, jobs=2)
+
+    bit = report["bit_identity"]
+    assert bit["serial_matches_legacy"], bit
+    assert bit["parallel_matches_legacy"], bit
+
+    for family in ("audit16", "storm"):
+        cur = report[family]["current"]
+        old = report[family]["legacy"]
+        assert cur["packets_per_sec"] > 0
+        assert old["packets_per_sec"] > 0
+        # Identical simulated history: same packet count, fewer events.
+        assert cur["packets"] == old["packets"]
+        assert cur["events"] < old["events"]
+
+    path = results_dir / "bench_engine_quick.json"
+    write_report(report, path)
+    print(
+        "engine quick: audit16 {:.2f}x, storm {:.2f}x vs coroutine engine; "
+        "bit-identity over {} runs OK [saved to {}]".format(
+            report["audit16"]["speedup"], report["storm"]["speedup"],
+            bit["runs"], path
+        )
+    )
+    assert json.loads(path.read_text())["benchmark"] == "engine"

@@ -196,7 +196,10 @@ def simulate_fingerprint(
     return fingerprint_parts(trace_lines, metrics)
 
 
-def sweep_fingerprint(results: Dict[str, List[RunResult]]) -> str:
+def sweep_fingerprint(
+    results: Dict[str, List[RunResult]],
+    exclude_extra: Sequence[str] = (),
+) -> str:
     """SHA-256 over a ``{policy: [RunResult, ...]}`` sweep outcome.
 
     The digest covers every scalar metric and ``extra`` entry of every
@@ -204,10 +207,25 @@ def sweep_fingerprint(results: Dict[str, List[RunResult]]) -> str:
     two sweeps fingerprint equal iff they are bit-identical.  Used to
     assert that parallel (``jobs=N``) and cached sweep execution
     reproduce serial output exactly.
+
+    ``exclude_extra`` drops the named ``extra`` entries before hashing.
+    The engine benchmark uses ``("events",)`` to assert the callback
+    engine's metrics against the frozen coroutine engine: every metric
+    must match bit-for-bit, but the executed-event count is the one
+    quantity the rewrite legitimately changes.
     """
+
+    def _encoded(r: RunResult) -> Dict[str, object]:
+        d = r.to_dict()
+        extra = d.get("extra")
+        if isinstance(extra, dict):
+            for key in exclude_extra:
+                extra.pop(key, None)
+        return d
+
     payload = json.dumps(
         {
-            policy: [r.to_dict() for r in runs]
+            policy: [_encoded(r) for r in runs]
             for policy, runs in sorted(results.items())
         },
         sort_keys=True,

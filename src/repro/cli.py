@@ -3,6 +3,7 @@
 ::
 
     erapid run       --pattern complement --policy P-B --load 0.5
+    erapid profile   --pattern uniform --load 0.4 [--top 25]
     erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--csv out.csv]
     erapid reproduce --out results/ [--jobs N] [--no-cache]
     erapid fig3
@@ -46,6 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--warmup", type=float, default=8000)
     run.add_argument("--measure", type=float, default=12000)
+
+    prof = sub.add_parser(
+        "profile", help="one run under cProfile (hot-path inspection)"
+    )
+    prof.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    prof.add_argument("--policy", default="P-B", choices=sorted(POLICIES))
+    prof.add_argument("--load", type=float, default=0.4)
+    prof.add_argument("--boards", type=int, default=8)
+    prof.add_argument("--nodes", type=int, default=8)
+    prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument("--warmup", type=float, default=2000)
+    prof.add_argument("--measure", type=float, default=6000)
+    prof.add_argument(
+        "--top", type=int, default=25,
+        help="rows of the cumulative-time table to print (default: 25)",
+    )
 
     sweep = sub.add_parser("sweep", help="load sweep (one Figure 5/6 panel)")
     sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
@@ -121,6 +138,51 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "DPM transitions": result.extra["dpm_transitions"],
             },
             title="== E-RAPID run ==",
+        ))
+        return 0
+
+    if args.command == "profile":
+        import cProfile
+        import io
+        import pstats
+        import time
+
+        system = ERapidSystem.build(
+            boards=args.boards, nodes_per_board=args.nodes, policy=args.policy,
+            seed=args.seed,
+        )
+        plan = MeasurementPlan(
+            warmup=args.warmup, measure=args.measure, drain_limit=2 * args.measure
+        )
+        workload = WorkloadSpec(
+            pattern=args.pattern, load=args.load, seed=args.seed
+        )
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        system.run(workload, plan)
+        profiler.disable()
+        elapsed = time.perf_counter() - start
+        engine = system.last_engine
+        assert engine is not None
+        delivered = sum(n.delivered for b in engine.boards for n in b.nodes)
+        events = int(engine.sim.event_count)
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(args.top)
+        print(buf.getvalue().rstrip())
+        print()
+        print(format_kv(
+            {
+                "system": system.describe(),
+                "workload": f"{args.pattern} @ {args.load} N_c",
+                "wall time (s)": elapsed,
+                "packets delivered": delivered,
+                "events executed": events,
+                "packets/sec": delivered / elapsed if elapsed > 0 else 0.0,
+                "events/sec": events / elapsed if elapsed > 0 else 0.0,
+            },
+            title="== profile summary ==",
         ))
         return 0
 

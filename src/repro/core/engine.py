@@ -20,11 +20,30 @@ The Lock-Step coordinator, RCs and LCs mutate channel state on window
 boundaries; the power accountant integrates every channel's instantaneous
 draw.  Flit-level behaviour is validated against
 :mod:`repro.core.detailed` on small configurations.
+
+Callback state machines
+-----------------------
+The per-packet pipeline runs as flat continuation-passing callbacks, not
+generator coroutines: each hold schedules its continuation directly via
+:meth:`~repro.sim.kernel.Simulator.schedule_late` (the priority-1
+continuation class, which reproduces the coroutine formulation's event
+total order — see the kernel docs), and the send port's serialization +
+pipeline timeouts are fused into a single event.  A waitable is never
+allocated on the hot path; blocking is modelled by flags
+(``OpticalChannel.parked``, ``NodeModel.send_busy``/``recv_busy``) plus an
+engine-side registry of backpressured senders, and
+``SuperHighway.owned_wavelengths`` makes ``_poke_pair`` /
+``channels_owned_by`` owner-index hits instead of channel scans.  The
+pre-rewrite coroutine engine is frozen in
+:mod:`repro.perf.legacy_engine` as the benchmark baseline; every
+:class:`~repro.metrics.collector.RunResult` metric except the executed
+``events`` count is bit-identical between the two.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.board import BoardModel
 from repro.core.config import ERapidConfig
@@ -105,6 +124,17 @@ class FastEngine:
             self.sources = workload.build_sources(self.topology, params)
         self._started = False
 
+        # Hot-path constants and the backpressure registry: send ports
+        # blocked on a full transmitter queue park here (FIFO per pair)
+        # until a channel pops a slot free.
+        self._ser: float = config.router.packet_serialization_cycles
+        self._pipeline: float = config.router.pipeline_cycles
+        self._deliver_latency: float = (
+            config.optical.fiber_latency_cycles + config.router.pipeline_cycles
+        )
+        self._hard_end: float = plan.hard_end
+        self._blocked: Dict[Tuple[int, int], Deque[Tuple[NodeModel, Packet]]] = {}
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
@@ -113,8 +143,19 @@ class FastEngine:
         return self.boards[src_board].tx_queue(dst_board)
 
     def channels_owned_by(self, board: int) -> List[OpticalChannel]:
-        """Every channel the board's transmitters currently drive."""
-        return [ch for ch in self.channels.values() if ch.owner == board]
+        """Every channel the board's transmitters currently drive.
+
+        Served from the SRS owner index — O(channels owned), not O(W x B).
+        Order matches the pre-index scan: destination-major, wavelength
+        ascending (the ``channels`` dict insertion order, filtered).
+        """
+        channels = self.channels
+        owned = self.srs.owned_wavelengths
+        return [
+            channels[(w, d)]
+            for d in range(self.topology.boards)
+            for w in owned(board, d)
+        ]
 
     def node_model(self, node: int) -> NodeModel:
         b = self.topology.board_of(node)
@@ -155,24 +196,28 @@ class FastEngine:
             )
 
     def _poke_channel(self, ch: OpticalChannel) -> None:
-        if ch.idle and ch.work_signal is not None:
-            signal, ch.work_signal = ch.work_signal, None
-            signal.trigger()
+        """Schedule a dispatch for a parked channel (idempotent until it runs)."""
+        if ch.parked:
+            ch.parked = False
+            self.sim.schedule_late(0.0, self._dispatch, ch)
 
     def _poke_pair(self, src_board: int, dst_board: int) -> None:
-        """Wake one idle channel owned by the pair (called after a put)."""
-        for ch in self._channels_by_dest[dst_board]:
-            if (
-                ch.idle
-                and ch.work_signal is not None
-                and self.srs.owner_of(dst_board, ch.wavelength) == src_board
-            ):
-                signal, ch.work_signal = ch.work_signal, None
-                signal.trigger()
+        """Wake one parked channel owned by the pair (called after a put).
+
+        Iterates only the wavelengths the pair owns (SRS owner index), in
+        ascending order — the same selection the pre-index scan over
+        ``_channels_by_dest`` made.
+        """
+        channels = self.channels
+        for w in self.srs.owned_wavelengths(src_board, dst_board):
+            ch = channels[(w, dst_board)]
+            if ch.parked:
+                ch.parked = False
+                self.sim.schedule_late(0.0, self._dispatch, ch)
                 return
 
     # ------------------------------------------------------------------
-    # Processes
+    # Callback state machines (one per port / channel, not one process)
     # ------------------------------------------------------------------
     def start(
         self,
@@ -180,15 +225,16 @@ class FastEngine:
         node_order: Optional[List[int]] = None,
         channel_order: Optional[List[Tuple[int, int]]] = None,
     ) -> None:
-        """Register all simulation processes (idempotent guard).
+        """Schedule the initial injection ticks (idempotent guard).
 
-        ``node_order`` / ``channel_order`` override the registration order
-        of the per-node and per-channel processes.  Registration order only
-        sets the FIFO sequence numbers of same-time start-up events, so a
-        deterministic model produces identical results under any
-        permutation of the *same* order — the determinism auditor
+        ``node_order`` / ``channel_order`` override the start-up order of
+        the per-node machines and (formerly) the per-channel processes.
+        Start-up order only sets the FIFO sequence numbers of same-time
+        events, so a deterministic model produces identical results under
+        any permutation of the *same* order — the determinism auditor
         (:mod:`repro.analysis.determinism`) exploits this to flag hidden
-        iteration-order dependence.
+        iteration-order dependence.  Channels are born parked and woken by
+        pokes, so ``channel_order`` is validated but schedules nothing.
         """
         if self._started:
             raise ConfigurationError("engine already started")
@@ -205,101 +251,169 @@ class FastEngine:
             source = self.sources[node]
             if hasattr(source.process, "bind_clock"):
                 source.process.bind_clock(lambda: self.sim.now)
-            self.sim.process(self._injector_proc(model, source), name=f"inj{node}")
-            self.sim.process(self._send_proc(model), name=f"send{node}")
-            self.sim.process(self._recv_proc(model), name=f"recv{node}")
+            self.sim.schedule_late(
+                source.next_gap(), self._injection_tick, model, source
+            )
         if channel_order is not None:
             if sorted(channel_order) != sorted(self.channels):
                 raise ConfigurationError(
                     "channel_order must permute the engine's channel keys"
                 )
-            channels = [self.channels[key] for key in channel_order]
+        self.lockstep.start_fast()
+
+    # Injection -----------------------------------------------------------
+    #
+    # Same-instant ordering contract: the coroutine engine interleaved all
+    # machines' zero-delay steps through one FIFO of resume events, so a
+    # state transition that took k suspensions landed k positions deep in
+    # that instant's cascade.  The callback machines keep each such hop as
+    # an explicit zero-delay continuation (``schedule_late(0.0, ...)``)
+    # rather than calling through — collapsing a hop would move its
+    # scheduling earlier in the FIFO and (rarely, under same-cycle
+    # collisions) reorder same-time events against the coroutine engine,
+    # breaking bit-identity of the run metrics.  Timed holds still fuse the
+    # coroutine's fire + resume pair into a single event.
+    def _injection_tick(self, model: NodeModel, source: TrafficSource) -> None:
+        """One injection: make the packet, feed the send port."""
+        now = self.sim.now
+        if now >= self._hard_end:
+            return
+        pkt = source.next_packet(now, labeled=self.collector.labeling(now))
+        model.injected += 1
+        self.collector.on_injected(pkt, now)
+        if model.send_busy:
+            model.send_queue.try_put(pkt)
         else:
-            channels = list(self.channels.values())
-        for ch in channels:
-            self.sim.process(self._channel_proc(ch), name=f"ch{ch.key}")
-        self.lockstep.start()
+            model.send_queue.record_handoff()
+            model.send_busy = True
+            self.sim.schedule_late(0.0, self._send_begin, model, pkt)
+        self.sim.schedule_late(0.0, self._injection_next, model, source)
 
-    def _injector_proc(self, model: NodeModel, source: TrafficSource):
-        sim = self.sim
-        hard_end = self.plan.hard_end
-        while True:
-            yield sim.timeout(source.next_gap())
-            now = sim.now
-            if now >= hard_end:
-                return
-            pkt = source.next_packet(now, labeled=self.collector.labeling(now))
-            model.injected += 1
-            self.collector.on_injected(pkt, now)
-            yield model.send_queue.put(pkt)
+    def _injection_next(self, model: NodeModel, source: TrafficSource) -> None:
+        """Draw the next gap and re-arm (the coroutine's loop-around hop)."""
+        self.sim.schedule_late(
+            source.next_gap(), self._injection_tick, model, source
+        )
 
-    def _send_proc(self, model: NodeModel):
-        sim = self.sim
-        cfg = self.config
-        ser = cfg.router.packet_serialization_cycles
-        pipeline = cfg.router.pipeline_cycles
+    # Send port -----------------------------------------------------------
+    def _send_begin(self, model: NodeModel, pkt: Packet) -> None:
+        pkt.injected_at = self.sim.now
+        self.sim.schedule_late(self._ser, self._send_mid, model, pkt)
+
+    def _send_mid(self, model: NodeModel, pkt: Packet) -> None:
+        # Serialization done; cross the router pipeline.  This anchor event
+        # is not fused into ``_send_begin``: same-time continuations run in
+        # scheduling order, so the arrival event must be *seeded here*, at
+        # the serialization boundary — exactly where the coroutine engine
+        # created its pipeline timeout — or arrivals would sort against
+        # same-instant events by the wrong moment and (rarely) swap
+        # same-time deliveries.  Each hold is still one event, not the
+        # coroutine's fire + resume pair.
+        self.sim.schedule_late(self._pipeline, self._send_done, model, pkt)
+
+    def _send_done(self, model: NodeModel, pkt: Packet) -> None:
         s = model.board
-        while True:
-            pkt: Packet = yield model.send_queue.get()
-            pkt.injected_at = sim.now
-            yield sim.timeout(ser)
-            d = self.topology.board_of(pkt.dst)
-            yield sim.timeout(pipeline)
-            if d == s:
-                dest = self.node_model(pkt.dst)
-                dest.recv_queue.put(pkt)
-            else:
-                q = self.pair_queue(s, d)
-                req = q.put(pkt)
-                self._poke_pair(s, d)
-                # Backpressure: the send port stalls while the LC buffer is
-                # full (wormhole blocking into the IBI).
-                yield req
+        d = self.topology.board_of(pkt.dst)
+        if d == s:
+            # Intra-board: skip the optical plane.  The coroutine's local
+            # branch had no blocking put, so the next pop happens in this
+            # event, one cascade level shallower than the remote branch.
+            self._deliver(self.node_model(pkt.dst), pkt)
+            self._send_pop(model)
+            return
+        q = self.pair_queue(s, d)
+        if not q.offer(pkt):
+            # Backpressure: the send port stalls while the LC buffer is
+            # full (wormhole blocking into the IBI); a channel pop re-admits
+            # the packet and restarts the port.
+            self._blocked.setdefault((s, d), deque()).append((model, pkt))
+            self._poke_pair(s, d)
+            return
+        self._poke_pair(s, d)
+        self.sim.schedule_late(0.0, self._send_pop, model)
 
-    def _recv_proc(self, model: NodeModel):
-        sim = self.sim
-        ser = self.config.router.packet_serialization_cycles
-        while True:
-            pkt: Packet = yield model.recv_queue.get()
-            yield sim.timeout(ser)
-            pkt.delivered_at = sim.now
-            model.delivered += 1
-            self.collector.on_delivered(pkt, sim.now)
+    def _send_pop(self, model: NodeModel) -> None:
+        """Pop the next packet for the send port, or go idle."""
+        ok, pkt = model.send_queue.try_get()
+        if ok:
+            self.sim.schedule_late(0.0, self._send_begin, model, pkt)
+        else:
+            model.send_busy = False
 
-    def _channel_proc(self, ch: OpticalChannel):
-        sim = self.sim
-        fiber = self.config.optical.fiber_latency_cycles
-        pipeline = self.config.router.pipeline_cycles
-        while True:
-            owner = ch.owner
-            pkt: Optional[Packet] = None
-            if owner is not None:
-                ok, item = self.pair_queue(owner, ch.dest).try_get()
-                if ok:
-                    pkt = item
-            if pkt is None:
-                ch.idle = True
-                ch.work_signal = sim.event()
-                yield ch.work_signal
-                ch.work_signal = None
-                ch.idle = False
-                continue
-            wake_stall = ch.wake()
-            if wake_stall > 0:
-                yield sim.timeout(wake_stall)
-            if sim.now < ch.stall_until:
-                yield sim.timeout(ch.stall_until - sim.now)
-            ch.set_busy(True)
-            yield sim.timeout(ch.service_cycles(pkt.size_bytes))
-            ch.set_busy(False)
-            ch.packets_served += 1
-            pkt.wavelength = ch.wavelength
-            dest_model = self.node_model(pkt.dst)
-            sim.schedule(fiber + pipeline, self._deliver, dest_model, pkt)
+    # Optical channel -----------------------------------------------------
+    def _dispatch(self, ch: OpticalChannel) -> None:
+        """One dispatch attempt: pop the owner's queue or park."""
+        owner = self.srs.owner[ch.dest][ch.wavelength]
+        if owner is not None:
+            q = self.pair_queue(owner, ch.dest)
+            ok, pkt = q.try_get()
+            if ok:
+                blocked = self._blocked.get((owner, ch.dest))
+                if blocked:
+                    # The pop freed one LC buffer slot: re-admit the oldest
+                    # backpressured sender and restart its port.
+                    bmodel, bpkt = blocked.popleft()
+                    q.admit(bpkt)
+                    self.sim.schedule_late(0.0, self._send_pop, bmodel)
+                self._serve(ch, pkt)
+                return
+        ch.parked = True
 
-    @staticmethod
-    def _deliver(dest_model: NodeModel, pkt: Packet) -> None:
-        dest_model.recv_queue.put(pkt)
+    def _serve(self, ch: OpticalChannel, pkt: Packet) -> None:
+        wake_stall = ch.wake()
+        if wake_stall > 0:
+            self.sim.schedule_late(wake_stall, self._wake_done, ch, pkt)
+            return
+        self._wake_done(ch, pkt)
+
+    def _wake_done(self, ch: OpticalChannel, pkt: Packet) -> None:
+        stall = ch.stall_until - self.sim.now
+        if stall > 0:
+            # DVS transition / residual wake penalty at the packet boundary.
+            self.sim.schedule_late(stall, self._begin_service, ch, pkt)
+            return
+        self._begin_service(ch, pkt)
+
+    def _begin_service(self, ch: OpticalChannel, pkt: Packet) -> None:
+        ch.set_busy(True)
+        self.sim.schedule_late(
+            ch.service_cycles(pkt.size_bytes), self._end_service, ch, pkt
+        )
+
+    def _end_service(self, ch: OpticalChannel, pkt: Packet) -> None:
+        ch.set_busy(False)
+        ch.packets_served += 1
+        pkt.wavelength = ch.wavelength
+        self.sim.schedule_fast(
+            self._deliver_latency, self._deliver, self.node_model(pkt.dst), pkt
+        )
+        # Greedy: grab the next packet in the same event (the coroutine
+        # loop did the same within its service-done resume).
+        self._dispatch(ch)
+
+    # Receive port --------------------------------------------------------
+    def _deliver(self, model: NodeModel, pkt: Packet) -> None:
+        if model.recv_busy:
+            model.recv_queue.try_put(pkt)
+        else:
+            model.recv_queue.record_handoff()
+            model.recv_busy = True
+            self.sim.schedule_late(0.0, self._recv_start, model, pkt)
+
+    def _recv_start(self, model: NodeModel, pkt: Packet) -> None:
+        """Begin ejection serialization (the coroutine's getter-resume hop)."""
+        self.sim.schedule_late(self._ser, self._recv_done, model, pkt)
+
+    def _recv_done(self, model: NodeModel, pkt: Packet) -> None:
+        now = self.sim.now
+        pkt.delivered_at = now
+        model.delivered += 1
+        self.collector.on_delivered(pkt, now)
+        ok, nxt = model.recv_queue.try_get()
+        if ok:
+            self.sim.schedule_late(0.0, self._recv_start, model, nxt)
+        else:
+            model.recv_busy = False
 
     # ------------------------------------------------------------------
     # Window bookkeeping

@@ -45,6 +45,7 @@ class OpticalChannel:
         "busy_signal",
         "work_signal",
         "idle",
+        "parked",
         "packets_served",
         "dpm_transitions",
         "sleeps",
@@ -66,9 +67,13 @@ class OpticalChannel:
         self.busy = False
         #: Link_util counter: busy fraction per window.
         self.busy_signal = TimeWeighted(engine.sim.now, 0.0)
-        #: Dispatch signal the channel-server process parks on.
+        #: Dispatch signal the legacy coroutine channel process parks on.
         self.work_signal: Optional[Waitable] = None
         self.idle = True
+        #: Callback engine: the channel is waiting for a poke (no pending
+        #: dispatch event).  Plays the role of ``idle`` + ``work_signal``
+        #: without allocating a waitable per idle period.
+        self.parked = True
         self.packets_served = 0
         self.dpm_transitions = 0
         self.sleeps = 0

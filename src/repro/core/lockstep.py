@@ -34,9 +34,25 @@ class LockStepCoordinator:
         self.windows_elapsed = 0
 
     def start(self) -> None:
+        """Coroutine mode (the legacy engine's registration path)."""
         policy = self.engine.config.policy
         if policy.dpm or policy.dbr:
             self.engine.sim.process(self._run(), name="lockstep")
+
+    def start_fast(self) -> None:
+        """Callback mode: one priority-1 tick per window boundary.
+
+        The continuation class (:meth:`~repro.sim.kernel.Simulator.
+        schedule_late`) puts the boundary in the same position the
+        coroutine's resume occupied: after every directly-scheduled event
+        at the boundary instant, ordered FIFO against the other
+        continuations by when each was scheduled.
+        """
+        policy = self.engine.config.policy
+        if policy.dpm or policy.dbr:
+            self.engine.sim.schedule_late(
+                self.engine.config.control.window_cycles, self._tick
+            )
 
     # ------------------------------------------------------------------
     def _run(self):
@@ -46,6 +62,13 @@ class LockStepCoordinator:
             yield sim.timeout(window)
             self.windows_elapsed += 1
             self._window_boundary(self.windows_elapsed)
+
+    def _tick(self) -> None:
+        self.windows_elapsed += 1
+        self._window_boundary(self.windows_elapsed)
+        self.engine.sim.schedule_late(
+            self.engine.config.control.window_cycles, self._tick
+        )
 
     def _window_boundary(self, k: int) -> None:
         engine = self.engine

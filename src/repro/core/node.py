@@ -20,7 +20,16 @@ __all__ = ["NodeModel"]
 class NodeModel:
     """Queues and counters for one compute node."""
 
-    __slots__ = ("node_id", "board", "send_queue", "recv_queue", "injected", "delivered")
+    __slots__ = (
+        "node_id",
+        "board",
+        "send_queue",
+        "recv_queue",
+        "injected",
+        "delivered",
+        "send_busy",
+        "recv_busy",
+    )
 
     def __init__(self, sim: "Simulator", node_id: int, board: int) -> None:
         self.node_id = node_id
@@ -31,6 +40,10 @@ class NodeModel:
         self.recv_queue = MonitoredStore(sim, name=f"n{node_id}.recv")
         self.injected = 0
         self.delivered = 0
+        #: Callback engine: a send/recv completion event is in flight, so
+        #: new arrivals buffer instead of starting the port directly.
+        self.send_busy = False
+        self.recv_busy = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

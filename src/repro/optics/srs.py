@@ -13,7 +13,8 @@ engines drive it and read it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from bisect import insort
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import WavelengthError
 from repro.network.topology import ERapidTopology
@@ -24,6 +25,10 @@ from repro.optics.rwa import StaticRWA
 from repro.optics.transmitter import TransmitterArray
 
 __all__ = ["SuperHighway"]
+
+#: Shared empty result for pairs owning no channels (avoids a list
+#: allocation per miss on the owner index's hottest query).
+_NO_WAVELENGTHS: List[int] = []
 
 
 class SuperHighway:
@@ -53,6 +58,10 @@ class SuperHighway:
         #: permanently dark until repaired, and never grantable.
         self.failed: set = set()
         self.grants = 0
+        #: Owner index: (src, dst) -> sorted wavelengths src currently owns
+        #: toward dst.  Maintained by :meth:`grant` (failures route through
+        #: it) so per-pair channel lookups are O(owned) instead of O(W).
+        self._owned: Dict[Tuple[int, int], List[int]] = {}
         self.reset_to_static()
 
     # ------------------------------------------------------------------
@@ -67,6 +76,7 @@ class SuperHighway:
         for d in range(self.boards):
             for w in range(self.wavelengths):
                 self.owner[d][w] = None
+        self._owned.clear()
         for s in range(self.boards):
             for d in range(self.boards):
                 if s == d:
@@ -76,6 +86,7 @@ class SuperHighway:
                     continue  # failed channels stay dark across resets
                 self.tx_arrays[s][w].set_port(d, True)
                 self.owner[d][w] = s
+                insort(self._owned.setdefault((s, d), []), w)
         self.validate()
 
     # ------------------------------------------------------------------
@@ -85,15 +96,19 @@ class SuperHighway:
         self._check(dst, wavelength)
         return self.owner[dst][wavelength]
 
+    def owned_wavelengths(self, src: int, dst: int) -> List[int]:
+        """Wavelengths ``src`` currently owns toward ``dst``, ascending.
+
+        An O(1) dict hit on the maintained owner index (the returned list
+        is the live index entry — callers must not mutate it).
+        """
+        return self._owned.get((src, dst)) or _NO_WAVELENGTHS
+
     def channels_from(self, src: int, dst: int) -> List[ChannelId]:
         """Every channel currently owned by ``src`` toward ``dst``."""
         self._check(dst, 0)
         self._check(src, 0)
-        return [
-            ChannelId(src, w, dst)
-            for w in range(self.wavelengths)
-            if self.owner[dst][w] == src
-        ]
+        return [ChannelId(src, w, dst) for w in self.owned_wavelengths(src, dst)]
 
     def channels_into(self, dst: int) -> List[ChannelId]:
         """Every live channel arriving at ``dst``."""
@@ -143,8 +158,10 @@ class SuperHighway:
             return
         if old_owner is not None:
             self.tx_arrays[old_owner][wavelength].set_port(dst, False)
+            self._owned[(old_owner, dst)].remove(wavelength)
         if new_owner is not None:
             self.tx_arrays[new_owner][wavelength].set_port(dst, True)
+            insort(self._owned.setdefault((new_owner, dst), []), wavelength)
         self.owner[dst][wavelength] = new_owner
         self.grants += 1
         self.couplers[dst].validate(self.tx_arrays)
@@ -180,6 +197,14 @@ class SuperHighway:
             raise WavelengthError(
                 f"laser plane desynchronized from ownership map: "
                 f"lasers={sorted(live)} owners={sorted(expected)}"
+            )
+        indexed = {
+            (s, w, d) for (s, d), ws in self._owned.items() for w in ws
+        }
+        if indexed != expected:  # pragma: no cover - internal consistency
+            raise WavelengthError(
+                f"owner index desynchronized from ownership map: "
+                f"index={sorted(indexed)} owners={sorted(expected)}"
             )
         return [ChannelId(*t) for t in live]
 

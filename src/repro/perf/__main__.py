@@ -2,12 +2,13 @@
 
 Usage::
 
-    python -m repro.perf bench [--quick] [--jobs N] [--only kernel|sweep]
+    python -m repro.perf bench [--quick] [--jobs N]
+                               [--only kernel|engine|sweep]
                                [--output DIR]
 
-Writes ``BENCH_kernel.json`` / ``BENCH_sweep.json`` into ``--output``
-(default: the current directory, i.e. the repo root when invoked from a
-checkout or via ``make bench``).
+Writes ``BENCH_kernel.json`` / ``BENCH_engine.json`` / ``BENCH_sweep.json``
+into ``--output`` (default: the current directory, i.e. the repo root when
+invoked from a checkout or via ``make bench``).
 """
 
 from __future__ import annotations
@@ -40,7 +41,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--only",
-        choices=("kernel", "sweep", "all"),
+        choices=("kernel", "engine", "sweep", "all"),
         default="all",
         help="run a single benchmark family (default: all)",
     )
@@ -69,6 +70,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
         print(f"  -> {args.output / 'BENCH_kernel.json'}")
+    if "engine" in reports:
+        e = reports["engine"]
+        bit = e["bit_identity"]
+        print(
+            "engine: audit16 {:.0f} pkt/s vs legacy {:.0f} pkt/s ({:.2f}x); "
+            "storm {:.0f} pkt/s vs legacy {:.0f} pkt/s ({:.2f}x)".format(
+                e["audit16"]["current"]["packets_per_sec"],
+                e["audit16"]["legacy"]["packets_per_sec"],
+                e["audit16"]["speedup"],
+                e["storm"]["current"]["packets_per_sec"],
+                e["storm"]["legacy"]["packets_per_sec"],
+                e["storm"]["speedup"],
+            )
+        )
+        print(
+            "  bit-identity ({runs} runs, all fields except events): "
+            "serial=={legacy} {a}, jobs={jobs}=={legacy} {b}".format(
+                runs=bit["runs"],
+                jobs=bit["jobs"],
+                legacy="legacy",
+                a="OK" if bit["serial_matches_legacy"] else "MISMATCH",
+                b="OK" if bit["parallel_matches_legacy"] else "MISMATCH",
+            )
+        )
+        print(f"  -> {args.output / 'BENCH_engine.json'}")
+        if not (bit["serial_matches_legacy"] and bit["parallel_matches_legacy"]):
+            print(
+                "bench: engine bit-identity cross-check FAILED", file=sys.stderr
+            )
+            return 1
     if "sweep" in reports:
         s = reports["sweep"]
         det = s["determinism"]

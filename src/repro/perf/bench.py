@@ -1,6 +1,6 @@
 """Tracked benchmark harness (``python -m repro.perf bench``).
 
-Two benchmark families, each writing a JSON report at the repo root so
+Three benchmark families, each writing a JSON report at the repo root so
 performance is tracked *in the tree* alongside the code it measures:
 
 ``BENCH_kernel.json``
@@ -10,6 +10,16 @@ performance is tracked *in the tree* alongside the code it measures:
     :class:`~repro.sim.kernel.Simulator` and the frozen pre-optimization
     reference kernel (:mod:`repro.perf.legacy`).  The ``speedup`` field is
     therefore re-measured on every machine, never a stale constant.
+
+``BENCH_engine.json``
+    Whole-engine packets/sec of the callback-state-machine
+    :class:`~repro.core.engine.FastEngine` against the frozen coroutine
+    engine (:mod:`repro.perf.legacy_engine`) on the 16-node audit workload
+    and a high-load permutation storm — plus the bit-identity cross-check:
+    a (pattern × policy × load) sweep matrix executed by both engines
+    (serially and through the process pool) must fingerprint identically
+    on every :class:`~repro.metrics.collector.RunResult` field except the
+    executed-event count.
 
 ``BENCH_sweep.json``
     End-to-end wall time for a small load sweep executed serially, through
@@ -42,6 +52,7 @@ from repro.sim.kernel import KERNEL_VERSION, Simulator
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = [
+    "bench_engine",
     "bench_kernel",
     "bench_sweep",
     "run_benchmarks",
@@ -178,6 +189,162 @@ def bench_kernel(quick: bool = False) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Engine packets/sec + bit-identity benchmark
+# ----------------------------------------------------------------------
+def _bench_config(policy: str = "P-B") -> ERapidConfig:
+    return ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4),
+        policy=make_policy(policy),
+        control=ControlParams(window_cycles=500),
+        seed=1,
+    )
+
+
+def _time_engine(
+    engine_cls: type, pattern: str, load: float, repeats: int
+) -> Dict[str, float]:
+    """Best-of-N packets/sec for one engine class on one workload."""
+    plan = MeasurementPlan(warmup=500.0, measure=1500.0, drain_limit=3000.0)
+    workload = WorkloadSpec(pattern=pattern, load=load, seed=1)
+    best_pps = 0.0
+    packets = 0
+    events = 0
+    for _ in range(repeats):
+        engine = engine_cls(_bench_config(), workload, plan)
+        start = perf_counter()
+        engine.run()
+        elapsed = perf_counter() - start
+        packets = sum(n.delivered for b in engine.boards for n in b.nodes)
+        events = int(engine.sim.event_count)
+        best_pps = max(best_pps, packets / elapsed if elapsed > 0 else 0.0)
+    return {
+        "packets": float(packets),
+        "events": float(events),
+        "packets_per_sec": best_pps,
+    }
+
+
+def _engine_sweep_specs(quick: bool) -> Dict[str, Any]:
+    """The bit-identity matrix: one non-permutation and one permutation
+    panel, so both the scalar and the batched gap-sampling paths are
+    asserted against the coroutine engine."""
+    from repro.experiments.sweep import SweepSpec
+
+    if quick:
+        plan = MeasurementPlan(warmup=200.0, measure=600.0, drain_limit=1500.0)
+        loads = (0.2, 0.8)
+        policies = ("NP-NB", "P-B")
+    else:
+        plan = MeasurementPlan(warmup=500.0, measure=1500.0, drain_limit=3000.0)
+        loads = (0.2, 0.5, 0.9)
+        policies = ("NP-NB", "P-NB", "NP-B", "P-B")
+    common = dict(
+        loads=loads, policies=policies, boards=4, nodes_per_board=4,
+        seed=1, plan=plan,
+    )
+    return {
+        "uniform": SweepSpec(pattern="uniform", **common),
+        "complement": SweepSpec(pattern="complement", **common),
+    }
+
+
+def _legacy_matrix(specs: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Run the sweep matrix serially through the frozen coroutine engine."""
+    from repro.core.policies import POLICIES
+    from repro.perf.legacy_engine import LegacyFastEngine
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for name, spec in specs.items():
+        base = ERapidConfig(
+            topology=ERapidTopology(
+                boards=spec.boards, nodes_per_board=spec.nodes_per_board
+            )
+        )
+        panel: Dict[str, Any] = {}
+        for policy_name in spec.policies:
+            config = base.with_policy(POLICIES[policy_name])
+            panel[policy_name] = [
+                LegacyFastEngine(
+                    config,
+                    WorkloadSpec(pattern=spec.pattern, load=load, seed=spec.seed),
+                    spec.plan,
+                ).run()
+                for load in spec.loads
+            ]
+        results[name] = panel
+    return results
+
+
+def bench_engine(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
+    """Engine packets/sec vs the coroutine engine, plus bit-identity."""
+    from repro.analysis.determinism import sweep_fingerprint
+    from repro.core.engine import FastEngine
+    from repro.experiments.sweep import run_sweep_matrix
+    from repro.perf.legacy_engine import LegacyFastEngine
+
+    repeats = 1 if quick else 3
+    workloads = {
+        "audit16": ("uniform", 0.4),
+        "storm": ("complement", 0.9),
+    }
+
+    report: Dict[str, Any] = {
+        "benchmark": "engine",
+        "kernel_version": KERNEL_VERSION,
+        "python": platform.python_version(),
+        "quick": quick,
+        "repeats": repeats,
+    }
+    speedups = []
+    for name, (pattern, load) in workloads.items():
+        current = _time_engine(FastEngine, pattern, load, repeats)
+        legacy = _time_engine(LegacyFastEngine, pattern, load, repeats)
+        speedup = (
+            current["packets_per_sec"] / legacy["packets_per_sec"]
+            if legacy["packets_per_sec"] > 0
+            else 0.0
+        )
+        speedups.append(speedup)
+        report[name] = {
+            "workload": f"{pattern} load={load} seed=1, 4x4 boards, P-B",
+            "current": current,
+            "legacy": legacy,
+            "speedup": speedup,
+        }
+    # Headline number: the weaker of the two workload speedups.
+    report["speedup"] = min(speedups)
+
+    specs = _engine_sweep_specs(quick)
+    serial = run_sweep_matrix(specs)
+    parallel = run_sweep_matrix(specs, jobs=jobs)
+    legacy_matrix = _legacy_matrix(specs)
+
+    def _fp(matrix: Dict[str, Any]) -> Dict[str, str]:
+        return {
+            name: sweep_fingerprint(panel, exclude_extra=("events",))
+            for name, panel in sorted(matrix.items())
+        }
+
+    legacy_fp = _fp(legacy_matrix)
+    serial_fp = _fp(serial)
+    parallel_fp = _fp(parallel)
+    runs = sum(
+        len(spec.loads) * len(spec.policies) for spec in specs.values()
+    )
+    report["bit_identity"] = {
+        "runs": runs,
+        "jobs": jobs,
+        "excluded_fields": ["extra.events"],
+        "legacy_fingerprints": legacy_fp,
+        "serial_fingerprints": serial_fp,
+        "parallel_fingerprints": parallel_fp,
+        "serial_matches_legacy": serial_fp == legacy_fp,
+        "parallel_matches_legacy": parallel_fp == legacy_fp,
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
 # Sweep wall-time benchmark
 # ----------------------------------------------------------------------
 def bench_sweep(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
@@ -266,14 +433,17 @@ def run_benchmarks(
 ) -> Dict[str, Dict[str, Any]]:
     """Run the selected benchmarks and write ``BENCH_*.json`` reports.
 
-    ``which`` is ``"kernel"``, ``"sweep"`` or ``"all"``.  Returns the
-    reports keyed by family.
+    ``which`` is ``"kernel"``, ``"engine"``, ``"sweep"`` or ``"all"``.
+    Returns the reports keyed by family.
     """
     output_dir.mkdir(parents=True, exist_ok=True)
     reports: Dict[str, Dict[str, Any]] = {}
     if which in ("kernel", "all"):
         reports["kernel"] = bench_kernel(quick=quick)
         write_report(reports["kernel"], output_dir / "BENCH_kernel.json")
+    if which in ("engine", "all"):
+        reports["engine"] = bench_engine(quick=quick, jobs=jobs)
+        write_report(reports["engine"], output_dir / "BENCH_engine.json")
     if which in ("sweep", "all"):
         reports["sweep"] = bench_sweep(quick=quick, jobs=jobs)
         write_report(reports["sweep"], output_dir / "BENCH_sweep.json")

@@ -119,6 +119,13 @@ class LegacySimulator:
         # Pre-PR there was no fast path: every event allocated a handle.
         self.schedule(delay, fn, *args)
 
+    def schedule_late(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        # API shim for the current engine's p1 continuation class; same
+        # (time, priority, seq) order, full legacy allocation cost.
+        self.schedule(delay, fn, *args, priority=1)
+
     # ------------------------------------------------------------------
     def event(self) -> Waitable:
         return Waitable(self)  # type: ignore[arg-type]

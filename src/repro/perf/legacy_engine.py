@@ -1,0 +1,327 @@
+"""Frozen pre-rewrite coroutine engine (benchmark baseline).
+
+This is :class:`repro.core.engine.FastEngine` exactly as it stood before
+the callback state-machine rewrite: one generator *process* per injector,
+send port, receive port and optical channel, every packet crossing ~6
+generator suspensions (gap timeout, send-queue get, ``ser`` timeout,
+``pipeline`` timeout, tx-queue put, channel work signal / service timeout,
+recv-queue get, ejection timeout), and ``_poke_pair`` scanning every
+channel into the destination board.
+
+It exists so ``python -m repro.perf bench`` can report a *measured*
+packets/sec speedup of the callback engine over the coroutine engine on
+every machine, forever — not a number hard-coded at rewrite time — and so
+the bit-identity of every :class:`~repro.metrics.collector.RunResult`
+metric (all fields except the executed-``events`` count) can be asserted
+against the pre-rewrite engine on the full sweep matrix.
+
+Do not "fix" or optimize this module; its value is standing still.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.board import BoardModel
+from repro.core.config import ERapidConfig
+from repro.core.link_controller import OpticalChannel
+from repro.core.lockstep import LockStepCoordinator
+from repro.core.node import NodeModel
+from repro.core.reconfig_controller import ReconfigController
+from repro.errors import ConfigurationError
+from repro.metrics.collector import Collector, MeasurementPlan, RunResult
+from repro.network.packet import Packet
+from repro.optics.srs import SuperHighway
+from repro.power.energy import EnergyAccountant
+from repro.sim.kernel import Simulator
+from repro.sim.queues import MonitoredStore
+from repro.sim.trace import TraceLog
+from repro.traffic.injection import TrafficSource
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["LegacyFastEngine"]
+
+
+class LegacyFastEngine:
+    """Coroutine-based event-driven simulation of one E-RAPID run."""
+
+    def __init__(
+        self,
+        config: ERapidConfig,
+        workload: WorkloadSpec,
+        plan: MeasurementPlan = MeasurementPlan(),
+        trace: Optional[TraceLog] = None,
+        sources: Optional[List[TrafficSource]] = None,
+    ) -> None:
+        self.config = config
+        self.topology = config.topology
+        self.workload = workload
+        self.plan = plan
+        self.trace = trace
+        self.sim = Simulator(trace=trace)
+        self.srs = SuperHighway(self.topology)
+        self.accountant = EnergyAccountant(cycle_ns=1.0 / config.router.clock_ghz)
+        self.collector = Collector(plan, self.topology.total_nodes)
+
+        self.boards: List[BoardModel] = [
+            BoardModel(self.sim, b, self.topology, config.tx_queue_capacity)
+            for b in range(self.topology.boards)
+        ]
+        #: (wavelength, dest) -> channel state; one per receiver slot.
+        self.channels: Dict[Tuple[int, int], OpticalChannel] = {}
+        self._channels_by_dest: Dict[int, List[OpticalChannel]] = {
+            d: [] for d in range(self.topology.boards)
+        }
+        for d in range(self.topology.boards):
+            for w in range(self.topology.wavelengths):
+                ch = OpticalChannel(self, w, d)
+                self.channels[(w, d)] = ch
+                self._channels_by_dest[d].append(ch)
+
+        self.rcs: List[ReconfigController] = [
+            ReconfigController(self, b) for b in range(self.topology.boards)
+        ]
+        self.lockstep = LockStepCoordinator(self)
+
+        from repro.traffic.capacity import CapacityParams
+
+        params = CapacityParams(
+            packet_bits=config.router.packet_bytes * 8,
+            optical_gbps=config.power_levels.highest.bit_rate_gbps,
+            electrical_gbps=config.router.port_gbps,
+            clock_ghz=config.router.clock_ghz,
+        )
+        if sources is not None:
+            if len(sources) != self.topology.total_nodes:
+                raise ConfigurationError(
+                    f"need {self.topology.total_nodes} sources, got {len(sources)}"
+                )
+            self.sources = list(sources)
+        else:
+            self.sources = workload.build_sources(self.topology, params)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def pair_queue(self, src_board: int, dst_board: int) -> MonitoredStore:
+        """The transmitter queue of board ``src_board`` toward ``dst_board``."""
+        return self.boards[src_board].tx_queue(dst_board)
+
+    def channels_owned_by(self, board: int) -> List[OpticalChannel]:
+        """Every channel the board's transmitters currently drive.
+
+        The pre-rewrite O(W x B) scan (the :mod:`repro.core.engine` version
+        goes through the maintained owner index).
+        """
+        return [ch for ch in self.channels.values() if ch.owner == board]
+
+    def node_model(self, node: int) -> NodeModel:
+        b = self.topology.board_of(node)
+        return self.boards[b].nodes[self.topology.local_of(node)]
+
+    # ------------------------------------------------------------------
+    # Reconfiguration actuation
+    # ------------------------------------------------------------------
+    def apply_grant(self, dest: int, wavelength: int, new_owner: Optional[int]) -> None:
+        """Link-Response-stage actuation of one ownership change."""
+        self.srs.grant(dest, wavelength, new_owner)
+        ch = self.channels[(wavelength, dest)]
+        ch.on_ownership_change()
+        if new_owner is not None and len(self.pair_queue(new_owner, dest)) > 0:
+            self._poke_channel(ch)
+
+    def inject_laser_failure(self, dest: int, wavelength: int, at: float) -> None:
+        """Schedule a hard channel failure at simulation time ``at``."""
+        if self.sim.now > at:
+            raise ConfigurationError(f"failure time {at} is in the past")
+        self.sim.schedule_at(at, self._fail_now, dest, wavelength)
+
+    def _fail_now(self, dest: int, wavelength: int) -> None:
+        old_owner = self.srs.fail_channel(dest, wavelength)
+        ch = self.channels[(wavelength, dest)]
+        ch.on_ownership_change()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "failure", f"ch({wavelength},{dest})",
+                "laser failed", lost_owner=old_owner,
+            )
+
+    def _poke_channel(self, ch: OpticalChannel) -> None:
+        if ch.idle and ch.work_signal is not None:
+            signal, ch.work_signal = ch.work_signal, None
+            signal.trigger()
+
+    def _poke_pair(self, src_board: int, dst_board: int) -> None:
+        """Wake one idle channel owned by the pair (called after a put).
+
+        The pre-rewrite O(W) scan over every channel into the destination.
+        """
+        for ch in self._channels_by_dest[dst_board]:
+            if (
+                ch.idle
+                and ch.work_signal is not None
+                and self.srs.owner_of(dst_board, ch.wavelength) == src_board
+            ):
+                signal, ch.work_signal = ch.work_signal, None
+                signal.trigger()
+                return
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        *,
+        node_order: Optional[List[int]] = None,
+        channel_order: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        """Register all simulation processes (idempotent guard)."""
+        if self._started:
+            raise ConfigurationError("engine already started")
+        self._started = True
+        nodes = list(range(self.topology.total_nodes))
+        if node_order is not None:
+            if sorted(node_order) != nodes:
+                raise ConfigurationError(
+                    f"node_order must permute 0..{len(nodes) - 1}"
+                )
+            nodes = list(node_order)
+        for node in nodes:
+            model = self.node_model(node)
+            source = self.sources[node]
+            if hasattr(source.process, "bind_clock"):
+                source.process.bind_clock(lambda: self.sim.now)
+            self.sim.process(self._injector_proc(model, source), name=f"inj{node}")
+            self.sim.process(self._send_proc(model), name=f"send{node}")
+            self.sim.process(self._recv_proc(model), name=f"recv{node}")
+        if channel_order is not None:
+            if sorted(channel_order) != sorted(self.channels):
+                raise ConfigurationError(
+                    "channel_order must permute the engine's channel keys"
+                )
+            channels = [self.channels[key] for key in channel_order]
+        else:
+            channels = list(self.channels.values())
+        for ch in channels:
+            self.sim.process(self._channel_proc(ch), name=f"ch{ch.key}")
+        self.lockstep.start()
+
+    def _injector_proc(self, model: NodeModel, source: TrafficSource):
+        sim = self.sim
+        hard_end = self.plan.hard_end
+        while True:
+            yield sim.timeout(source.next_gap())
+            now = sim.now
+            if now >= hard_end:
+                return
+            pkt = source.next_packet(now, labeled=self.collector.labeling(now))
+            model.injected += 1
+            self.collector.on_injected(pkt, now)
+            yield model.send_queue.put(pkt)
+
+    def _send_proc(self, model: NodeModel):
+        sim = self.sim
+        cfg = self.config
+        ser = cfg.router.packet_serialization_cycles
+        pipeline = cfg.router.pipeline_cycles
+        s = model.board
+        while True:
+            pkt: Packet = yield model.send_queue.get()
+            pkt.injected_at = sim.now
+            yield sim.timeout(ser)
+            d = self.topology.board_of(pkt.dst)
+            yield sim.timeout(pipeline)
+            if d == s:
+                dest = self.node_model(pkt.dst)
+                dest.recv_queue.put(pkt)
+            else:
+                q = self.pair_queue(s, d)
+                req = q.put(pkt)
+                self._poke_pair(s, d)
+                # Backpressure: the send port stalls while the LC buffer is
+                # full (wormhole blocking into the IBI).
+                yield req
+
+    def _recv_proc(self, model: NodeModel):
+        sim = self.sim
+        ser = self.config.router.packet_serialization_cycles
+        while True:
+            pkt: Packet = yield model.recv_queue.get()
+            yield sim.timeout(ser)
+            pkt.delivered_at = sim.now
+            model.delivered += 1
+            self.collector.on_delivered(pkt, sim.now)
+
+    def _channel_proc(self, ch: OpticalChannel):
+        sim = self.sim
+        fiber = self.config.optical.fiber_latency_cycles
+        pipeline = self.config.router.pipeline_cycles
+        while True:
+            owner = ch.owner
+            pkt: Optional[Packet] = None
+            if owner is not None:
+                ok, item = self.pair_queue(owner, ch.dest).try_get()
+                if ok:
+                    pkt = item
+            if pkt is None:
+                ch.idle = True
+                ch.work_signal = sim.event()
+                yield ch.work_signal
+                ch.work_signal = None
+                ch.idle = False
+                continue
+            wake_stall = ch.wake()
+            if wake_stall > 0:
+                yield sim.timeout(wake_stall)
+            if sim.now < ch.stall_until:
+                yield sim.timeout(ch.stall_until - sim.now)
+            ch.set_busy(True)
+            yield sim.timeout(ch.service_cycles(pkt.size_bytes))
+            ch.set_busy(False)
+            ch.packets_served += 1
+            pkt.wavelength = ch.wavelength
+            dest_model = self.node_model(pkt.dst)
+            sim.schedule(fiber + pipeline, self._deliver, dest_model, pkt)
+
+    @staticmethod
+    def _deliver(dest_model: NodeModel, pkt: Packet) -> None:
+        dest_model.recv_queue.put(pkt)
+
+    # ------------------------------------------------------------------
+    # Window bookkeeping
+    # ------------------------------------------------------------------
+    def reset_windows(self) -> None:
+        for ch in self.channels.values():
+            ch.reset_window()
+        for board in self.boards:
+            board.reset_windows()
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Warm up, measure, drain; return the run metrics."""
+        if not self._started:
+            self.start()
+        plan = self.plan
+        self.sim.run(until=plan.warmup)
+        self.accountant.reset_window(self.sim.now)
+        self.sim.run(until=plan.measure_end)
+        self.collector.power_avg_mw = self.accountant.window_average_mw(self.sim.now)
+        # Drain: run in chunks until every labeled packet lands (or cap).
+        chunk = max(1000.0, self.config.control.window_cycles / 2)
+        t = plan.measure_end
+        while not self.collector.drained() and t < plan.hard_end:
+            t = min(t + chunk, plan.hard_end)
+            self.sim.run(until=t)
+        return self.collector.result(
+            policy=self.config.policy.name,
+            pattern=self.workload.pattern,
+            load=self.workload.load,
+            grants=self.srs.grants,
+            dpm_transitions=sum(c.dpm_transitions for c in self.channels.values()),
+            sleeps=sum(c.sleeps for c in self.channels.values()),
+            lasers_on_final=self.srs.lasers_on(),
+            events=self.sim.event_count,
+        )

@@ -59,7 +59,10 @@ __all__ = ["Simulator", "KERNEL_VERSION"]
 #: timing model).  Content-addressed run caches include this in their keys:
 #: bump it whenever a kernel change could alter simulation results, so
 #: stale cached runs are invalidated instead of silently reused.
-KERNEL_VERSION = "2"
+#: "3": the callback-engine rewrite — :meth:`Simulator.schedule_late`
+#: introduces the priority-1 continuation class and the fast engine's
+#: executed-event stream (and ``events`` count) changed shape.
+KERNEL_VERSION = "3"
 
 #: Compaction triggers only once at least this many cancellations are
 #: pending — tiny heaps are cheaper to drain than to rebuild.
@@ -159,6 +162,29 @@ class Simulator:
             raise SchedulingError(f"cannot schedule {delay!r} in the past")
         self._seq = seq = self._seq + 1
         heapq.heappush(self._heap, (self._now + delay, 0, seq, None, fn, args))
+
+    def schedule_late(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Hot-path scheduling at priority 1 — the *continuation* class.
+
+        Callback state machines (the fast engine) schedule their
+        model-mutating continuations through this entry point.  Priority 1
+        reproduces the total order of the coroutine formulation they
+        replaced: there, every ``yield`` deferred the model mutation into a
+        resume event whose FIFO sequence number was assigned *at execution
+        time*, so resumes always sorted after every same-time event that
+        had been scheduled directly (priority 0 — deliveries, protocol
+        stages, traces).  A priority-1 entry keeps that "mutations after
+        direct callbacks" invariant while needing only ONE heap event per
+        hold instead of the coroutine's fire + resume pair; among
+        themselves, priority-1 entries fire in scheduling (FIFO) order,
+        matching the old resumes' enablement order.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay!r} in the past")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self._now + delay, 1, seq, None, fn, args))
 
     # ------------------------------------------------------------------
     # Cancellation bookkeeping (called by ScheduledEvent.cancel)

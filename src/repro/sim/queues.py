@@ -78,6 +78,29 @@ class MonitoredStore(Store):
                 self.dwell.add(0.0)
         return ok
 
+    def offer(self, item: Any) -> bool:  # noqa: D102 - see Store.offer
+        # Like the blocking put(), the attempt counts as an arrival even
+        # when the store is full — the item is en route, merely stalled.
+        self.arrivals += 1
+        had_getter = bool(self._getters)
+        ok = super().offer(item)
+        if ok and had_getter:
+            self.departures += 1
+            self.dwell.add(0.0)
+        return ok
+
+    def record_handoff(self) -> None:
+        """Count an arrival handed straight to its consumer (never buffered).
+
+        Callback consumers take items synchronously instead of parking a
+        getter inside the store, so the direct hand-off statistics a
+        blocking ``put`` would have recorded (arrival + zero-dwell
+        departure, no occupancy) are recorded through this hook.
+        """
+        self.arrivals += 1
+        self.departures += 1
+        self.dwell.add(0.0)
+
     def _on_item_enqueued(self, item: Any) -> None:
         super()._on_item_enqueued(item)
         self._enqueue_times[id(item)] = self.sim.now

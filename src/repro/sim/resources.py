@@ -127,6 +127,30 @@ class Store:
         self._on_item_enqueued(item)
         return True
 
+    def offer(self, item: Any) -> bool:
+        """Non-blocking put for callback producers; ``False`` when full.
+
+        Semantically :meth:`try_put`, but monitored subclasses count the
+        *attempt* (like a blocking :meth:`put` does) so a producer that
+        parks itself on rejection and re-enters via :meth:`admit` leaves
+        the same arrival statistics as one that blocked inside ``put``.
+        """
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.is_full:
+            return False
+        self._on_item_enqueued(item)
+        return True
+
+    def admit(self, item: Any) -> None:
+        """Enqueue an item whose arrival a failed :meth:`offer` already
+        counted — the callback analogue of the blocked-putter hand-off
+        (:meth:`_admit_putter`).  The caller must have freed a slot."""
+        if self.is_full:
+            raise SimulationError("admit() into a full store")
+        self._on_item_enqueued(item)
+
     def get(self) -> Waitable:
         """A waitable that fires with the oldest item once one is available."""
         req = Waitable(self.sim)

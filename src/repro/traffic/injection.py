@@ -10,7 +10,7 @@ exploits.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -40,12 +40,35 @@ class InjectionProcess:
     def next_gap(self, rng: np.random.Generator) -> float:
         raise NotImplementedError
 
+    def gap_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Optional[List[Union[int, float]]]:
+        """``n`` gaps in one vectorized draw, or ``None`` if unsupported.
+
+        The contract is *bit-identity*: ``gap_batch(rng, n)`` must consume
+        the stream exactly as ``n`` successive :meth:`next_gap` calls and
+        return the same values as plain Python numbers (numpy scalars
+        would poison repr-based fingerprints downstream).  Processes whose
+        sampling is stateful or clock-dependent return ``None`` and stay
+        on the scalar path.
+        """
+        return None
+
 
 class BernoulliProcess(InjectionProcess):
     """One packet with probability ``rate`` per cycle (the paper's process)."""
 
     def next_gap(self, rng: np.random.Generator) -> float:
         return geometric_gap(rng, self.rate)
+
+    def gap_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Optional[List[Union[int, float]]]:
+        # geometric_gap's degenerate rates never touch the rng, so only
+        # the open interval is batchable stream-identically.
+        if not 0.0 < self.rate < 1.0:
+            return None
+        return rng.geometric(self.rate, size=n).tolist()
 
 
 class PoissonProcess(InjectionProcess):
@@ -55,6 +78,14 @@ class PoissonProcess(InjectionProcess):
         if self.rate <= 0:
             return float(1 << 30)
         return max(1.0, float(rng.exponential(1.0 / self.rate)))
+
+    def gap_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Optional[List[Union[int, float]]]:
+        if self.rate <= 0:
+            return None
+        scale = 1.0 / self.rate
+        return np.maximum(1.0, rng.exponential(scale, size=n)).tolist()
 
 
 class OnOffProcess(InjectionProcess):
@@ -140,6 +171,10 @@ class ProfiledBernoulliProcess(InjectionProcess):
         return geometric_gap(rng, rate)
 
 
+#: Gaps drawn per vectorized refill of a source's gap buffer.
+GAP_CHUNK = 256
+
+
 class TrafficSource:
     """Per-node packet generator: injection process + pattern + factory."""
 
@@ -167,9 +202,31 @@ class TrafficSource:
             else RngRegistry(seed=0).stream(f"source.{node}")
         )
         self.generated = 0
+        # Batched gap draws are stream-identical to scalar draws only when
+        # nothing else consumes this source's stream between gaps — i.e.
+        # when the pattern's dest() is a fixed permutation.  Uniform
+        # traffic interleaves dest draws with gap draws and must stay
+        # scalar.
+        self._gap_buffer: List[Union[int, float]] = []
+        self._gap_pos = 0
+        self._batchable = pattern.is_permutation
 
     def next_gap(self) -> float:
         """Cycles until this node's next injection."""
+        pos = self._gap_pos
+        buf = self._gap_buffer
+        if pos < len(buf):
+            self._gap_pos = pos + 1
+            return buf[pos]
+        if self._batchable:
+            batch = self.process.gap_batch(self.rng, GAP_CHUNK)
+            if batch is not None:
+                self._gap_buffer = batch
+                self._gap_pos = 1
+                return batch[0]
+            # The process can't batch (degenerate rate / stateful); don't
+            # re-try on every gap.
+            self._batchable = False
         return self.process.next_gap(self.rng)
 
     def next_packet(self, now: float, labeled: bool = False) -> Packet:

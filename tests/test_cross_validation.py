@@ -101,6 +101,29 @@ def test_dpm_agrees_across_engines(load):
     assert rd.throughput == pytest.approx(rf.throughput, rel=0.05)
 
 
+@pytest.mark.parametrize("load", [0.3, 0.5])
+def test_dpm_mid_threshold_band_agrees(load):
+    """A widened (l_min, l_max) band that brackets the operating
+    utilization: every window's decision lands in the HOLD region, so the
+    two engines must converge on the *same* power level and transition
+    count — the spot most sensitive to service-timing differences, since
+    one window straddling a threshold would fork the level ladders."""
+    from repro.core.policies import ReconfigPolicy, Thresholds
+
+    mid = ReconfigPolicy(
+        "P-NB-mid", dpm=True, dbr=False,
+        thresholds=Thresholds(l_min=0.2, l_max=0.8, b_max=0.0),
+    )
+    cfg = CFG.with_policy(mid)
+    plan = MeasurementPlan(warmup=6000, measure=8000, drain_limit=10000)
+    wl = WorkloadSpec(pattern="uniform", load=load, seed=5)
+    rd = DetailedEngine(cfg, wl, plan).run()
+    rf = FastEngine(cfg, wl, plan).run()
+    assert rd.power_mw == pytest.approx(rf.power_mw, rel=0.02)
+    assert abs(rd.extra["dpm_transitions"] - rf.extra["dpm_transitions"]) <= 1
+    assert rd.throughput == pytest.approx(rf.throughput, rel=0.05)
+
+
 def test_dpm_saves_power_in_detailed_engine():
     """Flit-level P-NB vs NP-NB at low load: deep savings, same delivery."""
     plan = MeasurementPlan(warmup=6000, measure=8000, drain_limit=10000)

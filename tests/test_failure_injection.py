@@ -134,6 +134,47 @@ def test_multiple_failures_still_converge():
     assert len(engine.srs.failed) == 2
 
 
+def test_undrained_run_stops_at_hard_end():
+    """When labeled packets can never land (static network, dead pair),
+    the drain loop must give up exactly at ``plan.hard_end`` with
+    ``Collector.drained()`` still false — not hang, not stop early."""
+    plan = MeasurementPlan(warmup=2000, measure=3000, drain_limit=4000)
+    cfg = ERapidConfig(topology=TOPO4, policy=NP_NB)
+    engine = FastEngine(
+        cfg, WorkloadSpec(pattern="complement", load=0.4, seed=7), plan
+    )
+    # Kill pair (0 -> 3) before measurement starts: every labeled packet
+    # node 0..3 injects toward board 3 is stuck in a queue forever.
+    w_hot = engine.srs.rwa.wavelength_for(0, 3)
+    engine.inject_laser_failure(3, w_hot, at=500.0)
+    result = engine.run()
+    assert not engine.collector.drained()
+    assert engine.collector.labeled_outstanding > 0
+    assert engine.sim.now == plan.hard_end
+    # The stuck packets are visible as the injected/delivered gap.
+    assert result.labeled_delivered < result.labeled_injected
+    # The run still produces the standard metric set, nothing extra.
+    assert set(result.extra) == {
+        "policy", "pattern", "load", "grants", "dpm_transitions",
+        "sleeps", "lasers_on_final", "events",
+    }
+
+
+def test_drained_run_stops_before_hard_end():
+    """The healthy counterpart: with all channels alive the drain loop
+    exits as soon as the labeled population lands, well short of the cap.
+    Load 0.2 keeps static complement comfortably below saturation."""
+    plan = MeasurementPlan(warmup=2000, measure=3000, drain_limit=4000)
+    cfg = ERapidConfig(topology=TOPO4, policy=NP_NB)
+    engine = FastEngine(
+        cfg, WorkloadSpec(pattern="complement", load=0.2, seed=7), plan
+    )
+    result = engine.run()
+    assert engine.collector.drained()
+    assert engine.sim.now < plan.hard_end
+    assert result.labeled_delivered == result.labeled_injected
+
+
 def test_failure_trace_recorded():
     engine, _ = run_with_failure(NP_B)
     recs = list(engine.trace.filter(category="failure"))

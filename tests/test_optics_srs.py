@@ -258,6 +258,71 @@ def test_srs_random_grant_sequences_keep_invariants(seed, data):
         assert len(keys) == len(set(keys))
 
 
+def _index_view(srs):
+    """Every (src, dst, λ) the owner index claims src owns."""
+    return {
+        (s, d, w)
+        for s in range(srs.boards)
+        for d in range(srs.boards)
+        if s != d
+        for w in srs.owned_wavelengths(s, d)
+    }
+
+
+def test_owner_index_tracks_grants_and_failures():
+    """The (owner, dest) -> wavelengths index the engine's hot path reads
+    must stay consistent with ``owner_of`` through grant, failure, repair
+    and static reset."""
+    srs = make_srs(4)
+
+    def owner_pairs():
+        return {
+            (srs.owner_of(d, w), d, w)
+            for d in range(srs.boards)
+            for w in range(srs.wavelengths)
+            if srs.owner_of(d, w) is not None
+        }
+
+    assert _index_view(srs) == owner_pairs()
+
+    # Re-grant: board 1's channel to 2 moves to board 3.
+    w = srs.rwa.wavelength_for(1, 2)
+    srs.grant(2, w, 3)
+    assert w not in srs.owned_wavelengths(1, 2)
+    assert w in srs.owned_wavelengths(3, 2)
+    assert _index_view(srs) == owner_pairs()
+
+    # Hard failure darkens the channel and drops it from the index.
+    assert srs.fail_channel(2, w) == 3
+    assert w not in srs.owned_wavelengths(3, 2)
+    assert _index_view(srs) == owner_pairs()
+
+    # Repair + re-grant brings it back under a new owner.
+    srs.repair_channel(2, w)
+    srs.grant(2, w, 0)
+    assert w in srs.owned_wavelengths(0, 2)
+    assert _index_view(srs) == owner_pairs()
+
+    # Reset rebuilds the index from the static RWA.
+    srs.reset_to_static()
+    assert _index_view(srs) == owner_pairs()
+    srs.validate()
+
+
+def test_owned_wavelengths_empty_pair_is_stable():
+    """Pairs with no channels return the shared empty list and the engine
+    must never be able to mutate ownership through it."""
+    srs = make_srs(4)
+    w = srs.rwa.wavelength_for(1, 2)
+    srs.grant(2, w, 3)
+    assert srs.owned_wavelengths(1, 2) == []
+    # channels_from mirrors the index.
+    assert srs.channels_from(1, 2) == []
+    assert [c.wavelength for c in srs.channels_from(3, 2)] == sorted(
+        srs.owned_wavelengths(3, 2)
+    )
+
+
 def test_srs_64_node_configuration():
     srs = make_srs(boards=8, nodes=8)
     assert len(srs.all_channels()) == 8 * 7

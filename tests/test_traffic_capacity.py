@@ -89,6 +89,67 @@ def test_traffic_source_node_range():
 
 
 # ----------------------------------------------------------------------
+# Batched gap sampling (engine hot path) — bit-identity regression
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("make_proc", [
+    lambda: BernoulliProcess(0.3),
+    lambda: BernoulliProcess(0.05),
+    lambda: PoissonProcess(0.2),
+])
+def test_gap_batch_is_stream_identical_to_scalar(make_proc):
+    """gap_batch(rng, n) must consume the stream exactly like n next_gap
+    calls and return the same values as plain Python numbers."""
+    n = 100
+    scalar_rng = np.random.default_rng(42)
+    batch_rng = np.random.default_rng(42)
+    proc = make_proc()
+    scalar = [proc.next_gap(scalar_rng) for _ in range(n)]
+    batch = make_proc().gap_batch(batch_rng, n)
+    assert batch is not None
+    assert len(batch) == n
+    assert batch == scalar
+    for g in batch:
+        assert type(g) in (int, float)  # numpy scalars poison fingerprints
+    # And the two rngs are at the same stream position afterwards.
+    assert scalar_rng.integers(1 << 30) == batch_rng.integers(1 << 30)
+
+
+def test_gap_batch_degenerate_rates_stay_scalar():
+    """Rates whose scalar path never touches the rng cannot be batched
+    stream-identically; gap_batch must decline rather than diverge."""
+    rng = np.random.default_rng(0)
+    assert BernoulliProcess(0.0).gap_batch(rng, 8) is None
+    assert BernoulliProcess(1.0).gap_batch(rng, 8) is None
+    assert PoissonProcess(0.0).gap_batch(rng, 8) is None
+    # Stateful processes inherit the base refusal.
+    assert OnOffProcess(0.3).gap_batch(rng, 8) is None
+
+
+def test_traffic_source_batching_matches_scalar_path():
+    """A permutation-pattern source with the batch buffer enabled yields
+    the same gap sequence as a source forced onto the scalar path."""
+    rng_a = np.random.default_rng(9)
+    rng_b = np.random.default_rng(9)
+    batched = TrafficSource(3, complement(64), BernoulliProcess(0.3), rng=rng_a)
+    scalar = TrafficSource(3, complement(64), BernoulliProcess(0.3), rng=rng_b)
+    scalar._batchable = False
+    assert batched._batchable  # complement is a fixed permutation
+    gaps_a = [batched.next_gap() for _ in range(600)]
+    gaps_b = [scalar.next_gap() for _ in range(600)]
+    assert gaps_a == gaps_b
+
+
+def test_traffic_source_uniform_stays_scalar():
+    """Uniform interleaves dest draws with gap draws on one stream, so the
+    source must never batch-prefetch gaps."""
+    src = TrafficSource(0, make_pattern("uniform", 64), BernoulliProcess(0.3))
+    assert not src._batchable
+    src.next_gap()
+    assert src._gap_buffer == []
+
+
+# ----------------------------------------------------------------------
 # Capacity model
 # ----------------------------------------------------------------------
 
