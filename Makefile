@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint determinism typecheck baseline bench
+.PHONY: check test lint determinism typecheck baseline bench bench-detailed
 
 # The single correctness gate: tier-1 tests, the simulation-invariant
 # linter (ratcheted against analysis-baseline.json), the determinism
@@ -33,3 +33,9 @@ baseline:
 # Regenerate the tracked performance reports (BENCH_*.json at repo root).
 bench:
 	$(PYTHON) -m repro.perf bench
+
+# Just the detailed-engine benchmark: cycle-synchronous vs frozen legacy
+# engine, with the bit-identity gate (non-zero exit on any fingerprint
+# mismatch).  Rewrites BENCH_detailed.json at the repo root.
+bench-detailed:
+	$(PYTHON) -m repro.perf bench --only detailed

@@ -1,0 +1,39 @@
+"""Bench: flit-level flits/sec — clocked engine vs frozen process engine.
+
+Wall-time ratios from shared runners are informational (the full
+best-of-3 numbers live in ``BENCH_detailed.json`` at the repo root), but
+the bit-identity contract is asserted hard: the cycle-synchronous
+detailed engine must fingerprint identically to the frozen process-based
+engine on every ``RunResult`` field except the executed-event count.
+"""
+
+import json
+
+from repro.perf.bench import bench_detailed, write_report
+
+
+def test_bench_detailed_smoke(results_dir):
+    report = bench_detailed(quick=True)
+
+    bit = report["bit_identity"]
+    assert bit["clocked_matches_legacy"], bit
+
+    for family in ("audit16", "storm"):
+        cur = report[family]["current"]
+        old = report[family]["legacy"]
+        assert cur["flits_per_sec"] > 0
+        assert old["flits_per_sec"] > 0
+        # Identical simulated history: same flit count, far fewer events.
+        assert cur["flits"] == old["flits"]
+        assert cur["events"] < old["events"]
+
+    path = results_dir / "bench_detailed_quick.json"
+    write_report(report, path)
+    print(
+        "detailed quick: audit16 {:.2f}x, storm {:.2f}x vs process engine; "
+        "bit-identity over {} runs OK [saved to {}]".format(
+            report["audit16"]["speedup"], report["storm"]["speedup"],
+            bit["runs"], path
+        )
+    )
+    assert json.loads(path.read_text())["benchmark"] == "detailed"

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.rules import RULES, Rule, rule_for
+from repro.analysis.rules import RULES, SLOTTED_CLASS_PREFIXES, Rule, rule_for
 
 __all__ = ["Finding", "lint_source", "lint_paths", "module_name_for_path"]
 
@@ -195,6 +195,11 @@ class _Visitor(ast.NodeVisitor):
         #: Enclosing function stack: (node, is_generator, assigned_names).
         self._funcs: List[Tuple[ast.AST, bool, FrozenSet[str]]] = []
         self._active = {r.code: r.applies_to(module) for r in RULES}
+        #: Plain (non-dataclass) classes here must carry __slots__ (SIM006).
+        self._slotted_classes = module is not None and any(
+            module == p or module.startswith(p + ".")
+            for p in SLOTTED_CLASS_PREFIXES
+        )
 
     # -- helpers -------------------------------------------------------
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
@@ -410,13 +415,23 @@ class _Visitor(ast.NodeVisitor):
                     break
         self.generic_visit(node)
 
-    # -- dataclasses ---------------------------------------------------
+    # -- classes (dataclass slots=True / plain-class __slots__) --------
+
+    #: Base classes that manage their own instance layout; subclasses are
+    #: exempt from the plain-class __slots__ requirement.
+    _OPEN_LAYOUT_BASES = frozenset(
+        {"Protocol", "Enum", "IntEnum", "StrEnum", "IntFlag", "Flag",
+         "Exception", "Generic"}
+    )
+
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_dataclass = False
         for dec in node.decorator_list:
             target = dec.func if isinstance(dec, ast.Call) else dec
             name = self._terminal_name(target)
             if name != "dataclass":
                 continue
+            is_dataclass = True
             has_slots = isinstance(dec, ast.Call) and any(
                 kw.arg == "slots"
                 and isinstance(kw.value, ast.Constant)
@@ -430,7 +445,33 @@ class _Visitor(ast.NodeVisitor):
                     f"hot-path dataclass `{node.name}` without slots=True; "
                     "declare @dataclass(slots=True, ...)",
                 )
+        if not is_dataclass and self._slotted_classes:
+            self._check_plain_class_slots(node)
         self.generic_visit(node)
+
+    def _check_plain_class_slots(self, node: ast.ClassDef) -> None:
+        for base in node.bases:
+            base_name = self._terminal_name(
+                base.value if isinstance(base, ast.Subscript) else base
+            )
+            if base_name in self._OPEN_LAYOUT_BASES:
+                return
+        for stmt in node.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return
+        self._emit(
+            node,
+            "SIM006",
+            f"network-substrate class `{node.name}` without __slots__; "
+            "define a __slots__ tuple in the class body (subclasses too — "
+            "one inherited __dict__ voids the whole chain)",
+        )
 
 
 # ----------------------------------------------------------------------

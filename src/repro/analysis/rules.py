@@ -35,6 +35,14 @@ HOT_PATH_PREFIXES: Tuple[str, ...] = (
     "repro.core",
 )
 
+#: Modules whose *plain* (non-dataclass) classes must also declare
+#: ``__slots__`` in the class body (SIM006).  Narrower than
+#: HOT_PATH_PREFIXES: the network substrate is instantiated per
+#: router/VC/arbiter at build time and touched every simulated cycle, so
+#: attribute access dominates; repro.sim/repro.core keep open classes for
+#: their extension points.
+SLOTTED_CLASS_PREFIXES: Tuple[str, ...] = ("repro.network",)
+
 #: Everything shipped under ``repro.`` except the tooling itself.
 REPRO_PREFIXES: Tuple[str, ...] = ("repro",)
 
@@ -138,14 +146,22 @@ RULES: Tuple[Rule, ...] = (
     ),
     Rule(
         code="SIM006",
-        title="hot-path dataclass without slots=True",
+        title="hot-path class without slots",
         rationale=(
             "Packets, flits, events and trace rows are instantiated millions "
-            "of times per run; a __dict__ per instance costs memory and "
-            "cache misses, and open attribute namespaces hide typos that "
-            "determinism tests can't see."
+            "of times per run, and the network substrate's routers, VCs and "
+            "arbiters are touched every simulated cycle; a __dict__ per "
+            "instance costs memory and cache misses, and open attribute "
+            "namespaces hide typos that determinism tests can't see.  "
+            "Dataclasses anywhere on the hot path must declare slots=True; "
+            "plain classes in the network substrate "
+            "(SLOTTED_CLASS_PREFIXES) must define __slots__ in the class "
+            "body."
         ),
-        hint="Declare the dataclass with @dataclass(slots=True, ...).",
+        hint=(
+            "Declare the dataclass with @dataclass(slots=True, ...), or add "
+            "a __slots__ tuple to the class body."
+        ),
         scope=HOT_PATH_PREFIXES,
     ),
 )

@@ -3,7 +3,7 @@
 ::
 
     erapid run       --pattern complement --policy P-B --load 0.5
-    erapid profile   --pattern uniform --load 0.4 [--top 25]
+    erapid profile   --pattern uniform --load 0.4 [--engine fast|detailed] [--top 25]
     erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--csv out.csv]
     erapid reproduce --out results/ [--jobs N] [--no-cache]
     erapid fig3
@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--seed", type=int, default=1)
     prof.add_argument("--warmup", type=float, default=2000)
     prof.add_argument("--measure", type=float, default=6000)
+    prof.add_argument(
+        "--engine", default="fast", choices=("fast", "detailed"),
+        help="which engine to profile: the event-driven fast engine or the "
+        "cycle-synchronous flit-level detailed engine (default: fast)",
+    )
     prof.add_argument(
         "--top", type=int, default=25,
         help="rows of the cumulative-time table to print (default: 25)",
@@ -147,10 +152,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         import pstats
         import time
 
-        system = ERapidSystem.build(
-            boards=args.boards, nodes_per_board=args.nodes, policy=args.policy,
-            seed=args.seed,
-        )
         plan = MeasurementPlan(
             warmup=args.warmup, measure=args.measure, drain_limit=2 * args.measure
         )
@@ -158,32 +159,77 @@ def main(argv: Optional[List[str]] = None) -> int:
             pattern=args.pattern, load=args.load, seed=args.seed
         )
         profiler = cProfile.Profile()
-        start = time.perf_counter()
-        profiler.enable()
-        system.run(workload, plan)
-        profiler.disable()
-        elapsed = time.perf_counter() - start
-        engine = system.last_engine
-        assert engine is not None
-        delivered = sum(n.delivered for b in engine.boards for n in b.nodes)
-        events = int(engine.sim.event_count)
+        if args.engine == "detailed":
+            from repro.core.config import ERapidConfig
+            from repro.core.detailed import DetailedEngine
+            from repro.network.topology import ERapidTopology
+
+            policy = POLICIES[args.policy]
+            if policy.dbr:
+                print(
+                    f"erapid profile: the detailed engine cannot run DBR "
+                    f"policy {args.policy!r}; use --policy P-NB or NP-NB",
+                    file=sys.stderr,
+                )
+                return 2
+            config = ERapidConfig(
+                topology=ERapidTopology(
+                    boards=args.boards, nodes_per_board=args.nodes
+                ),
+                policy=policy,
+                seed=args.seed,
+            )
+            detailed = DetailedEngine(config, workload, plan)
+            start = time.perf_counter()
+            profiler.enable()
+            detailed.run()
+            profiler.disable()
+            elapsed = time.perf_counter() - start
+            describe = (
+                f"R(1,{args.boards},{args.nodes}) detailed engine "
+                f"[{policy.name}]"
+            )
+            delivered = sum(
+                s.packets_received for s in detailed.sink_nis.values()
+            )
+            flits = sum(r.flits_routed for r in detailed.routers)
+            events = int(detailed.sim.event_count)
+        else:
+            system = ERapidSystem.build(
+                boards=args.boards, nodes_per_board=args.nodes,
+                policy=args.policy, seed=args.seed,
+            )
+            start = time.perf_counter()
+            profiler.enable()
+            system.run(workload, plan)
+            profiler.disable()
+            elapsed = time.perf_counter() - start
+            engine = system.last_engine
+            assert engine is not None
+            describe = system.describe()
+            delivered = sum(
+                n.delivered for b in engine.boards for n in b.nodes
+            )
+            flits = None
+            events = int(engine.sim.event_count)
         buf = io.StringIO()
         stats = pstats.Stats(profiler, stream=buf)
         stats.sort_stats("cumulative").print_stats(args.top)
         print(buf.getvalue().rstrip())
         print()
-        print(format_kv(
-            {
-                "system": system.describe(),
-                "workload": f"{args.pattern} @ {args.load} N_c",
-                "wall time (s)": elapsed,
-                "packets delivered": delivered,
-                "events executed": events,
-                "packets/sec": delivered / elapsed if elapsed > 0 else 0.0,
-                "events/sec": events / elapsed if elapsed > 0 else 0.0,
-            },
-            title="== profile summary ==",
-        ))
+        summary = {
+            "system": describe,
+            "workload": f"{args.pattern} @ {args.load} N_c",
+            "wall time (s)": elapsed,
+            "packets delivered": delivered,
+            "events executed": events,
+            "packets/sec": delivered / elapsed if elapsed > 0 else 0.0,
+            "events/sec": events / elapsed if elapsed > 0 else 0.0,
+        }
+        if flits is not None:
+            summary["flits routed"] = flits
+            summary["flits/sec"] = flits / elapsed if elapsed > 0 else 0.0
+        print(format_kv(summary, title="== profile summary =="))
         return 0
 
     if args.command == "sweep":

@@ -15,25 +15,56 @@ flit-level link controller that scales its bit rate against the policy's
 thresholds every R_w, paying the DVS stall, and the per-channel power is
 integrated by the same accountant the fast engine uses.  It exists to
 cross-validate the fast engine's electrical-domain and power-management
-abstractions at flit granularity on small configurations, not to run the
-full sweeps.
+abstractions at flit granularity, not to run the full sweeps.
+
+Execution model — cycle-synchronous clock loop
+----------------------------------------------
+The electrical substrate (routers, NIs, channels, credits) is driven by a
+single :class:`~repro.sim.cycle.CycleDriver` tick instead of one kernel
+process per component.  Each tick runs four phases in a fixed order:
+
+1. **Credits** — apply every due entry of the shared credit due-queue
+   (upstream restores from router traversal and sink ejection).
+2. **Deliveries** — deliver every due in-flight flit from the shared
+   channel due-queue into its sink's ``receive_flit``.
+3. **Routers** — on integer cycle boundaries only, tick each board's
+   router in board order, skipping routers whose input VCs are all idle
+   (``busy_vcs == 0`` — a provable no-op cycle).
+4. **NI pumps** — tick each :class:`ClockedSourceNI` whose ``next_due``
+   has arrived, in creation order (node injectors first, then the
+   receiver-side re-injection NIs).  Pumps woken at fractional times (by
+   injection draws or fiber relays) poll on their own ``wake + k`` grid,
+   exactly like the coroutine NIs' ``timeout(1)`` chains did.
+
+The tick is scheduled through the kernel's priority-1 continuation class,
+so every priority-0 event at time *t* (injection draws, packet hand-offs,
+fiber relays, DPM window decisions) is visible to the tick at *t* — the
+same visibility order the per-component processes had.  The coarse parts
+of the model stay event-driven and unchanged: injector processes, optical
+serialization processes, the DPM window process, and the run/drain phase
+structure.  Results are bit-identical to the frozen process-based engine
+(``repro.perf.legacy_detailed``), which ``tests/test_detailed_equivalence``
+enforces field-for-field on :class:`RunResult`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from math import inf
+from typing import Dict, List
 
 from repro.core.config import ERapidConfig
 from repro.core.dpm import DpmAction, LinkWindowStats, dpm_decide
 from repro.errors import ConfigurationError
 from repro.metrics.collector import Collector, MeasurementPlan, RunResult
-from repro.network.interface import SinkNI, SourceNI
+from repro.network.channel import Delivery
+from repro.network.interface import ClockedSinkNI, ClockedSourceNI, CreditReturn, SinkNI
 from repro.network.packet import Packet
 from repro.network.router import VCRouter
 from repro.network.routing import ibi_routing
 from repro.optics.rwa import StaticRWA
 from repro.power.energy import EnergyAccountant
 from repro.power.levels import PowerLevel
+from repro.sim.cycle import CycleDriver, DueQueue
 from repro.sim.kernel import Simulator
 from repro.sim.stats import TimeWeighted
 from repro.sim.queues import MonitoredStore
@@ -43,11 +74,20 @@ from repro.traffic.workload import WorkloadSpec
 __all__ = ["DetailedEngine"]
 
 
-class _TxSink(SinkNI):
+class _ClockedTxSink(ClockedSinkNI):
     """Transmitter-port sink: reassembles flits, queues whole packets."""
 
-    def __init__(self, sim: Simulator, queue: MonitoredStore, name: str) -> None:
-        super().__init__(sim, on_packet=None, name=name)
+    __slots__ = ("queue",)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delivery_ring: DueQueue[Delivery],
+        credit_ring: DueQueue[CreditReturn],
+        queue: MonitoredStore,
+        name: str,
+    ) -> None:
+        super().__init__(sim, delivery_ring, credit_ring, on_packet=None, name=name)
         self.queue = queue
 
     def receive_flit(self, flit, port):  # noqa: D102 - see SinkNI
@@ -55,7 +95,9 @@ class _TxSink(SinkNI):
         # the optical domain.  Tail -> whole packet is reassembled.
         self.flits_received += 1
         if self._credit_restore is not None:
-            self.sim.schedule(1, self._credit_restore, flit.vc)
+            self.credit_ring.push(
+                self.sim.now + 1.0, (self._credit_restore, flit.vc)
+            )
         if flit.is_tail:
             self.packets_received += 1
             self.queue.put(flit.packet)
@@ -63,6 +105,11 @@ class _TxSink(SinkNI):
 
 class _DetailedLC:
     """Flit-level link controller: per-transmitter DPM state."""
+
+    __slots__ = (
+        "engine", "board", "wavelength", "level", "stall_until", "busy",
+        "busy_signal", "dpm_transitions",
+    )
 
     def __init__(self, engine: "DetailedEngine", board: int, wavelength: int) -> None:
         self.engine = engine
@@ -152,17 +199,24 @@ class DetailedEngine:
         #: (board, wavelength) -> flit-level link controller (remote tx only).
         self.lcs: Dict[tuple, _DetailedLC] = {}
 
+        # Clocked substrate: shared due-queues + the cycle driver.
+        self._delivery_ring: DueQueue[Delivery] = DueQueue()
+        self._credit_ring: DueQueue[CreditReturn] = DueQueue()
+        self.driver = CycleDriver(self.sim, self._tick)
+        #: All ClockedSourceNI pumps in deterministic creation order.
+        self._pumps: List[ClockedSourceNI] = []
+
         topo = self.topology
         D, W, B = topo.nodes_per_board, topo.wavelengths, topo.boards
         r = config.router
 
         self.routers: List[VCRouter] = []
-        self.source_nis: Dict[int, SourceNI] = {}
+        self.source_nis: Dict[int, ClockedSourceNI] = {}
         self.sink_nis: Dict[int, SinkNI] = {}
         #: (board, wavelength) -> transmitter packet queue.
         self.tx_queues: Dict[tuple, MonitoredStore] = {}
         #: (board, wavelength) -> receiver-side re-injection NI.
-        self.rx_nis: Dict[tuple, SourceNI] = {}
+        self.rx_nis: Dict[tuple, ClockedSourceNI] = {}
 
         flit_cycles = (r.flit_bytes * 8) // r.channel_bits
 
@@ -180,37 +234,48 @@ class DetailedEngine:
                 credit_latency=r.credit_cycles,
                 name=f"ibi{b}",
             )
+            router.credit_ring = self._credit_ring
             self.routers.append(router)
 
         for b in range(B):
             router = self.routers[b]
             for local in range(D):
                 node = topo.node_id(b, local)
-                sink = SinkNI(self.sim, on_packet=self._on_delivered, name=f"eject{node}")
+                sink = ClockedSinkNI(
+                    self.sim, self._delivery_ring, self._credit_ring,
+                    on_packet=self._on_delivered, name=f"eject{node}",
+                )
                 sink.attach(router, local, latency=1, cycles_per_flit=flit_cycles)
                 self.sink_nis[node] = sink
-                self.source_nis[node] = SourceNI(
-                    self.sim, router, local,
-                    latency=1, cycles_per_flit=flit_cycles, name=f"inject{node}",
+                src = ClockedSourceNI(
+                    self.sim, router, local, self._delivery_ring,
+                    latency=1, cycles_per_flit=flit_cycles,
+                    name=f"inject{node}", on_wake=self._wake_ni,
                 )
+                self.source_nis[node] = src
+                self._pumps.append(src)
             for w in range(W):
                 port = D + w
                 q = MonitoredStore(
                     self.sim, capacity=config.tx_queue_capacity, name=f"b{b}.λ{w}.txq"
                 )
                 self.tx_queues[(b, w)] = q
-                tx_sink = _TxSink(self.sim, q, name=f"b{b}.λ{w}.tx")
+                tx_sink = _ClockedTxSink(
+                    self.sim, self._delivery_ring, self._credit_ring, q,
+                    name=f"b{b}.λ{w}.tx",
+                )
                 tx_sink.attach(router, port, latency=1, cycles_per_flit=flit_cycles)
                 dest_board = self.rwa.dest_served_by(b, w)
                 if dest_board != b:
                     self.lcs[(b, w)] = _DetailedLC(self, b, w)
                     rx_router = self.routers[dest_board]
-                    self.rx_nis[(b, w)] = SourceNI(
-                        self.sim, rx_router, D + w,
+                    rx = ClockedSourceNI(
+                        self.sim, rx_router, D + w, self._delivery_ring,
                         latency=1, cycles_per_flit=flit_cycles,
-                        name=f"b{dest_board}.λ{w}.rx",
+                        name=f"b{dest_board}.λ{w}.rx", on_wake=self._wake_ni,
                     )
-            router.start()
+                    self.rx_nis[(b, w)] = rx
+                    self._pumps.append(rx)
 
         from repro.traffic.capacity import CapacityParams
 
@@ -226,6 +291,58 @@ class DetailedEngine:
     # ------------------------------------------------------------------
     def _on_delivered(self, pkt: Packet) -> None:
         self.collector.on_delivered(pkt, self.sim.now)
+
+    def _wake_ni(self, ni: ClockedSourceNI) -> None:
+        """A parked pump got a packet: tick this very cycle."""
+        self.driver.arm(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # The clock loop
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        """One synchronous cycle of the whole electrical substrate."""
+        # Phase 1 — due credit restores (traversal + ejection returns).
+        credit_ring = self._credit_ring
+        while True:
+            entry = credit_ring.pop_if_due(now)
+            if entry is None:
+                break
+            entry[0](entry[1])
+        # Phase 2 — due channel deliveries.
+        delivery_ring = self._delivery_ring
+        while True:
+            dentry = delivery_ring.pop_if_due(now)
+            if dentry is None:
+                break
+            dentry[0].receive_flit(dentry[2], dentry[1])
+        # Phase 3 — router pipelines, on the integer cycle grid, board
+        # order, idle-skip.
+        routers = self.routers
+        if now.is_integer():
+            for router in routers:
+                if router.busy_vcs:
+                    router.tick()
+        # Phase 4 — NI pumps in creation order, each on its own grid.
+        pumps = self._pumps
+        for ni in pumps:
+            if ni.next_due <= now:
+                ni.tick(now)
+        # Re-arm: next integer cycle while any router is busy, plus the
+        # earliest due times of the rings and each active pump.
+        arm = self.driver.arm
+        for router in routers:
+            if router.busy_vcs:
+                arm(float(int(now)) + 1.0)
+                break
+        nd = credit_ring.next_due()
+        if nd is not None:
+            arm(nd)
+        nd = delivery_ring.next_due()
+        if nd is not None:
+            arm(nd)
+        for ni in pumps:
+            if ni.next_due < inf:
+                arm(ni.next_due)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -293,7 +410,7 @@ class DetailedEngine:
             sim.schedule(fiber, self._relay, rx_ni, pkt)
 
     @staticmethod
-    def _relay(rx_ni: SourceNI, pkt: Packet) -> None:
+    def _relay(rx_ni: ClockedSourceNI, pkt: Packet) -> None:
         rx_ni.send(pkt)
 
     # ------------------------------------------------------------------

@@ -7,9 +7,9 @@ interconnect (IBI) in E-RAPID's detailed engine.
 
 from repro.network.arbiters import MatrixArbiter, RoundRobinArbiter, SeparableAllocator
 from repro.network.buffers import FlitBuffer
-from repro.network.channel import Channel
+from repro.network.channel import Channel, ClockedChannel
 from repro.network.credit import CreditChannel, CreditCounter
-from repro.network.interface import SinkNI, SourceNI
+from repro.network.interface import ClockedSinkNI, ClockedSourceNI, SinkNI, SourceNI
 from repro.network.packet import Flit, FlitType, Packet, PacketFactory
 from repro.network.router import VCRouter
 from repro.network.routing import ibi_routing, table_routing
@@ -18,6 +18,9 @@ from repro.network.vc import InputVC, OutputVC, VCStatus
 
 __all__ = [
     "Channel",
+    "ClockedChannel",
+    "ClockedSinkNI",
+    "ClockedSourceNI",
     "CreditChannel",
     "CreditCounter",
     "ERapidTopology",

@@ -22,6 +22,8 @@ __all__ = ["RoundRobinArbiter", "MatrixArbiter", "SeparableAllocator"]
 class RoundRobinArbiter:
     """Rotating-priority arbiter over ``n`` requesters."""
 
+    __slots__ = ("n", "_pointer")
+
     def __init__(self, n: int) -> None:
         if n < 1:
             raise ConfigurationError(f"arbiter needs n >= 1, got {n}")
@@ -51,6 +53,8 @@ class MatrixArbiter:
     ``_prio[i][j]`` means *i beats j*.  After a grant, the winner loses to
     everyone (its row is cleared, its column set).
     """
+
+    __slots__ = ("n", "_prio")
 
     def __init__(self, n: int) -> None:
         if n < 1:
@@ -90,6 +94,8 @@ class SeparableAllocator:
     Returns the granted ``(input, output)`` pairs — a matching (each input
     and each output appears at most once).
     """
+
+    __slots__ = ("n_in", "n_out", "_input_stage", "_output_stage")
 
     def __init__(self, n_in: int, n_out: int) -> None:
         if n_in < 1 or n_out < 1:

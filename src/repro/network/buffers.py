@@ -25,6 +25,8 @@ __all__ = ["FlitBuffer"]
 class FlitBuffer:
     """A fixed-capacity FIFO of flits with time-weighted occupancy stats."""
 
+    __slots__ = ("sim", "capacity", "name", "_flits", "occupancy")
+
     def __init__(self, sim: "Simulator", capacity: int, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError(f"flit buffer capacity must be >= 1, got {capacity}")

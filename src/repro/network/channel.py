@@ -8,15 +8,16 @@ channel enforces that serialization and delivers flits to the sink after
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, TYPE_CHECKING
+from typing import Optional, Protocol, Tuple, TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.network.packet import Flit
+from repro.sim.cycle import DueQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
 
-__all__ = ["FlitSink", "Channel"]
+__all__ = ["FlitSink", "Channel", "ClockedChannel", "Delivery"]
 
 
 class FlitSink(Protocol):
@@ -26,8 +27,17 @@ class FlitSink(Protocol):
         ...
 
 
+#: One in-flight clocked delivery: (sink, sink_port, flit).
+Delivery = Tuple["FlitSink", int, Flit]
+
+
 class Channel:
     """Unidirectional flit channel with serialization and wire latency."""
+
+    __slots__ = (
+        "sim", "sink", "sink_port", "latency", "cycles_per_flit", "name",
+        "_busy_until", "flits_sent",
+    )
 
     def __init__(
         self,
@@ -77,3 +87,49 @@ class Channel:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.name!r} cpf={self.cycles_per_flit} lat={self.latency}>"
+
+
+class ClockedChannel(Channel):
+    """A channel drained by the cycle driver instead of per-flit events.
+
+    Serialization and busy semantics are identical to :class:`Channel`;
+    only the delivery mechanism differs — :meth:`send` appends to a shared
+    :class:`~repro.sim.cycle.DueQueue` that the owning engine's tick
+    drains when the delivery time comes due, so a flit in flight costs a
+    deque append instead of a kernel heap event.
+    """
+
+    __slots__ = ("ring",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        ring: DueQueue[Delivery],
+        sink: Optional[FlitSink] = None,
+        sink_port: int = 0,
+        latency: int = 1,
+        cycles_per_flit: int = 4,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            sim, sink=sink, sink_port=sink_port, latency=latency,
+            cycles_per_flit=cycles_per_flit, name=name,
+        )
+        self.ring = ring
+
+    def send(self, flit: Flit) -> None:
+        """Serialize ``flit``; its delivery joins the shared due-queue."""
+        if self.sink is None:
+            raise SimulationError(f"channel {self.name!r} has no sink")
+        if self.busy:
+            raise SimulationError(
+                f"channel {self.name!r} busy until {self._busy_until}; "
+                "router ST stage must check Channel.busy"
+            )
+        now = self.sim.now
+        self._busy_until = now + self.cycles_per_flit
+        self.flits_sent += 1
+        self.ring.push(
+            now + self.cycles_per_flit + self.latency,
+            (self.sink, self.sink_port, flit),
+        )

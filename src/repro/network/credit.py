@@ -22,6 +22,8 @@ __all__ = ["CreditCounter", "CreditChannel"]
 class CreditCounter:
     """Tracks credits (free downstream buffer slots) for one output VC."""
 
+    __slots__ = ("initial", "_credits")
+
     def __init__(self, initial: int) -> None:
         if initial < 0:
             raise SimulationError(f"negative initial credits {initial}")
@@ -56,6 +58,8 @@ class CreditCounter:
 
 class CreditChannel:
     """Delivers credit-restore signals upstream after a fixed latency."""
+
+    __slots__ = ("sim", "latency", "name", "sent")
 
     def __init__(
         self,

@@ -5,23 +5,35 @@ and receive ports."  :class:`SourceNI` serializes packets into flits and
 injects them into a router input port under credit-based flow control;
 :class:`SinkNI` reassembles flits into packets at the destination, returning
 credits as flits are consumed.
+
+Each comes in two drive styles: the classic process-based pair
+(:class:`SourceNI` / :class:`SinkNI`, one generator per NI polling the
+kernel every cycle) used by the substrate tests, and the clocked pair
+(:class:`ClockedSourceNI` / :class:`ClockedSinkNI`) whose per-cycle work
+is a ``tick`` method invoked by the cycle-synchronous detailed engine —
+same state machine, no per-cycle heap events.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from math import inf
+from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
-from repro.network.channel import Channel
+from repro.network.channel import Channel, ClockedChannel, Delivery
 from repro.network.credit import CreditCounter
 from repro.network.packet import Flit, Packet
+from repro.sim.cycle import DueQueue
 from repro.sim.queues import MonitoredStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
     from repro.network.router import VCRouter
 
-__all__ = ["SourceNI", "SinkNI"]
+__all__ = ["SourceNI", "SinkNI", "ClockedSourceNI", "ClockedSinkNI"]
+
+#: One pending credit restore: (restore_fn, vc).
+CreditReturn = Tuple[Callable[[int], None], int]
 
 
 class SourceNI:
@@ -31,6 +43,11 @@ class SourceNI:
     downstream input-VC buffer space in :class:`CreditCounter` instances and
     receives credit restores via ``router.set_credit_return``.
     """
+
+    __slots__ = (
+        "sim", "name", "queue", "channel", "_credits", "_vc_busy",
+        "packets_injected",
+    )
 
     def __init__(
         self,
@@ -103,6 +120,11 @@ class SourceNI:
 class SinkNI:
     """Receive port: reassembles flits into packets and records delivery."""
 
+    __slots__ = (
+        "sim", "name", "on_packet", "packets_received", "flits_received",
+        "_credit_restore",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -139,6 +161,190 @@ class SinkNI:
             if flit.vc is None:
                 raise ConfigurationError("flit arrived at sink without a VC")
             self.sim.schedule(1, self._credit_restore, flit.vc)
+        if flit.is_tail:
+            packet = flit.packet
+            packet.delivered_at = self.sim.now
+            self.packets_received += 1
+            if self.on_packet is not None:
+                self.on_packet(packet)
+
+
+class ClockedSourceNI:
+    """Tick-driven send port — :class:`SourceNI` without the process.
+
+    The coroutine pump's suspension points become an explicit state
+    machine: parked on an empty queue (``next_due == inf``), waiting for a
+    free VC, or mid-packet waiting on credit/wire — the latter two poll on
+    the NI's own one-cycle grid (``next_due = now + 1``), which for
+    receiver-side NIs woken by fractional-time fiber relays is a
+    *fractional* grid anchored at the wake time, exactly like the
+    coroutine's ``timeout(1)`` chain.  External producers call
+    :meth:`send`; when that wakes a parked pump, ``on_wake`` tells the
+    owning engine to arm a tick at the current time, so injection starts
+    on the same cycle the process version would have resumed.
+    """
+
+    __slots__ = (
+        "sim", "name", "queue", "channel", "_credits", "_vc_busy",
+        "packets_injected", "next_due", "on_wake", "_packet", "_flits",
+        "_flit_idx", "_vc",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        router: "VCRouter",
+        port: int,
+        delivery_ring: DueQueue[Delivery],
+        latency: int = 1,
+        cycles_per_flit: int = 4,
+        queue_capacity: Optional[int] = None,
+        name: str = "",
+        on_wake: Optional[Callable[["ClockedSourceNI"], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name or f"src-ni.p{port}"
+        self.queue: MonitoredStore = MonitoredStore(
+            sim, capacity=queue_capacity, name=f"{self.name}.q"
+        )
+        self.channel: Channel = ClockedChannel(
+            sim,
+            delivery_ring,
+            sink=router,
+            sink_port=port,
+            latency=latency,
+            cycles_per_flit=cycles_per_flit,
+            name=f"{self.name}.ch",
+        )
+        self._credits: List[CreditCounter] = [
+            CreditCounter(router.buf_depth) for _ in range(router.n_vcs)
+        ]
+        self._vc_busy: List[bool] = [False] * router.n_vcs
+        router.set_credit_return(port, self._restore_credit)
+        self.packets_injected = 0
+        #: Next simulation time this pump needs a tick; ``inf`` when parked.
+        self.next_due = inf
+        self.on_wake = on_wake
+        self._packet: Optional[Packet] = None
+        self._flits: Sequence[Flit] = ()
+        self._flit_idx = 0
+        self._vc = -1
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet):
+        """Queue ``packet`` for injection; returns the put waitable.
+
+        Producers run as priority-0 kernel events, so a wake here always
+        lands before the cycle driver's tick at the same time.
+        """
+        req = self.queue.put(packet)
+        if self._packet is None:
+            # Parked on an empty queue: resume this very cycle.
+            self.next_due = self.sim.now
+            if self.on_wake is not None:
+                self.on_wake(self)
+        return req
+
+    def _restore_credit(self, vc: int) -> None:
+        self._credits[vc].restore()
+
+    def _pick_vc(self) -> Optional[int]:
+        for vc, busy in enumerate(self._vc_busy):
+            if not busy:
+                return vc
+        return None
+
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> None:
+        """One pump cycle: mirror of the coroutine ``_run`` suspensions."""
+        credits = self._credits
+        channel = self.channel
+        while True:
+            pkt = self._packet
+            if pkt is None:
+                ok, pkt = self.queue.try_get()
+                if not ok:
+                    self.next_due = inf
+                    return
+                self._packet = pkt
+            vc = self._vc
+            if vc < 0:
+                picked = self._pick_vc()
+                if picked is None:
+                    # All VCs carry an in-flight packet; retry next cycle.
+                    self.next_due = now + 1.0
+                    return
+                vc = picked
+                self._vc = vc
+                self._vc_busy[vc] = True
+                pkt.injected_at = now
+                self._flits = pkt.flits()
+                self._flit_idx = 0
+            flit = self._flits[self._flit_idx]
+            flit.vc = vc
+            # Wait for a credit and for the wire to be free.
+            if not credits[vc].has_credit or channel.busy:
+                self.next_due = now + 1.0
+                return
+            credits[vc].consume()
+            channel.send(flit)
+            if flit.is_tail:
+                self._vc_busy[vc] = False
+                self._vc = -1
+                self._packet = None
+                self._flits = ()
+                self.packets_injected += 1
+                # The next queued packet may start this same cycle (its
+                # head flit then finds the wire busy, as in the process
+                # version), so loop rather than wait for the next tick.
+                continue
+            self._flit_idx += 1
+            self.next_due = now + 1.0
+            return
+
+
+class ClockedSinkNI(SinkNI):
+    """Tick-era receive port: credits join a due-queue, not the heap."""
+
+    __slots__ = ("delivery_ring", "credit_ring")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delivery_ring: DueQueue[Delivery],
+        credit_ring: DueQueue[CreditReturn],
+        on_packet: Optional[Callable[[Packet], None]] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, on_packet=on_packet, name=name)
+        self.delivery_ring = delivery_ring
+        self.credit_ring = credit_ring
+
+    def attach(self, router: "VCRouter", out_port: int, latency: int = 1,
+               cycles_per_flit: int = 4) -> Channel:
+        """Create the clocked channel from ``router`` to this sink."""
+        channel = ClockedChannel(
+            self.sim,
+            self.delivery_ring,
+            sink=self,
+            sink_port=out_port,
+            latency=latency,
+            cycles_per_flit=cycles_per_flit,
+            name=f"{self.name}.ch",
+        )
+        router.attach_output(out_port, channel)
+        self._credit_restore = lambda vc: router.restore_credit(out_port, vc)
+        return channel
+
+    def receive_flit(self, flit: Flit, port: int) -> None:
+        self.flits_received += 1
+        if self._credit_restore is not None:
+            if flit.vc is None:
+                raise ConfigurationError("flit arrived at sink without a VC")
+            # Same one-cycle ejection-credit delay as the event version.
+            self.credit_ring.push(
+                self.sim.now + 1.0, (self._credit_restore, flit.vc)
+            )
         if flit.is_tail:
             packet = flit.packet
             packet.delivered_at = self.sim.now

@@ -113,6 +113,8 @@ class Flit:
 class PacketFactory:
     """Builds packets with consistent sizing (Table 1 defaults)."""
 
+    __slots__ = ("size_bytes", "flit_bytes", "size_flits")
+
     def __init__(self, size_bytes: int = 64, flit_bytes: int = 8) -> None:
         if size_bytes <= 0 or flit_bytes <= 0:
             raise ConfigurationError("packet and flit sizes must be positive")

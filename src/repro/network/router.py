@@ -5,10 +5,15 @@ Implements the SGI-Spider-style pipeline from Table 1 of the paper
 allocation SA, switch traversal ST — one cycle each), with credit-based
 flow control and round-robin separable allocation.
 
-The router is driven by a per-cycle process.  Pipeline stages execute in
-*reverse* order (ST, SA, VA, RC) within a cycle so a flit advances at most
-one stage per cycle, giving the 4-cycle zero-load pipeline latency the
-paper's router model has.
+The router can be driven two ways.  The substrate tests use the classic
+per-cycle process (:meth:`VCRouter.start`); the cycle-synchronous detailed
+engine instead calls :meth:`VCRouter.tick` from its clock loop, skipping
+routers whose input VCs are all idle (``busy_vcs == 0`` — an idle cycle is
+a provable no-op: every stage scans for non-IDLE VC state, and an
+all-``False`` request mask never advances an arbiter pointer).  Pipeline
+stages execute in *reverse* order (ST, SA, VA, RC) within a cycle so a
+flit advances at most one stage per cycle, giving the 4-cycle zero-load
+pipeline latency the paper's router model has.
 
 This detailed model backs the E-RAPID *detailed engine* and the substrate
 tests; the full evaluation sweeps use the event-driven fast engine, which is
@@ -24,6 +29,7 @@ from repro.network.arbiters import RoundRobinArbiter
 from repro.network.channel import Channel
 from repro.network.packet import Flit
 from repro.network.vc import InputVC, OutputVC, VCStatus
+from repro.sim.cycle import DueQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
@@ -50,6 +56,13 @@ class VCRouter:
     credit_latency:
         Cycles for a credit to return upstream (Table 1: one cycle).
     """
+
+    __slots__ = (
+        "sim", "n_ports", "n_vcs", "buf_depth", "routing_fn",
+        "credit_latency", "name", "inputs", "outputs", "channels",
+        "credit_returns", "credit_ring", "_va_arbiters", "_sa_input",
+        "_sa_output", "flits_routed", "packets_routed", "busy_vcs", "_proc",
+    )
 
     def __init__(
         self,
@@ -81,6 +94,10 @@ class VCRouter:
         self.channels: List[Optional[Channel]] = [None] * n_ports
         #: Per input port: callback(vc) that restores one upstream credit.
         self.credit_returns: List[Optional[Callable[[int], None]]] = [None] * n_ports
+        #: When set (clocked mode), delayed credit returns join this
+        #: due-queue instead of becoming kernel events; the owning
+        #: engine's tick applies them when they come due.
+        self.credit_ring: Optional[DueQueue[tuple[Callable[[int], None], int]]] = None
 
         self._va_arbiters = [
             [RoundRobinArbiter(n_ports * n_vcs) for _ in range(n_vcs)]
@@ -91,6 +108,8 @@ class VCRouter:
 
         self.flits_routed = 0
         self.packets_routed = 0
+        #: Input VCs currently carrying a packet; 0 means a tick is a no-op.
+        self.busy_vcs = 0
         self._proc = None
 
     # ------------------------------------------------------------------
@@ -124,6 +143,7 @@ class VCRouter:
         # departs (see _traverse).
         if flit.is_head and ivc.status is VCStatus.IDLE:
             ivc.start_packet()
+            self.busy_vcs += 1
 
     def restore_credit(self, port: int, vc: int) -> None:
         """Downstream freed a slot on output ``port``/``vc``."""
@@ -134,10 +154,15 @@ class VCRouter:
     # ------------------------------------------------------------------
     def _run(self):
         while True:
-            self._cycle()
+            self.tick()
             yield self.sim.timeout(1)
 
-    def _cycle(self) -> None:
+    def tick(self) -> None:
+        """Advance the pipeline one cycle (ST/SA, then VA, then RC).
+
+        In clocked mode the engine calls this directly, skipping routers
+        with ``busy_vcs == 0``; the process driver calls it every cycle.
+        """
         self._stage_st_sa()
         self._stage_va()
         self._stage_rc()
@@ -159,27 +184,49 @@ class VCRouter:
                     ivc.routed(out)
 
     def _stage_va(self) -> None:
-        """VC allocation: WAITING_VC inputs compete for free output VCs."""
-        # requests[out_port][out_vc] -> flat list of requesting (in_port, in_vc)
+        """VC allocation: WAITING_VC inputs compete for free output VCs.
+
+        Request-driven: one scan over the input VCs collects the waiting
+        requesters per output port, then only contested ports arbitrate.
+        The arbitration sequence (port order, VC order, request masks) is
+        exactly the dense scan's, so arbiter pointer state — and therefore
+        every grant — is unchanged.
+        """
+        n_vcs = self.n_vcs
+        requests: Dict[int, List[int]] = {}
+        for in_port in range(self.n_ports):
+            ivcs = self.inputs[in_port]
+            for in_vc_idx in range(n_vcs):
+                if ivcs[in_vc_idx].status is VCStatus.WAITING_VC:
+                    out = ivcs[in_vc_idx].out_port
+                    assert out is not None
+                    requests.setdefault(out, []).append(
+                        in_port * n_vcs + in_vc_idx
+                    )
+        if not requests:
+            return
         for out_port in range(self.n_ports):
-            for out_vc in range(self.n_vcs):
+            flat_ids = requests.get(out_port)
+            if flat_ids is None:
+                continue
+            for out_vc in range(n_vcs):
                 ovc = self.outputs[out_port][out_vc]
                 if not ovc.is_free:
                     continue
-                mask = [False] * (self.n_ports * self.n_vcs)
+                mask = [False] * (self.n_ports * n_vcs)
                 any_req = False
-                for in_port in range(self.n_ports):
-                    for in_vc_idx in range(self.n_vcs):
-                        ivc = self.inputs[in_port][in_vc_idx]
-                        if ivc.status is VCStatus.WAITING_VC and ivc.out_port == out_port:
-                            mask[in_port * self.n_vcs + in_vc_idx] = True
-                            any_req = True
+                for flat in flat_ids:
+                    # A requester granted a lower-numbered output VC this
+                    # cycle is no longer WAITING_VC; re-check.
+                    if self.inputs[flat // n_vcs][flat % n_vcs].status is VCStatus.WAITING_VC:
+                        mask[flat] = True
+                        any_req = True
                 if not any_req:
-                    continue
+                    break
                 winner = self._va_arbiters[out_port][out_vc].arbitrate(mask)
                 if winner is None:
                     continue
-                w_port, w_vc = divmod(winner, self.n_vcs)
+                w_port, w_vc = divmod(winner, n_vcs)
                 ivc = self.inputs[w_port][w_vc]
                 ovc.allocate(w_port, w_vc)
                 ivc.vc_granted(out_vc)
@@ -191,7 +238,7 @@ class VCRouter:
         requests_per_out: Dict[int, List[bool]] = {}
         chosen_vc: Dict[int, int] = {}
         for in_port in range(self.n_ports):
-            mask = [False] * self.n_vcs
+            mask: Optional[List[bool]] = None
             for vc_idx in range(self.n_vcs):
                 ivc = self.inputs[in_port][vc_idx]
                 if ivc.status is not VCStatus.ACTIVE or ivc.buffer.is_empty:
@@ -203,7 +250,13 @@ class VCRouter:
                     continue
                 if channel is None or channel.busy:
                     continue
+                if mask is None:
+                    mask = [False] * self.n_vcs
                 mask[vc_idx] = True
+            if mask is None:
+                # An all-False arbitration grants nothing and leaves the
+                # pointer untouched; skip it entirely.
+                continue
             pick = self._sa_input[in_port].arbitrate(mask)
             if pick is not None:
                 chosen_vc[in_port] = pick
@@ -235,6 +288,10 @@ class VCRouter:
         if ret is not None:
             if self.credit_latency == 0:
                 ret(in_vc_idx)
+            elif self.credit_ring is not None:
+                self.credit_ring.push(
+                    self.sim.now + self.credit_latency, (ret, in_vc_idx)
+                )
             else:
                 self.sim.schedule(self.credit_latency, ret, in_vc_idx)
         if flit.is_tail:
@@ -245,6 +302,8 @@ class VCRouter:
             nxt = ivc.buffer.front()
             if nxt is not None and nxt.is_head:
                 ivc.start_packet()
+            else:
+                self.busy_vcs -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<VCRouter {self.name!r} {self.n_ports}p x {self.n_vcs}vc>"

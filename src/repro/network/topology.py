@@ -96,6 +96,8 @@ class Ring:
     topology separated from the optical SRS."
     """
 
+    __slots__ = ("n",)
+
     def __init__(self, n: int) -> None:
         if n < 2:
             raise TopologyError(f"ring needs >= 2 members, got {n}")

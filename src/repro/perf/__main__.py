@@ -3,12 +3,13 @@
 Usage::
 
     python -m repro.perf bench [--quick] [--jobs N]
-                               [--only kernel|engine|sweep]
+                               [--only kernel|engine|detailed|sweep]
                                [--output DIR]
 
-Writes ``BENCH_kernel.json`` / ``BENCH_engine.json`` / ``BENCH_sweep.json``
-into ``--output`` (default: the current directory, i.e. the repo root when
-invoked from a checkout or via ``make bench``).
+Writes ``BENCH_kernel.json`` / ``BENCH_engine.json`` /
+``BENCH_detailed.json`` / ``BENCH_sweep.json`` into ``--output`` (default:
+the current directory, i.e. the repo root when invoked from a checkout or
+via ``make bench``).
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--only",
-        choices=("kernel", "engine", "sweep", "all"),
+        choices=("kernel", "engine", "detailed", "sweep", "all"),
         default="all",
         help="run a single benchmark family (default: all)",
     )
@@ -98,6 +99,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not (bit["serial_matches_legacy"] and bit["parallel_matches_legacy"]):
             print(
                 "bench: engine bit-identity cross-check FAILED", file=sys.stderr
+            )
+            return 1
+    if "detailed" in reports:
+        d = reports["detailed"]
+        bit = d["bit_identity"]
+        print(
+            "detailed: audit16 {:.0f} flit/s vs legacy {:.0f} flit/s "
+            "({:.2f}x); storm {:.0f} flit/s vs legacy {:.0f} flit/s "
+            "({:.2f}x)".format(
+                d["audit16"]["current"]["flits_per_sec"],
+                d["audit16"]["legacy"]["flits_per_sec"],
+                d["audit16"]["speedup"],
+                d["storm"]["current"]["flits_per_sec"],
+                d["storm"]["legacy"]["flits_per_sec"],
+                d["storm"]["speedup"],
+            )
+        )
+        print(
+            "  bit-identity ({runs} runs, all fields except events): "
+            "clocked==legacy {a}".format(
+                runs=bit["runs"],
+                a="OK" if bit["clocked_matches_legacy"] else "MISMATCH",
+            )
+        )
+        print(f"  -> {args.output / 'BENCH_detailed.json'}")
+        if not bit["clocked_matches_legacy"]:
+            print(
+                "bench: detailed bit-identity cross-check FAILED",
+                file=sys.stderr,
             )
             return 1
     if "sweep" in reports:

@@ -27,6 +27,16 @@ performance is tracked *in the tree* alongside the code it measures:
     cross-check asserting the serial and parallel sweeps fingerprint
     identically.
 
+``BENCH_detailed.json``
+    Flit-level flits/sec of the cycle-synchronous
+    :class:`~repro.core.detailed.DetailedEngine` against the frozen
+    process-based engine (:mod:`repro.perf.legacy_detailed`) on a 16-node
+    audit workload and a saturating complement storm — plus the
+    bit-identity cross-check: a (pattern × policy × load) matrix executed
+    by both engines must fingerprint identically on every
+    :class:`~repro.metrics.collector.RunResult` field except the
+    executed-event count.
+
 Timing uses ``time.perf_counter`` (wall clock is fine here: this module is
 *about* wall time and is exempt from SIM001, which guards the simulation
 core only).  Reported rates are best-of-N to damp scheduler noise.
@@ -52,6 +62,7 @@ from repro.sim.kernel import KERNEL_VERSION, Simulator
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = [
+    "bench_detailed",
     "bench_engine",
     "bench_kernel",
     "bench_sweep",
@@ -345,6 +356,145 @@ def bench_engine(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Detailed-engine flits/sec + bit-identity benchmark
+# ----------------------------------------------------------------------
+def _detailed_config(policy: str = "P-NB") -> ERapidConfig:
+    # The detailed engine rejects DBR; P-NB exercises its DPM path.
+    return ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4),
+        policy=make_policy(policy),
+        control=ControlParams(window_cycles=500),
+        seed=1,
+    )
+
+
+def _time_detailed(
+    engine_cls: type, pattern: str, load: float, repeats: int
+) -> Dict[str, float]:
+    """Best-of-N flits/sec for one detailed-engine class on one workload."""
+    plan = MeasurementPlan(warmup=500.0, measure=1500.0, drain_limit=3000.0)
+    workload = WorkloadSpec(pattern=pattern, load=load, seed=1)
+    best_fps = 0.0
+    flits = 0
+    events = 0
+    for _ in range(repeats):
+        engine = engine_cls(_detailed_config(), workload, plan)
+        start = perf_counter()
+        engine.run()
+        elapsed = perf_counter() - start
+        flits = sum(r.flits_routed for r in engine.routers)
+        events = int(engine.sim.event_count)
+        best_fps = max(best_fps, flits / elapsed if elapsed > 0 else 0.0)
+    return {
+        "flits": float(flits),
+        "events": float(events),
+        "flits_per_sec": best_fps,
+    }
+
+
+def _detailed_matrix(
+    engine_cls: type, quick: bool
+) -> Dict[str, Dict[str, Any]]:
+    """The detailed bit-identity matrix: (pattern × policy × load) panels
+    shaped like sweep results so ``sweep_fingerprint`` applies directly."""
+    from repro.core.policies import POLICIES
+
+    if quick:
+        plan = MeasurementPlan(warmup=200.0, measure=600.0, drain_limit=1500.0)
+        loads = (0.2, 0.8)
+    else:
+        plan = MeasurementPlan(warmup=500.0, measure=1500.0, drain_limit=3000.0)
+        loads = (0.2, 0.5, 0.8)
+    policies = ("NP-NB", "P-NB")  # the non-DBR half of the 2x2
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for pattern in ("uniform", "complement"):
+        base = ERapidConfig(
+            topology=ERapidTopology(boards=2, nodes_per_board=4),
+            control=ControlParams(window_cycles=500),
+            seed=1,
+        )
+        panel: Dict[str, Any] = {}
+        for policy_name in policies:
+            config = base.with_policy(POLICIES[policy_name])
+            panel[policy_name] = [
+                engine_cls(
+                    config,
+                    WorkloadSpec(pattern=pattern, load=load, seed=7),
+                    plan,
+                ).run()
+                for load in loads
+            ]
+        results[pattern] = panel
+    return results
+
+
+def bench_detailed(quick: bool = False) -> Dict[str, Any]:
+    """Detailed-engine flits/sec vs the frozen process engine, plus
+    bit-identity of the clocked rewrite."""
+    from repro.analysis.determinism import sweep_fingerprint
+    from repro.core.detailed import DetailedEngine
+    from repro.perf.legacy_detailed import LegacyDetailedEngine
+
+    repeats = 1 if quick else 3
+    workloads = {
+        "audit16": ("uniform", 0.4),
+        "storm": ("complement", 0.8),
+    }
+
+    report: Dict[str, Any] = {
+        "benchmark": "detailed",
+        "kernel_version": KERNEL_VERSION,
+        "python": platform.python_version(),
+        "quick": quick,
+        "repeats": repeats,
+    }
+    speedups = []
+    for name, (pattern, load) in workloads.items():
+        current = _time_detailed(DetailedEngine, pattern, load, repeats)
+        legacy = _time_detailed(LegacyDetailedEngine, pattern, load, repeats)
+        speedup = (
+            current["flits_per_sec"] / legacy["flits_per_sec"]
+            if legacy["flits_per_sec"] > 0
+            else 0.0
+        )
+        speedups.append(speedup)
+        report[name] = {
+            "workload": f"{pattern} load={load} seed=1, 4x4 boards, P-NB",
+            "current": current,
+            "legacy": legacy,
+            "speedup": speedup,
+        }
+    # Headline number: the weaker of the two workload speedups.
+    report["speedup"] = min(speedups)
+
+    legacy_matrix = _detailed_matrix(LegacyDetailedEngine, quick)
+    clocked_matrix = _detailed_matrix(DetailedEngine, quick)
+
+    def _fp(matrix: Dict[str, Any]) -> Dict[str, str]:
+        return {
+            name: sweep_fingerprint(panel, exclude_extra=("events",))
+            for name, panel in sorted(matrix.items())
+        }
+
+    legacy_fp = _fp(legacy_matrix)
+    clocked_fp = _fp(clocked_matrix)
+    runs = sum(
+        len(loads)
+        for panel in legacy_matrix.values()
+        for loads in panel.values()
+    )
+    report["bit_identity"] = {
+        "runs": runs,
+        "excluded_fields": ["extra.events"],
+        "legacy_fingerprints": legacy_fp,
+        "clocked_fingerprints": clocked_fp,
+        "clocked_matches_legacy": clocked_fp == legacy_fp,
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
 # Sweep wall-time benchmark
 # ----------------------------------------------------------------------
 def bench_sweep(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
@@ -433,8 +583,8 @@ def run_benchmarks(
 ) -> Dict[str, Dict[str, Any]]:
     """Run the selected benchmarks and write ``BENCH_*.json`` reports.
 
-    ``which`` is ``"kernel"``, ``"engine"``, ``"sweep"`` or ``"all"``.
-    Returns the reports keyed by family.
+    ``which`` is ``"kernel"``, ``"engine"``, ``"detailed"``, ``"sweep"``
+    or ``"all"``.  Returns the reports keyed by family.
     """
     output_dir.mkdir(parents=True, exist_ok=True)
     reports: Dict[str, Dict[str, Any]] = {}
@@ -444,6 +594,9 @@ def run_benchmarks(
     if which in ("engine", "all"):
         reports["engine"] = bench_engine(quick=quick, jobs=jobs)
         write_report(reports["engine"], output_dir / "BENCH_engine.json")
+    if which in ("detailed", "all"):
+        reports["detailed"] = bench_detailed(quick=quick)
+        write_report(reports["detailed"], output_dir / "BENCH_detailed.json")
     if which in ("sweep", "all"):
         reports["sweep"] = bench_sweep(quick=quick, jobs=jobs)
         write_report(reports["sweep"], output_dir / "BENCH_sweep.json")

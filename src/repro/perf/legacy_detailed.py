@@ -1,0 +1,645 @@
+"""The frozen pre-rewrite detailed engine (flit-level, coroutine-driven).
+
+This module preserves the detailed engine exactly as it stood before the
+cycle-synchronous rewrite of ``repro.core.detailed``: every router, NI and
+channel delivery is an event on the kernel heap, and each router/NI runs a
+yield-per-cycle generator process.  The benchmark harness
+(``python -m repro.perf bench --only detailed``) and the equivalence tests
+(``tests/test_detailed_equivalence.py``) measure and cross-check the
+rewritten engine against this one: every :class:`RunResult` field except
+the executed-event count must match bit-for-bit.
+
+Unlike :mod:`repro.perf.legacy_engine` (which froze only the engine class),
+this freeze also carries private copies of the coroutine-driven
+:class:`Channel`, :class:`VCRouter`, :class:`SourceNI` and :class:`SinkNI`,
+because the rewrite converts those very classes to tick methods — the
+frozen reference must not share the machinery under test.  Only leaf
+primitives whose semantics are pinned by their own unit tests (VC state
+machines, arbiters, credit counters, buffers, stores, stats) are imported.
+
+Do not "fix" or optimize this module; its value is standing still.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ERapidConfig
+from repro.core.dpm import DpmAction, LinkWindowStats, dpm_decide
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics.collector import Collector, MeasurementPlan, RunResult
+from repro.network.arbiters import RoundRobinArbiter
+from repro.network.credit import CreditCounter
+from repro.network.packet import Flit, Packet
+from repro.network.routing import ibi_routing
+from repro.network.vc import InputVC, OutputVC, VCStatus
+from repro.optics.rwa import StaticRWA
+from repro.power.energy import EnergyAccountant
+from repro.power.levels import PowerLevel
+from repro.sim.kernel import Simulator
+from repro.sim.stats import TimeWeighted
+from repro.sim.queues import MonitoredStore
+from repro.traffic.injection import TrafficSource
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["LegacyDetailedEngine"]
+
+
+# ----------------------------------------------------------------------
+# Frozen copy of repro.network.channel.Channel (event-scheduled delivery)
+# ----------------------------------------------------------------------
+class _Channel:
+    """Unidirectional flit channel with serialization and wire latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink=None,
+        sink_port: int = 0,
+        latency: int = 1,
+        cycles_per_flit: int = 4,
+        name: str = "",
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative channel latency {latency}")
+        if cycles_per_flit < 1:
+            raise SimulationError(f"cycles_per_flit must be >= 1, got {cycles_per_flit}")
+        self.sim = sim
+        self.sink = sink
+        self.sink_port = sink_port
+        self.latency = latency
+        self.cycles_per_flit = cycles_per_flit
+        self.name = name
+        self._busy_until = 0.0
+        self.flits_sent = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.sim.now < self._busy_until
+
+    def send(self, flit: Flit) -> None:
+        if self.sink is None:
+            raise SimulationError(f"channel {self.name!r} has no sink")
+        if self.busy:
+            raise SimulationError(
+                f"channel {self.name!r} busy until {self._busy_until}; "
+                "router ST stage must check Channel.busy"
+            )
+        self._busy_until = self.sim.now + self.cycles_per_flit
+        self.flits_sent += 1
+        delay = self.cycles_per_flit + self.latency
+        self.sim.schedule(delay, self.sink.receive_flit, flit, self.sink_port)
+
+
+# ----------------------------------------------------------------------
+# Frozen copy of repro.network.router.VCRouter (per-cycle process)
+# ----------------------------------------------------------------------
+class _VCRouter:
+    """Input-queued virtual-channel router driven by a per-cycle process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        routing_fn,
+        n_vcs: int = 2,
+        buf_depth: int = 1,
+        credit_latency: int = 1,
+        name: str = "router",
+    ) -> None:
+        if n_ports < 1 or n_vcs < 1:
+            raise ConfigurationError("router needs >= 1 port and >= 1 VC")
+        self.sim = sim
+        self.n_ports = n_ports
+        self.n_vcs = n_vcs
+        self.buf_depth = buf_depth
+        self.routing_fn = routing_fn
+        self.credit_latency = credit_latency
+        self.name = name
+
+        self.inputs: List[List[InputVC]] = [
+            [InputVC(sim, buf_depth, name=f"{name}.in{p}.vc{v}") for v in range(n_vcs)]
+            for p in range(n_ports)
+        ]
+        self.outputs: List[List[OutputVC]] = [
+            [OutputVC(buf_depth) for _ in range(n_vcs)] for _ in range(n_ports)
+        ]
+        self.channels: List[Optional[_Channel]] = [None] * n_ports
+        self.credit_returns: List[Optional[Callable[[int], None]]] = [None] * n_ports
+
+        self._va_arbiters = [
+            [RoundRobinArbiter(n_ports * n_vcs) for _ in range(n_vcs)]
+            for _ in range(n_ports)
+        ]
+        self._sa_input = [RoundRobinArbiter(n_vcs) for _ in range(n_ports)]
+        self._sa_output = [RoundRobinArbiter(n_ports) for _ in range(n_ports)]
+
+        self.flits_routed = 0
+        self.packets_routed = 0
+        self._proc = None
+
+    def attach_output(self, port: int, channel: _Channel) -> None:
+        self.channels[port] = channel
+
+    def set_credit_return(self, port: int, fn: Callable[[int], None]) -> None:
+        self.credit_returns[port] = fn
+
+    def start(self) -> None:
+        if self._proc is not None:
+            raise SimulationError(f"router {self.name!r} already started")
+        self._proc = self.sim.process(self._run(), name=f"{self.name}.pipeline")
+
+    def receive_flit(self, flit: Flit, port: int) -> None:
+        if flit.vc is None:
+            raise SimulationError(f"flit {flit!r} arrived without a VC assignment")
+        ivc = self.inputs[port][flit.vc]
+        ivc.buffer.push(flit)
+        if flit.is_head and ivc.status is VCStatus.IDLE:
+            ivc.start_packet()
+
+    def restore_credit(self, port: int, vc: int) -> None:
+        self.outputs[port][vc].credits.restore()
+
+    def _run(self):
+        while True:
+            self._cycle()
+            yield self.sim.timeout(1)
+
+    def _cycle(self) -> None:
+        self._stage_st_sa()
+        self._stage_va()
+        self._stage_rc()
+
+    def _stage_rc(self) -> None:
+        for port in range(self.n_ports):
+            for ivc in self.inputs[port]:
+                if ivc.status is VCStatus.ROUTING:
+                    head = ivc.buffer.front()
+                    if head is None:  # pragma: no cover - defensive
+                        continue
+                    out = self.routing_fn(self, head.dst)
+                    if not 0 <= out < self.n_ports:
+                        raise ConfigurationError(
+                            f"routing_fn returned invalid port {out} "
+                            f"for dst {head.dst} at {self.name!r}"
+                        )
+                    ivc.routed(out)
+
+    def _stage_va(self) -> None:
+        for out_port in range(self.n_ports):
+            for out_vc in range(self.n_vcs):
+                ovc = self.outputs[out_port][out_vc]
+                if not ovc.is_free:
+                    continue
+                mask = [False] * (self.n_ports * self.n_vcs)
+                any_req = False
+                for in_port in range(self.n_ports):
+                    for in_vc_idx in range(self.n_vcs):
+                        ivc = self.inputs[in_port][in_vc_idx]
+                        if ivc.status is VCStatus.WAITING_VC and ivc.out_port == out_port:
+                            mask[in_port * self.n_vcs + in_vc_idx] = True
+                            any_req = True
+                if not any_req:
+                    continue
+                winner = self._va_arbiters[out_port][out_vc].arbitrate(mask)
+                if winner is None:
+                    continue
+                w_port, w_vc = divmod(winner, self.n_vcs)
+                ivc = self.inputs[w_port][w_vc]
+                ovc.allocate(w_port, w_vc)
+                ivc.vc_granted(out_vc)
+
+    def _stage_st_sa(self) -> None:
+        requests_per_out: Dict[int, List[bool]] = {}
+        chosen_vc: Dict[int, int] = {}
+        for in_port in range(self.n_ports):
+            mask = [False] * self.n_vcs
+            for vc_idx in range(self.n_vcs):
+                ivc = self.inputs[in_port][vc_idx]
+                if ivc.status is not VCStatus.ACTIVE or ivc.buffer.is_empty:
+                    continue
+                assert ivc.out_port is not None and ivc.out_vc is not None
+                ovc = self.outputs[ivc.out_port][ivc.out_vc]
+                channel = self.channels[ivc.out_port]
+                if not ovc.credits.has_credit:
+                    continue
+                if channel is None or channel.busy:
+                    continue
+                mask[vc_idx] = True
+            pick = self._sa_input[in_port].arbitrate(mask)
+            if pick is not None:
+                chosen_vc[in_port] = pick
+                out_port = self.inputs[in_port][pick].out_port
+                assert out_port is not None
+                requests_per_out.setdefault(
+                    out_port, [False] * self.n_ports
+                )[in_port] = True
+        for out_port, mask in requests_per_out.items():
+            winner = self._sa_output[out_port].arbitrate(mask)
+            if winner is None:
+                continue
+            self._traverse(winner, chosen_vc[winner])
+
+    def _traverse(self, in_port: int, in_vc_idx: int) -> None:
+        ivc = self.inputs[in_port][in_vc_idx]
+        assert ivc.out_port is not None and ivc.out_vc is not None
+        out_port, out_vc = ivc.out_port, ivc.out_vc
+        flit = ivc.buffer.pop()
+        flit.vc = out_vc
+        self.outputs[out_port][out_vc].credits.consume()
+        channel = self.channels[out_port]
+        assert channel is not None
+        channel.send(flit)
+        self.flits_routed += 1
+        ret = self.credit_returns[in_port]
+        if ret is not None:
+            if self.credit_latency == 0:
+                ret(in_vc_idx)
+            else:
+                self.sim.schedule(self.credit_latency, ret, in_vc_idx)
+        if flit.is_tail:
+            self.packets_routed += 1
+            self.outputs[out_port][out_vc].free()
+            ivc.finish_packet()
+            nxt = ivc.buffer.front()
+            if nxt is not None and nxt.is_head:
+                ivc.start_packet()
+
+
+# ----------------------------------------------------------------------
+# Frozen copies of repro.network.interface.{SourceNI, SinkNI}
+# ----------------------------------------------------------------------
+class _SourceNI:
+    """Send port: packets in, credit-controlled flits out (process pump)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: _VCRouter,
+        port: int,
+        latency: int = 1,
+        cycles_per_flit: int = 4,
+        queue_capacity: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name or f"src-ni.p{port}"
+        self.queue: MonitoredStore = MonitoredStore(
+            sim, capacity=queue_capacity, name=f"{self.name}.q"
+        )
+        self.channel = _Channel(
+            sim,
+            sink=router,
+            sink_port=port,
+            latency=latency,
+            cycles_per_flit=cycles_per_flit,
+            name=f"{self.name}.ch",
+        )
+        self._credits: List[CreditCounter] = [
+            CreditCounter(router.buf_depth) for _ in range(router.n_vcs)
+        ]
+        self._vc_busy: List[bool] = [False] * router.n_vcs
+        router.set_credit_return(port, self._restore_credit)
+        self.packets_injected = 0
+        sim.process(self._run(), name=f"{self.name}.inject")
+
+    def send(self, packet: Packet):
+        return self.queue.put(packet)
+
+    def _restore_credit(self, vc: int) -> None:
+        self._credits[vc].restore()
+
+    def _pick_vc(self) -> Optional[int]:
+        for vc, busy in enumerate(self._vc_busy):
+            if not busy:
+                return vc
+        return None
+
+    def _run(self):
+        while True:
+            packet: Packet = yield self.queue.get()
+            while True:
+                vc = self._pick_vc()
+                if vc is not None:
+                    break
+                yield self.sim.timeout(1)
+            self._vc_busy[vc] = True
+            packet.injected_at = self.sim.now
+            for flit in packet.flits():
+                flit.vc = vc
+                while not self._credits[vc].has_credit or self.channel.busy:
+                    yield self.sim.timeout(1)
+                self._credits[vc].consume()
+                self.channel.send(flit)
+                if flit.is_tail:
+                    self._vc_busy[vc] = False
+            self.packets_injected += 1
+
+
+class _SinkNI:
+    """Receive port: reassembles flits into packets, records delivery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        on_packet: Optional[Callable[[Packet], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name or "sink-ni"
+        self.on_packet = on_packet
+        self.packets_received = 0
+        self.flits_received = 0
+        self._credit_restore: Optional[Callable[[int], None]] = None
+
+    def attach(self, router: _VCRouter, out_port: int, latency: int = 1,
+               cycles_per_flit: int = 4) -> _Channel:
+        channel = _Channel(
+            self.sim,
+            sink=self,
+            sink_port=out_port,
+            latency=latency,
+            cycles_per_flit=cycles_per_flit,
+            name=f"{self.name}.ch",
+        )
+        router.attach_output(out_port, channel)
+        self._credit_restore = lambda vc: router.restore_credit(out_port, vc)
+        return channel
+
+    def receive_flit(self, flit: Flit, port: int) -> None:
+        self.flits_received += 1
+        if self._credit_restore is not None:
+            if flit.vc is None:
+                raise ConfigurationError("flit arrived at sink without a VC")
+            self.sim.schedule(1, self._credit_restore, flit.vc)
+        if flit.is_tail:
+            packet = flit.packet
+            packet.delivered_at = self.sim.now
+            self.packets_received += 1
+            if self.on_packet is not None:
+                self.on_packet(packet)
+
+
+# ----------------------------------------------------------------------
+# Frozen copy of repro.core.detailed (pre-rewrite)
+# ----------------------------------------------------------------------
+class _TxSink(_SinkNI):
+    """Transmitter-port sink: reassembles flits, queues whole packets."""
+
+    def __init__(self, sim: Simulator, queue: MonitoredStore, name: str) -> None:
+        super().__init__(sim, on_packet=None, name=name)
+        self.queue = queue
+
+    def receive_flit(self, flit, port):  # noqa: D102 - see _SinkNI
+        self.flits_received += 1
+        if self._credit_restore is not None:
+            self.sim.schedule(1, self._credit_restore, flit.vc)
+        if flit.is_tail:
+            self.packets_received += 1
+            self.queue.put(flit.packet)
+
+
+class _DetailedLC:
+    """Flit-level link controller: per-transmitter DPM state."""
+
+    def __init__(self, engine: "LegacyDetailedEngine", board: int, wavelength: int) -> None:
+        self.engine = engine
+        self.board = board
+        self.wavelength = wavelength
+        self.level: PowerLevel = engine.config.power_levels.highest
+        self.stall_until = 0.0
+        self.busy = False
+        self.busy_signal = TimeWeighted(engine.sim.now, 0.0)
+        self.dpm_transitions = 0
+        self._push_power()
+
+    @property
+    def key(self):
+        return (self.board, self.wavelength)
+
+    def _push_power(self) -> None:
+        mw = self.engine.config.link_power.instantaneous_mw(
+            True, self.level, self.busy
+        )
+        self.engine.accountant.set_channel_power(
+            self.key, self.engine.sim.now, mw
+        )
+
+    def set_busy(self, busy: bool) -> None:
+        if busy == self.busy:
+            return
+        self.busy = busy
+        self.busy_signal.update(self.engine.sim.now, 1.0 if busy else 0.0)
+        self._push_power()
+
+    def window_decide(self, queue: MonitoredStore) -> None:
+        now = self.engine.sim.now
+        cfg = self.engine.config
+        stats = LinkWindowStats(
+            link_util=min(1.0, self.busy_signal.window(now)),
+            buffer_util=min(1.0, queue.buffer_util(now)),
+            queue_empty=len(queue) == 0,
+        )
+        self.busy_signal.reset_window(now)
+        queue.reset_window(now)
+        table = cfg.power_levels
+        action = dpm_decide(
+            stats,
+            cfg.policy.thresholds,
+            at_lowest=self.level is table.lowest,
+            at_highest=self.level is table.highest,
+        )
+        if action in (DpmAction.SLEEP, DpmAction.HOLD):
+            return
+        target = table.up(self.level) if action is DpmAction.UP else table.down(self.level)
+        if target is self.level:
+            return
+        stall = cfg.transitions.stall_cycles(table, self.level, target)
+        self.level = target
+        self.stall_until = max(self.stall_until, now + stall)
+        self.dpm_transitions += 1
+        self._push_power()
+
+
+class LegacyDetailedEngine:
+    """Flit-level simulation of one E-RAPID run (pre-rewrite reference)."""
+
+    def __init__(
+        self,
+        config: ERapidConfig,
+        workload: WorkloadSpec,
+        plan: MeasurementPlan = MeasurementPlan(),
+    ) -> None:
+        if config.policy.dbr:
+            raise ConfigurationError(
+                "the detailed engine models the static wavelength allocation; "
+                "run DBR policies on the fast engine"
+            )
+        self.config = config
+        self.topology = config.topology
+        self.workload = workload
+        self.plan = plan
+        self.sim = Simulator()
+        self.collector = Collector(plan, self.topology.total_nodes)
+        self.accountant = EnergyAccountant(cycle_ns=1.0 / config.router.clock_ghz)
+        self.rwa = StaticRWA(self.topology.boards)
+        self.lcs: Dict[tuple, _DetailedLC] = {}
+
+        topo = self.topology
+        D, W, B = topo.nodes_per_board, topo.wavelengths, topo.boards
+        r = config.router
+
+        self.routers: List[_VCRouter] = []
+        self.source_nis: Dict[int, _SourceNI] = {}
+        self.sink_nis: Dict[int, _SinkNI] = {}
+        self.tx_queues: Dict[tuple, MonitoredStore] = {}
+        self.rx_nis: Dict[tuple, _SourceNI] = {}
+
+        flit_cycles = (r.flit_bytes * 8) // r.channel_bits
+
+        for b in range(B):
+            def tx_port_of(dest_board: int, _b: int = b) -> int:
+                return D + self.rwa.wavelength_for(_b, dest_board)
+
+            router = _VCRouter(
+                self.sim,
+                n_ports=D + W,
+                routing_fn=ibi_routing(topo, b, tx_port_of),
+                n_vcs=r.n_vcs,
+                buf_depth=r.buf_depth,
+                credit_latency=r.credit_cycles,
+                name=f"ibi{b}",
+            )
+            self.routers.append(router)
+
+        for b in range(B):
+            router = self.routers[b]
+            for local in range(D):
+                node = topo.node_id(b, local)
+                sink = _SinkNI(self.sim, on_packet=self._on_delivered, name=f"eject{node}")
+                sink.attach(router, local, latency=1, cycles_per_flit=flit_cycles)
+                self.sink_nis[node] = sink
+                self.source_nis[node] = _SourceNI(
+                    self.sim, router, local,
+                    latency=1, cycles_per_flit=flit_cycles, name=f"inject{node}",
+                )
+            for w in range(W):
+                port = D + w
+                q = MonitoredStore(
+                    self.sim, capacity=config.tx_queue_capacity, name=f"b{b}.λ{w}.txq"
+                )
+                self.tx_queues[(b, w)] = q
+                tx_sink = _TxSink(self.sim, q, name=f"b{b}.λ{w}.tx")
+                tx_sink.attach(router, port, latency=1, cycles_per_flit=flit_cycles)
+                dest_board = self.rwa.dest_served_by(b, w)
+                if dest_board != b:
+                    self.lcs[(b, w)] = _DetailedLC(self, b, w)
+                    rx_router = self.routers[dest_board]
+                    self.rx_nis[(b, w)] = _SourceNI(
+                        self.sim, rx_router, D + w,
+                        latency=1, cycles_per_flit=flit_cycles,
+                        name=f"b{dest_board}.λ{w}.rx",
+                    )
+            router.start()
+
+        from repro.traffic.capacity import CapacityParams
+
+        params = CapacityParams(
+            packet_bits=r.packet_bytes * 8,
+            optical_gbps=config.power_levels.highest.bit_rate_gbps,
+            electrical_gbps=r.port_gbps,
+            clock_ghz=r.clock_ghz,
+        )
+        self.sources: List[TrafficSource] = workload.build_sources(topo, params)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _on_delivered(self, pkt: Packet) -> None:
+        self.collector.on_delivered(pkt, self.sim.now)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("engine already started")
+        self._started = True
+        for node in range(self.topology.total_nodes):
+            self.sim.process(
+                self._injector_proc(node, self.sources[node]), name=f"dinj{node}"
+            )
+        for (b, w), queue in self.tx_queues.items():
+            dest = self.rwa.dest_served_by(b, w)
+            if dest != b:
+                self.sim.process(
+                    self._optical_proc(b, w, dest, queue), name=f"opt{b}.{w}"
+                )
+        if self.config.policy.dpm:
+            self.sim.process(self._dpm_window_proc(), name="detailed-dpm")
+
+    def _dpm_window_proc(self):
+        sim = self.sim
+        window = self.config.control.window_cycles
+        latency = self.config.control.power_cycle_latency(
+            self.topology.nodes_per_board
+        )
+        while True:
+            yield sim.timeout(window)
+            for (b, w), lc in self.lcs.items():
+                sim.schedule(latency, lc.window_decide, self.tx_queues[(b, w)])
+
+    def _injector_proc(self, node: int, source: TrafficSource):
+        sim = self.sim
+        hard_end = self.plan.hard_end
+        ni = self.source_nis[node]
+        while True:
+            yield sim.timeout(source.next_gap())
+            now = sim.now
+            if now >= hard_end:
+                return
+            pkt = source.next_packet(now, labeled=self.collector.labeling(now))
+            self.collector.on_injected(pkt, now)
+            yield ni.send(pkt)
+
+    def _optical_proc(self, board: int, wavelength: int, dest: int, queue):
+        sim = self.sim
+        cfg = self.config
+        fiber = cfg.optical.fiber_latency_cycles
+        rx_ni = self.rx_nis[(board, wavelength)]
+        lc = self.lcs[(board, wavelength)]
+        while True:
+            pkt: Packet = yield queue.get()
+            if sim.now < lc.stall_until:  # DVS transition in progress
+                yield sim.timeout(lc.stall_until - sim.now)
+            lc.set_busy(True)
+            yield sim.timeout(
+                cfg.optical.packet_service_cycles(
+                    pkt.size_bytes, lc.level.bit_rate_gbps
+                )
+            )
+            lc.set_busy(False)
+            pkt.wavelength = wavelength
+            sim.schedule(fiber, self._relay, rx_ni, pkt)
+
+    @staticmethod
+    def _relay(rx_ni: _SourceNI, pkt: Packet) -> None:
+        rx_ni.send(pkt)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        if not self._started:
+            self.start()
+        plan = self.plan
+        self.sim.run(until=plan.warmup)
+        self.accountant.reset_window(self.sim.now)
+        self.sim.run(until=plan.measure_end)
+        self.collector.power_avg_mw = self.accountant.window_average_mw(self.sim.now)
+        t = plan.measure_end
+        while not self.collector.drained() and t < plan.hard_end:
+            t = min(t + 2000.0, plan.hard_end)
+            self.sim.run(until=t)
+        return self.collector.result(
+            engine="detailed",
+            pattern=self.workload.pattern,
+            load=self.workload.load,
+            events=self.sim.event_count,
+            dpm_transitions=sum(lc.dpm_transitions for lc in self.lcs.values()),
+        )

@@ -4,6 +4,7 @@ The reproduction's substitute for the YACSIM/NETSIM simulator the paper
 used.  See :class:`repro.sim.kernel.Simulator` for the entry point.
 """
 
+from repro.sim.cycle import CycleDriver, DueQueue
 from repro.sim.events import CompositeWait, ScheduledEvent, Timeout, Waitable
 from repro.sim.kernel import Simulator
 from repro.sim.process import Interrupt, Process
@@ -15,6 +16,8 @@ from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
     "CompositeWait",
+    "CycleDriver",
+    "DueQueue",
     "Histogram",
     "Interrupt",
     "MonitoredStore",

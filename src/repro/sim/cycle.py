@@ -1,0 +1,127 @@
+"""Cycle-synchronous driver riding on the event kernel.
+
+Booksim-style flit-level models spend their time in a synchronous clock
+loop over flat component arrays, not in per-component heap events.  This
+module provides that loop as a *guest* of the discrete-event kernel, so a
+clocked subsystem (the detailed engine's routers, NIs and channels) can
+coexist with coarse event-driven processes (injection draws, optical
+serialization, DPM windows) on one shared clock:
+
+:class:`CycleDriver`
+    Schedules at most one *tick* per requested time through the kernel's
+    priority-1 continuation class (:meth:`Simulator.schedule_late`), so a
+    tick at time ``t`` always runs **after** every priority-0 event at
+    ``t`` — packet hand-offs, fiber relays and DPM decisions scheduled for
+    a cycle are visible to that cycle's tick, exactly as they were visible
+    to the per-component processes (which resumed one waitable-trigger
+    wave after those events).  When nothing arms the driver, no tick is
+    scheduled: a quiescent system costs zero heap events per cycle.
+
+:class:`DueQueue`
+    A monotone FIFO of ``(due_time, item)`` entries — the batched
+    replacement for per-flit delivery and per-credit kernel events.  All
+    producers push with non-decreasing due times (each tick pushes at
+    ``now + constant``), so readiness is a single front comparison.
+
+Determinism: ticks fire in time order; within a tick the *caller* iterates
+components in a fixed structural order.  Arming the same time twice is
+coalesced, so tick times never race on insertion order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, Optional, Tuple, TypeVar, TYPE_CHECKING
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["CycleDriver", "DueQueue"]
+
+_T = TypeVar("_T")
+
+
+class DueQueue(Generic[_T]):
+    """Monotone FIFO of items that become due at known times.
+
+    Producers must push in non-decreasing ``due`` order (enforced), which
+    holds by construction for clocked pipelines: every push made while the
+    clock reads ``now`` is due at ``now + k`` for a per-queue constant
+    ``k`` (wire latency, credit latency), and ticks execute in time order.
+    """
+
+    __slots__ = ("_entries", "_last_due")
+
+    def __init__(self) -> None:
+        self._entries: Deque[Tuple[float, _T]] = deque()
+        self._last_due = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, due: float, item: _T) -> None:
+        """Append ``item`` with the given ``due`` time (non-decreasing)."""
+        if due < self._last_due:
+            raise SchedulingError(
+                f"DueQueue push at {due} after {self._last_due}; "
+                "producers must push in non-decreasing due order"
+            )
+        self._last_due = due
+        self._entries.append((due, item))
+
+    def pop_if_due(self, now: float) -> Optional[_T]:
+        """The oldest item with ``due <= now``, or ``None``."""
+        entries = self._entries
+        if entries and entries[0][0] <= now:
+            return entries.popleft()[1]
+        return None
+
+    def next_due(self) -> Optional[float]:
+        """Due time of the oldest entry, or ``None`` when empty."""
+        entries = self._entries
+        return entries[0][0] if entries else None
+
+
+class CycleDriver:
+    """Fires ``tick(time)`` at armed times, after same-time kernel events.
+
+    The driver is *demand-clocked*: it only ticks at times that were
+    explicitly armed — by the owning engine when external events (packet
+    arrivals, relays) wake a parked component, or by the previous tick
+    when components remain active.  Each armed time produces exactly one
+    tick; re-arming an already-armed time is a no-op, so wake-up paths
+    never need to know whether the clock is already running.
+    """
+
+    __slots__ = ("sim", "tick", "_armed")
+
+    def __init__(self, sim: "Simulator", tick: Callable[[float], None]) -> None:
+        self.sim = sim
+        #: The per-cycle callback; receives the tick's simulation time.
+        self.tick = tick
+        self._armed: set[float] = set()
+
+    @property
+    def armed_count(self) -> int:
+        """Number of distinct tick times currently scheduled."""
+        return len(self._armed)
+
+    def arm(self, time: float) -> None:
+        """Request a tick at absolute ``time`` (coalesced, >= now)."""
+        armed = self._armed
+        if time in armed:
+            return
+        sim = self.sim
+        delay = time - sim.now
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot arm a tick at {time} < now={sim.now}"
+            )
+        armed.add(time)
+        sim.schedule_late(delay, self._fire, time)
+
+    def _fire(self, time: float) -> None:
+        self._armed.discard(time)
+        self.tick(time)

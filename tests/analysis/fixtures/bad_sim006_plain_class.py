@@ -1,0 +1,32 @@
+# sim-lint: module=repro.network.fixture
+"""SIM006 fixture: plain network-substrate classes without __slots__."""
+from enum import Enum
+from typing import Protocol
+
+
+class Arbiter:
+    def __init__(self, n):
+        self.n = n
+
+
+class Slotted:
+    __slots__ = ("n",)
+
+    def __init__(self, n):
+        self.n = n
+
+
+class SlottedChild(Slotted):
+    __slots__ = ("extra",)
+
+
+class BareChild(Slotted):
+    pass
+
+
+class Sinkish(Protocol):
+    def receive_flit(self, flit, port): ...
+
+
+class Status(Enum):
+    IDLE = "idle"

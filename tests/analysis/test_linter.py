@@ -80,6 +80,14 @@ def test_sim006_no_slots_fixture():
     ]
 
 
+def test_sim006_plain_class_fixture():
+    findings = lint_fixture("bad_sim006_plain_class.py")
+    assert codes_and_lines(findings) == [
+        ("SIM006", 7),   # class Arbiter: plain class, no __slots__
+        ("SIM006", 23),  # class BareChild(Slotted): inherits but doesn't re-slot
+    ]
+
+
 def test_good_fixture_is_clean():
     assert lint_fixture("good_sim.py") == []
 
@@ -108,6 +116,33 @@ def test_sim006_only_fires_in_hot_paths():
     assert lint_source(snippet, module="repro.metrics.report") == []
     hits = lint_source(snippet, module="repro.network.credit")
     assert codes_and_lines(hits) == [("SIM006", 4)]
+
+
+def test_sim006_plain_class_only_fires_in_network_substrate():
+    snippet = "class Counter:\n    def __init__(self):\n        self.n = 0\n"
+    # repro.core is a hot path for *dataclasses* but keeps open plain classes.
+    assert lint_source(snippet, module="repro.core.dpm") == []
+    assert lint_source(snippet, module="repro.metrics.report") == []
+    hits = lint_source(snippet, module="repro.network.arbiters")
+    assert codes_and_lines(hits) == [("SIM006", 1)]
+
+
+def test_sim006_plain_class_exempts_open_layout_bases():
+    snippet = (
+        "from enum import Enum\n"
+        "from typing import Generic, Protocol, TypeVar\n\n"
+        "T = TypeVar('T')\n\n\n"
+        "class Sinkish(Protocol):\n"
+        "    def receive_flit(self, flit, port): ...\n\n\n"
+        "class Mode(Enum):\n"
+        "    ON = 1\n\n\n"
+        "class Box(Generic[T]):\n"
+        "    def __init__(self, item):\n"
+        "        self.item = item\n\n\n"
+        "class Oops(Exception):\n"
+        "    pass\n"
+    )
+    assert lint_source(snippet, module="repro.network.interface") == []
 
 
 def test_unscoped_file_gets_only_universal_rules():
