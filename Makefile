@@ -1,18 +1,29 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint determinism typecheck baseline bench bench-detailed
+.PHONY: check test lint layering frozen determinism typecheck baseline bench bench-detailed
 
 # The single correctness gate: tier-1 tests, the simulation-invariant
-# linter (ratcheted against analysis-baseline.json), the determinism
-# audit, and mypy when it is installed.
-check: test lint determinism typecheck
+# linter (ratcheted against analysis-baseline.json), the import-layering
+# DAG, the frozen-oracle integrity manifest, the determinism audit, and
+# mypy when it is installed.
+check: test lint layering frozen determinism typecheck
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) -m repro.analysis lint src tests benchmarks examples
+
+# Check the real import graph against the declared package DAG and the
+# frozen-legacy import prohibition.
+layering:
+	$(PYTHON) -m repro.analysis layering src
+
+# Verify the SHA-256 fingerprints of the frozen bit-identity oracles
+# (repro/perf/legacy*.py) against the tracked analysis-frozen.json.
+frozen:
+	$(PYTHON) -m repro.analysis frozen
 
 determinism:
 	$(PYTHON) -m repro.analysis determinism

@@ -7,16 +7,30 @@ every figure is a diff between seeded runs.  This package enforces that
 discipline mechanically:
 
 * :mod:`repro.analysis.linter` — an AST lint pass with repo-specific rules
-  (SIM001–SIM006): no wall-clock time in simulation code, no randomness
-  outside :class:`repro.sim.rng.RngRegistry` streams, no mutable default
-  arguments, no float equality on simulation timestamps, no kernel
-  re-entry from callbacks, and ``slots=True`` on hot-path dataclasses.
-* :mod:`repro.analysis.determinism` — a determinism auditor that runs a
-  small 16-node experiment twice under one seed plus twice under a
-  permuted event-insertion order and diffs trace streams and metric
-  summaries — a race detector for the event kernel.
+  (SIM001–SIM011): no wall-clock or environment reads in simulation code,
+  no randomness outside :class:`repro.sim.rng.RngRegistry` streams, no
+  mutable default arguments, no float equality on simulation timestamps,
+  no kernel re-entry from callbacks, ``slots=True`` on hot-path
+  dataclasses, no iteration over unordered containers in engine code, no
+  RNG machinery construction outside the registry, no literal zero-delay
+  p0 events where a ``schedule_late`` continuation is meant, and no float
+  arithmetic off the integer cycle grid.
+* :mod:`repro.analysis.layering` — an import-layering analyzer that checks
+  the real (AST-parsed) import graph against a declared package DAG, with
+  a short allowlist for deliberate exceptions and a hard prohibition on
+  importing the frozen ``repro.perf.legacy*`` oracles from production
+  code.
+* :mod:`repro.analysis.frozen` — a SHA-256 integrity manifest pinning the
+  frozen bit-identity oracles (``analysis-frozen.json``); a drive-by edit
+  to a legacy file fails ``make check`` and CI.
+* :mod:`repro.analysis.determinism` — a determinism auditor that runs both
+  engines twice under one seed plus twice under a permuted
+  event-insertion order and diffs trace streams and metric summaries — a
+  race detector for the event kernel.
 * :mod:`repro.analysis.baseline` — a ratchet: pre-existing findings live
   in a checked-in baseline file and may only ever be removed.
+* :mod:`repro.analysis.sarif` — a SARIF 2.1.0 emitter shared by the three
+  static passes so CI renders findings as GitHub annotations.
 
 Run everything with ``python -m repro.analysis`` (see ``--help``).
 """
@@ -24,20 +38,57 @@ Run everything with ``python -m repro.analysis`` (see ``--help``).
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline, RatchetResult
-from repro.analysis.determinism import AuditCheck, AuditReport, RunFingerprint, audit
+from repro.analysis.determinism import (
+    AuditCheck,
+    AuditReport,
+    RunFingerprint,
+    audit,
+)
+from repro.analysis.frozen import (
+    FROZEN_FILES,
+    FrozenMismatch,
+    compute_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.analysis.layering import (
+    EDGE_ALLOWLIST,
+    LAYER_DAG,
+    ImportEdge,
+    LayerViolation,
+    analyze_paths,
+    check_layering,
+    collect_import_edges,
+)
 from repro.analysis.linter import Finding, lint_paths, lint_source
 from repro.analysis.rules import RULES, Rule
+from repro.analysis.sarif import SarifResult, sarif_dumps, sarif_log
 
 __all__ = [
     "AuditCheck",
     "AuditReport",
     "Baseline",
+    "EDGE_ALLOWLIST",
+    "FROZEN_FILES",
     "Finding",
+    "FrozenMismatch",
+    "ImportEdge",
+    "LAYER_DAG",
+    "LayerViolation",
     "RatchetResult",
     "RULES",
     "Rule",
     "RunFingerprint",
+    "SarifResult",
+    "analyze_paths",
     "audit",
+    "check_layering",
+    "collect_import_edges",
+    "compute_manifest",
     "lint_paths",
     "lint_source",
+    "sarif_dumps",
+    "sarif_log",
+    "verify_manifest",
+    "write_manifest",
 ]

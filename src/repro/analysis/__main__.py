@@ -3,16 +3,24 @@
 Subcommands
 -----------
 ``lint PATH...``
-    Run the SIM001–SIM006 lint pass.  Exit 0 when no *new* findings exist
+    Run the SIM001–SIM011 lint pass.  Exit 0 when no *new* findings exist
     relative to the ratchet baseline; exit 1 otherwise.
+``layering [PATH...]``
+    Check the real import graph against the declared package DAG and the
+    frozen-legacy import prohibition.  Exit 0 when clean.
+``frozen``
+    Verify the SHA-256 manifest of the frozen bit-identity oracles
+    (``analysis-frozen.json``); ``--write-manifest`` regenerates it.
 ``determinism``
     Run the determinism audit (same-seed and permuted-insertion-order
-    repeatability on a small 16-node experiment).  Exit 0 on pass.
-``all``
-    Both of the above; exit non-zero if either gate fails.
+    repeatability on both engines).  Exit 0 on pass.
+``all PATH...``
+    All four gates; exit non-zero if any fails.
 
 ``--format=json`` emits machine-readable findings for future tooling (the
-benchmarks panel consumes this).
+benchmarks panel consumes this); ``--format=sarif`` emits a SARIF 2.1.0
+log for the static passes (lint, layering, frozen) so CI can surface
+findings as GitHub annotations.
 """
 
 from __future__ import annotations
@@ -21,19 +29,31 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.determinism import audit
+from repro.analysis.frozen import (
+    FrozenMismatch,
+    verify_manifest,
+    write_manifest,
+)
+from repro.analysis.layering import (
+    LayerViolation,
+    analyze_paths,
+    format_dag,
+)
 from repro.analysis.linter import Finding, lint_paths
+from repro.analysis.sarif import SarifResult, sarif_dumps
 from repro.errors import ReproError
 
 __all__ = ["main"]
 
 _DEFAULT_BASELINE = "analysis-baseline.json"
+_DEFAULT_MANIFEST = "analysis-frozen.json"
 
 
-def _findings_json(findings: Sequence[Finding]) -> List[dict]:
+def _findings_json(findings: Sequence[Finding]) -> List[Dict[str, object]]:
     return [
         {
             "path": f.path,
@@ -44,6 +64,34 @@ def _findings_json(findings: Sequence[Finding]) -> List[dict]:
             "hint": f.rule.hint,
         }
         for f in findings
+    ]
+
+
+def _findings_sarif(findings: Sequence[Finding]) -> List[SarifResult]:
+    return [
+        SarifResult(
+            rule_id=f.code, message=f.message, path=f.path, line=f.line
+        )
+        for f in findings
+    ]
+
+
+def _violations_sarif(violations: Sequence[LayerViolation]) -> List[SarifResult]:
+    return [
+        SarifResult(
+            rule_id=v.kind.upper(),
+            message=v.message,
+            path=v.path,
+            line=v.line,
+        )
+        for v in violations
+    ]
+
+
+def _mismatches_sarif(mismatches: Sequence[FrozenMismatch]) -> List[SarifResult]:
+    return [
+        SarifResult(rule_id="FROZEN", message=m.format(), path=m.path)
+        for m in mismatches
     ]
 
 
@@ -71,7 +119,9 @@ def _run_lint(args: argparse.Namespace) -> int:
         return 0
 
     result = baseline.ratchet(findings)
-    if args.format == "json":
+    if args.format == "sarif":
+        print(sarif_dumps(_findings_sarif(result.new)))
+    elif args.format == "json":
         print(
             json.dumps(
                 {
@@ -101,10 +151,88 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _run_layering(args: argparse.Namespace) -> int:
+    if args.print_dag:
+        print(format_dag())
+        return 0
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    edges, violations = analyze_paths(paths)
+    if args.format == "sarif":
+        print(sarif_dumps(_violations_sarif(violations)))
+    elif args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": not violations,
+                    "edges": len(edges),
+                    "violations": [v.to_json() for v in violations],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for v in violations:
+            print(v.format())
+        if violations:
+            print(f"layering: {len(violations)} violation(s) in {len(edges)} import edge(s)")
+        else:
+            print(f"layering: clean ({len(edges)} import edge(s) checked)")
+    return 0 if not violations else 1
+
+
+def _run_frozen(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    manifest_path = Path(args.manifest) if args.manifest else root / _DEFAULT_MANIFEST
+    if args.write_manifest:
+        files = write_manifest(root, manifest_path)
+        print(f"wrote {len(files)} fingerprint(s) to {manifest_path}")
+        return 0
+    try:
+        mismatches = verify_manifest(root, manifest_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "sarif":
+        print(sarif_dumps(_mismatches_sarif(mismatches)))
+    elif args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": not mismatches,
+                    "manifest": str(manifest_path),
+                    "mismatches": [m.to_json() for m in mismatches],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for m in mismatches:
+            print(m.format())
+        if mismatches:
+            print(f"frozen: {len(mismatches)} integrity failure(s)")
+        else:
+            print("frozen: all oracle fingerprints match the manifest")
+    return 0 if not mismatches else 1
+
+
 def _run_determinism(args: argparse.Namespace) -> int:
+    if args.format == "sarif":
+        print(
+            "error: --format=sarif applies to the static passes "
+            "(lint, layering, frozen) only",
+            file=sys.stderr,
+        )
+        return 2
     try:
         report = audit(
-            seed=args.seed, boards=args.boards, nodes_per_board=args.nodes_per_board
+            seed=args.seed,
+            boards=args.boards,
+            nodes_per_board=args.nodes_per_board,
+            include_detailed=not args.fast_only,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -118,25 +246,29 @@ def _run_determinism(args: argparse.Namespace) -> int:
 
 def _run_all(args: argparse.Namespace) -> int:
     lint_rc = _run_lint(args)
+    layering_rc = _run_layering(args)
+    frozen_rc = _run_frozen(args)
     det_rc = _run_determinism(args)
-    return max(lint_rc, det_rc)
+    return max(lint_rc, layering_rc, frozen_rc, det_rc)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Correctness tooling: simulation-invariant linter and "
+        description="Correctness tooling: simulation-invariant linter, "
+        "import-layering analyzer, frozen-oracle integrity manifest, and "
         "determinism auditor for the E-RAPID reproduction.",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif applies to the static "
+        "passes only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    lint = sub.add_parser("lint", help="run the SIM001–SIM006 lint pass")
+    lint = sub.add_parser("lint", help="run the SIM001–SIM011 lint pass")
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument(
         "--baseline",
@@ -161,22 +293,67 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(func=_run_lint)
 
+    layering = sub.add_parser(
+        "layering", help="check imports against the declared package DAG"
+    )
+    layering.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to scan (default: src)",
+    )
+    layering.add_argument(
+        "--print-dag",
+        action="store_true",
+        help="print the declared DAG and exit",
+    )
+    layering.set_defaults(func=_run_layering)
+
+    frozen = sub.add_parser(
+        "frozen", help="verify the frozen-oracle integrity manifest"
+    )
+    frozen.add_argument(
+        "--root", default=".", help="repository root (default: .)"
+    )
+    frozen.add_argument(
+        "--manifest",
+        default=None,
+        help=f"manifest path (default: <root>/{_DEFAULT_MANIFEST})",
+    )
+    frozen.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="regenerate the manifest from the on-disk frozen files "
+        "(legitimate ONLY alongside a new equivalence gate)",
+    )
+    frozen.set_defaults(func=_run_frozen)
+
     det = sub.add_parser("determinism", help="run the determinism audit")
     det.add_argument("--seed", type=int, default=1)
     det.add_argument("--boards", type=int, default=4)
     det.add_argument("--nodes-per-board", type=int, default=4)
+    det.add_argument(
+        "--fast-only",
+        action="store_true",
+        help="skip the detailed-engine checks (quick local iteration)",
+    )
     det.set_defaults(func=_run_determinism)
 
-    both = sub.add_parser("all", help="lint + determinism audit")
+    both = sub.add_parser(
+        "all", help="lint + layering + frozen + determinism audit"
+    )
     both.add_argument("paths", nargs="+", help="files or directories to lint")
     both.add_argument("--baseline", default=None)
     both.add_argument("--no-baseline", action="store_true")
     both.add_argument("--write-baseline", action="store_true")
     both.add_argument("--include-fixtures", action="store_true")
+    both.add_argument("--root", default=".")
+    both.add_argument("--manifest", default=None)
     both.add_argument("--seed", type=int, default=1)
     both.add_argument("--boards", type=int, default=4)
     both.add_argument("--nodes-per-board", type=int, default=4)
-    both.set_defaults(func=_run_all)
+    both.add_argument("--fast-only", action="store_true")
+    both.set_defaults(func=_run_all, print_dag=False, write_manifest=False)
 
     return parser
 

@@ -9,21 +9,48 @@ findings that existed when the linter was introduced.  The ratchet rule:
   shrinks.
 
 Keys are ``path:CODE:line`` with repo-relative forward-slash paths, so the
-file is stable across machines.
+file is stable across machines: :meth:`Baseline.write` normalizes every
+path component to POSIX separators and orders entries by
+``(rule, path, line)`` with the line compared *numerically* — re-writing
+an unchanged baseline is byte-stable on every platform.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from pathlib import Path
-from typing import FrozenSet, List, Sequence
+from pathlib import Path, PureWindowsPath
+from typing import FrozenSet, List, Sequence, Tuple
 
 from repro.analysis.linter import Finding
 
-__all__ = ["Baseline", "RatchetResult"]
+__all__ = ["Baseline", "RatchetResult", "baseline_sort_key", "normalize_key"]
 
 _FORMAT_VERSION = 1
+
+
+def normalize_key(key: str) -> str:
+    """Canonicalize one ``path:CODE:line`` key to POSIX path separators."""
+    try:
+        path, code, line = key.rsplit(":", 2)
+    except ValueError:
+        return key
+    return f"{PureWindowsPath(path).as_posix()}:{code}:{line}"
+
+
+def baseline_sort_key(key: str) -> Tuple[str, str, int, str]:
+    """Sort key ordering entries by ``(rule, path, numeric line)``.
+
+    A plain lexical sort puts line 10 before line 9; parsing the trailing
+    line number keeps the file's ordering meaningful (and byte-stable, so
+    baseline diffs only ever show real entry changes).  Malformed keys
+    sort last, lexically.
+    """
+    try:
+        path, code, line = key.rsplit(":", 2)
+        return (code, path, int(line), "")
+    except ValueError:
+        return ("￿", "", 0, key)
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,7 +97,9 @@ class Baseline:
                 "Entries may only ever be removed; new findings must be "
                 "fixed, not added here."
             ),
-            "findings": sorted(self.keys),
+            "findings": sorted(
+                (normalize_key(k) for k in self.keys), key=baseline_sort_key
+            ),
         }
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 

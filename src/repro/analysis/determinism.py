@@ -3,7 +3,9 @@
 The reproduction's figures are diffs between seeded runs, so any hidden
 nondeterminism (dict/set iteration order, ``id()``-keyed containers, global
 RNG state, wall-clock leakage) silently corrupts every result.  The auditor
-exercises a small 16-node experiment four ways:
+exercises **both engines** — the abstract :class:`FastEngine` on a small
+16-node experiment and the cycle-synchronous flit-level
+:class:`DetailedEngine` on a 4-node platform — two ways each:
 
 1. twice under the same seed with the default event-insertion order — the
    two runs must produce *bit-identical* trace streams and metric
@@ -29,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.config import ControlParams, ERapidConfig
+from repro.core.detailed import DetailedEngine
 from repro.core.engine import FastEngine
 from repro.core.policies import make_policy
 from repro.metrics.collector import MeasurementPlan, RunResult
@@ -42,6 +45,7 @@ __all__ = [
     "AuditReport",
     "audit",
     "simulate_fingerprint",
+    "simulate_detailed_fingerprint",
     "sweep_fingerprint",
     "fingerprint_parts",
     "check_repeatable",
@@ -196,6 +200,69 @@ def simulate_fingerprint(
     return fingerprint_parts(trace_lines, metrics)
 
 
+def simulate_detailed_fingerprint(
+    seed: int = 1,
+    boards: int = 2,
+    nodes_per_board: int = 2,
+    load: float = 0.3,
+    pattern: str = "uniform",
+    policy: str = "P-NB",
+    permuted: bool = False,
+) -> RunFingerprint:
+    """Run the cycle-synchronous detailed engine once and fingerprint it.
+
+    The detailed engine has no trace stream, so the fingerprint covers the
+    full metric summary plus per-router flit counts, the final simulated
+    time, and the executed-event count — enough to expose any iteration-
+    order or RNG-order sensitivity in the flit path.
+
+    ``permuted=True`` registers injector processes and optical-channel
+    processes in a deterministically shuffled order, changing the FIFO
+    sequence numbers of all same-time start-up events.
+    """
+    topo = ERapidTopology(boards=boards, nodes_per_board=nodes_per_board)
+    config = ERapidConfig(
+        topology=topo,
+        policy=make_policy(policy),
+        control=ControlParams(window_cycles=500),
+        seed=seed,
+    )
+    plan = MeasurementPlan(warmup=300.0, measure=900.0, drain_limit=1800.0)
+    workload = WorkloadSpec(pattern=pattern, load=load, seed=seed)
+    engine = DetailedEngine(config, workload, plan)
+    node_order: Optional[List[int]] = None
+    optical_order: Optional[List[Tuple[int, int]]] = None
+    if permuted:
+        node_order = _permuted(list(range(topo.total_nodes)))
+        optical_order = _permuted(
+            sorted(
+                key
+                for key in engine.tx_queues
+                if engine.rwa.dest_served_by(*key) != key[0]
+            )
+        )
+    engine.start(node_order=node_order, optical_order=optical_order)
+    result = engine.run()
+
+    metrics: Dict[str, object] = {
+        "throughput": result.throughput,
+        "offered": result.offered,
+        "avg_latency": result.avg_latency,
+        "p99_latency": result.p99_latency,
+        "max_latency": result.max_latency,
+        "power_mw": result.power_mw,
+        "labeled_injected": result.labeled_injected,
+        "labeled_delivered": result.labeled_delivered,
+        "delivered_measure": result.delivered_measure,
+        "final_time": engine.sim.now,
+        "event_count": engine.sim.event_count,
+        "flits_routed": tuple(r.flits_routed for r in engine.routers),
+    }
+    for k, v in sorted(result.extra.items()):
+        metrics[f"extra.{k}"] = v
+    return fingerprint_parts((), metrics)
+
+
 def sweep_fingerprint(
     results: Dict[str, List[RunResult]],
     exclude_extra: Sequence[str] = (),
@@ -280,17 +347,30 @@ def check_repeatable(
     )
 
 
-def audit(seed: int = 1, boards: int = 4, nodes_per_board: int = 4) -> AuditReport:
-    """Full determinism audit on the small experiment (16 nodes default)."""
-    checks = (
+def audit(
+    seed: int = 1,
+    boards: int = 4,
+    nodes_per_board: int = 4,
+    detailed_boards: int = 2,
+    detailed_nodes_per_board: int = 2,
+    include_detailed: bool = True,
+) -> AuditReport:
+    """Full determinism audit across both engines.
+
+    The abstract FastEngine runs the 16-node default; the flit-level
+    detailed engine runs a smaller 4-node platform (its process-per-NI
+    model is ~100x slower per simulated cycle).  ``include_detailed=False``
+    restores the fast-only audit for quick local iteration.
+    """
+    checks: List[AuditCheck] = [
         check_repeatable(
-            "same-seed repeatability (default event-insertion order)",
+            "fast engine: same-seed repeatability (default event-insertion order)",
             lambda: simulate_fingerprint(
                 seed=seed, boards=boards, nodes_per_board=nodes_per_board
             ),
         ),
         check_repeatable(
-            "same-seed repeatability (permuted event-insertion order)",
+            "fast engine: same-seed repeatability (permuted event-insertion order)",
             lambda: simulate_fingerprint(
                 seed=seed,
                 boards=boards,
@@ -298,5 +378,29 @@ def audit(seed: int = 1, boards: int = 4, nodes_per_board: int = 4) -> AuditRepo
                 permuted=True,
             ),
         ),
-    )
-    return AuditReport(checks=checks)
+    ]
+    if include_detailed:
+        checks.extend(
+            (
+                check_repeatable(
+                    "detailed engine: same-seed repeatability "
+                    "(default process-registration order)",
+                    lambda: simulate_detailed_fingerprint(
+                        seed=seed,
+                        boards=detailed_boards,
+                        nodes_per_board=detailed_nodes_per_board,
+                    ),
+                ),
+                check_repeatable(
+                    "detailed engine: same-seed repeatability "
+                    "(permuted process-registration order)",
+                    lambda: simulate_detailed_fingerprint(
+                        seed=seed,
+                        boards=detailed_boards,
+                        nodes_per_board=detailed_nodes_per_board,
+                        permuted=True,
+                    ),
+                ),
+            )
+        )
+    return AuditReport(checks=tuple(checks))

@@ -1,6 +1,6 @@
 """AST-based simulation-invariant linter.
 
-Checks the repo-specific rules SIM001–SIM006 (see
+Checks the repo-specific rules SIM001–SIM011 (see
 :mod:`repro.analysis.rules`).  The linter is a single :mod:`ast` pass per
 file; it never imports the code under analysis, so it is safe to run on
 broken or intentionally-bad fixture files.
@@ -114,6 +114,24 @@ _MUTABLE_CALLS = frozenset(
 _TIME_NAME = re.compile(
     r"(^(now|_now|t0|t1|timestamp|deadline|time)$)|(_(at|until|now|time|end)$)"
 )
+
+#: Terminal names treated as cycle counters / tick times (SIM011): the
+#: integer-grid quantities of the cycle-synchronous clock loop.
+_CYCLE_NAME = re.compile(
+    r"(^(now|time|due|cycle|cycles|tick|ticks|delay)$)"
+    r"|(_(at|until|now|time|end|due|cycle|cycles|tick|ticks)$)"
+)
+
+#: Environment/entropy entry points (SIM009), as dotted names.
+_ENV_READ_CALLS = frozenset({"os.getenv", "os.urandom", "os.getenvb"})
+_ENV_READ_ATTRS = frozenset({"os.environ", "os.environb"})
+
+#: ``numpy.random`` machinery whose *construction* outside repro.sim.rng
+#: is banned by SIM008.  Exactly the SIM002 allowance: SIM002 bans
+#: unseeded/global draws everywhere, SIM008 bans the remaining (seeded)
+#: machinery outside the registry module — together every RNG use outside
+#: repro.sim.rng is flagged by exactly one rule.
+_RNG_MACHINERY = _ALLOWED_NP_RANDOM
 
 _KERNEL_NAMES = frozenset({"sim", "simulator", "kernel"})
 
@@ -255,19 +273,32 @@ class _Visitor(ast.NodeVisitor):
             elif origin in _WALLCLOCK:
                 self._emit(
                     node,
-                    "SIM001",
+                    self._wallclock_code(),
                     f"import of wall-clock source `{origin}`; simulation "
                     "code must use the simulation clock (sim.now)",
                 )
-            elif (
-                mod in ("numpy.random", "np.random")
-                and alias.name not in _ALLOWED_NP_RANDOM
-            ):
+            elif mod in ("numpy.random", "np.random"):
+                if alias.name not in _ALLOWED_NP_RANDOM:
+                    self._emit(
+                        node,
+                        "SIM002",
+                        f"import of `numpy.random.{alias.name}`; draw from "
+                        "RngRegistry.stream(...) instead",
+                    )
+                else:
+                    self._emit(
+                        node,
+                        "SIM008",
+                        f"import of RNG machinery `numpy.random."
+                        f"{alias.name}` outside repro.sim.rng; route draws "
+                        "through RngRegistry.stream(...)",
+                    )
+            elif origin in _ENV_READ_ATTRS or origin in _ENV_READ_CALLS:
                 self._emit(
                     node,
-                    "SIM002",
-                    f"import of `numpy.random.{alias.name}`; draw from "
-                    "RngRegistry.stream(...) instead",
+                    "SIM009",
+                    f"import of environment source `{origin}`; simulation "
+                    "state must be a pure function of (config, seed)",
                 )
         self.generic_visit(node)
 
@@ -310,13 +341,17 @@ class _Visitor(ast.NodeVisitor):
         self._visit_function(node, node.args)
 
     # -- calls ---------------------------------------------------------
+    def _wallclock_code(self) -> str:
+        """SIM001 in the simulation core, SIM009 in the wider state scope."""
+        return "SIM001" if self._active["SIM001"] else "SIM009"
+
     def visit_Call(self, node: ast.Call) -> None:
         qual = self._qualname(node.func)
         if qual is not None:
             if qual in _WALLCLOCK:
                 self._emit(
                     node,
-                    "SIM001",
+                    self._wallclock_code(),
                     f"call to wall-clock source `{qual}` inside simulation "
                     "code; use the simulation clock (sim.now)",
                 )
@@ -327,17 +362,75 @@ class _Visitor(ast.NodeVisitor):
                     f"call to `{qual}` bypasses RngRegistry; pass a named "
                     "stream (`registry.stream(...)`) instead",
                 )
-            elif (
-                qual.startswith("numpy.random.")
-                and qual.split(".")[2] not in _ALLOWED_NP_RANDOM
-            ):
+            elif qual.startswith("numpy.random."):
+                if qual.split(".")[2] not in _ALLOWED_NP_RANDOM:
+                    self._emit(
+                        node,
+                        "SIM002",
+                        f"call to `{qual}` bypasses RngRegistry; pass a "
+                        "named stream (`registry.stream(...)`) instead",
+                    )
+                else:
+                    self._emit(
+                        node,
+                        "SIM008",
+                        f"construction of RNG machinery `{qual}` outside "
+                        "repro.sim.rng; route draws through "
+                        "RngRegistry.stream(...)",
+                    )
+            elif qual in _ENV_READ_CALLS:
                 self._emit(
                     node,
-                    "SIM002",
-                    f"call to `{qual}` bypasses RngRegistry; pass a named "
-                    "stream (`registry.stream(...)`) instead",
+                    "SIM009",
+                    f"call to environment source `{qual}`; simulation "
+                    "state must be a pure function of (config, seed)",
                 )
+        elif isinstance(node.func, ast.Name) and node.func.id == "Random":
+            self._emit(
+                node,
+                "SIM008",
+                "bare `Random()` construction outside repro.sim.rng; route "
+                "draws through RngRegistry.stream(...)",
+            )
+        self._check_zero_delay_schedule(node)
         self._check_kernel_reentry(node)
+        self.generic_visit(node)
+
+    def _check_zero_delay_schedule(self, node: ast.Call) -> None:
+        """SIM010: literal zero-delay p0 scheduling in engine code."""
+        fn = node.func
+        if not (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in ("schedule", "schedule_fast")
+        ):
+            return
+        if not node.args:
+            return
+        delay = node.args[0]
+        if (
+            isinstance(delay, ast.Constant)
+            and type(delay.value) in (int, float)
+            and delay.value == 0
+        ):
+            self._emit(
+                node,
+                "SIM010",
+                f"zero-delay `{fn.attr}(0, ...)` enqueues at priority 0 "
+                "ahead of pending continuations; use "
+                "`schedule_late(0.0, ...)` for same-instant engine hops",
+            )
+
+    # -- attribute reads (SIM009: os.environ) --------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        qual = self._qualname(node)
+        if qual in _ENV_READ_ATTRS:
+            self._emit(
+                node,
+                "SIM009",
+                f"read of `{qual}`; simulation state must be a pure "
+                "function of (config, seed) — read the environment in the "
+                "harness layer",
+            )
         self.generic_visit(node)
 
     def _check_kernel_reentry(self, node: ast.Call) -> None:
@@ -413,6 +506,110 @@ class _Visitor(ast.NodeVisitor):
                         "use ordered comparisons or math.isclose",
                     )
                     break
+        self.generic_visit(node)
+
+    # -- iteration order (SIM007) --------------------------------------
+    def _check_unordered_iter(self, iter_node: ast.AST) -> None:
+        """Flag iteration whose order is hash- or history-dependent."""
+        if isinstance(iter_node, ast.Call):
+            fn = iter_node.func
+            fname = (
+                fn.attr
+                if isinstance(fn, ast.Attribute)
+                else getattr(fn, "id", None)
+            )
+            if fname == "sorted":
+                return
+            if isinstance(fn, ast.Attribute) and fn.attr in ("keys", "values"):
+                self._emit(
+                    iter_node,
+                    "SIM007",
+                    f"iteration over `.{fn.attr}()` follows dict "
+                    "construction-history order; iterate sorted keys (then "
+                    "index) or suppress with a proof of order-insensitivity",
+                )
+                return
+            if fname in ("set", "frozenset"):
+                self._emit(
+                    iter_node,
+                    "SIM007",
+                    f"iteration over `{fname}(...)` follows hash order; "
+                    "wrap in sorted(...)",
+                )
+            return
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            self._emit(
+                iter_node,
+                "SIM007",
+                "iteration over a set literal follows hash order; wrap in "
+                "sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST, comps: List[ast.comprehension]) -> None:
+        for gen in comps:
+            self._check_unordered_iter(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    # -- cycle-counter arithmetic (SIM011) -----------------------------
+    def _is_cycle_name(self, node: ast.AST) -> bool:
+        name = self._terminal_name(node)
+        return name is not None and bool(_CYCLE_NAME.search(name))
+
+    @staticmethod
+    def _is_fractional_const(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Constant)
+            and type(node.value) is float
+            and not node.value.is_integer()
+        )
+
+    def _check_cycle_arith(
+        self, node: ast.AST, op: ast.operator, left: ast.AST, right: ast.AST
+    ) -> None:
+        if not self._active["SIM011"]:
+            return
+        operands = (left, right)
+        if isinstance(op, ast.Div) and any(map(self._is_cycle_name, operands)):
+            self._emit(
+                node,
+                "SIM011",
+                "true division on a cycle counter leaves the integer cycle "
+                "grid; use `//` or pre-scaled integral steps",
+            )
+            return
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mult, ast.Mod)) and (
+            (self._is_cycle_name(left) and self._is_fractional_const(right))
+            or (self._is_fractional_const(left) and self._is_cycle_name(right))
+        ):
+            self._emit(
+                node,
+                "SIM011",
+                "fractional float constant combined with a cycle counter "
+                "moves tick times off the integer cycle grid",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self._check_cycle_arith(node, node.op, node.left, node.right)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_cycle_arith(node, node.op, node.target, node.value)
         self.generic_visit(node)
 
     # -- classes (dataclass slots=True / plain-class __slots__) --------

@@ -46,6 +46,30 @@ SLOTTED_CLASS_PREFIXES: Tuple[str, ...] = ("repro.network",)
 #: Everything shipped under ``repro.`` except the tooling itself.
 REPRO_PREFIXES: Tuple[str, ...] = ("repro",)
 
+#: Engine packages whose run-loop state feeds the kernel's event order
+#: (SIM007/SIM010): iteration-order and same-timestamp ambiguity here
+#: silently reorders events.
+ENGINE_PREFIXES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.core",
+    "repro.network",
+)
+
+#: Simulation state packages for SIM009: everything that executes inside a
+#: run or computes its results.  Benchmarks, the CLI and the experiment
+#: runner are exempt *by omission* — host environment reads are fine in
+#: harness code.
+SIM_STATE_PREFIXES: Tuple[str, ...] = SIM_CORE_PREFIXES + (
+    "repro.traffic",
+    "repro.power",
+    "repro.metrics",
+)
+
+#: The cycle-synchronous clock loop (SIM011): PR 4 established integer
+#: timestamp discipline here — tick times are integral-valued floats and
+#: may never acquire fractional parts through arithmetic.
+CYCLE_PREFIXES: Tuple[str, ...] = ("repro.sim.cycle",)
+
 
 @dataclass(frozen=True, slots=True)
 class Rule:
@@ -57,9 +81,17 @@ class Rule:
     hint: str
     #: Module prefixes the rule applies to; ``None`` means every file.
     scope: Optional[Tuple[str, ...]] = None
+    #: Module prefixes *inside* the scope where the rule stays silent
+    #: (e.g. SIM008 is exempt in repro.sim.rng — the one sanctioned home
+    #: of RNG machinery).
+    exempt: Tuple[str, ...] = ()
 
     def applies_to(self, module: Optional[str]) -> bool:
         """Whether this rule is active for ``module`` (dotted name)."""
+        if module is not None and any(
+            module == p or module.startswith(p + ".") for p in self.exempt
+        ):
+            return False
         if self.scope is None:
             return True
         if module is None:
@@ -163,6 +195,101 @@ RULES: Tuple[Rule, ...] = (
             "a __slots__ tuple to the class body."
         ),
         scope=HOT_PATH_PREFIXES,
+    ),
+    Rule(
+        code="SIM007",
+        title="iteration over an unordered or history-ordered container",
+        rationale=(
+            "Engine state feeds the kernel's (time, priority, FIFO) event "
+            "order, so *what order you touch things in* is part of the "
+            "result.  set/frozenset iterate in hash order (PYTHONHASHSEED-"
+            "dependent for strings), and dict.keys()/.values() iterate in "
+            "construction-history order — both change silently when "
+            "unrelated code is refactored, which is exactly the drift the "
+            "same-seed auditor can only catch after the fact."
+        ),
+        hint=(
+            "Iterate `sorted(...)` over the keys (then index), or suppress "
+            "with `# sim-lint: ignore[SIM007]` plus a comment proving the "
+            "body is order-insensitive."
+        ),
+        scope=ENGINE_PREFIXES,
+    ),
+    Rule(
+        code="SIM008",
+        title="RNG machinery constructed outside repro.sim.rng",
+        rationale=(
+            "Every stochastic draw must route through a named "
+            "`RngRegistry.stream(...)` generator.  SIM002 bans unseeded "
+            "draws; SIM008 closes the remaining hole: hand-built seeded "
+            "machinery (`np.random.Generator`, `SeedSequence`, `PCG64`, "
+            "bare `Random()`) outside :mod:`repro.sim.rng` creates streams "
+            "the registry cannot see, so they escape the common-random-"
+            "numbers discipline and the spawn-key collision guarantees."
+        ),
+        hint=(
+            "Accept an `np.random.Generator` parameter and have the caller "
+            "pass `registry.stream('<entity name>')`; only repro.sim.rng "
+            "may construct generator machinery."
+        ),
+        scope=REPRO_PREFIXES,
+        exempt=("repro.sim.rng",),
+    ),
+    Rule(
+        code="SIM009",
+        title="host environment read in simulation state code",
+        rationale=(
+            "A run must be a pure function of (config, seed).  "
+            "`os.environ`/`os.getenv` leak per-host configuration and "
+            "`os.urandom` leaks entropy into simulation state, so the same "
+            "seed stops meaning the same run.  Wall-clock calls in the "
+            "simulation-state packages outside SIM001's core scope "
+            "(traffic, power, metrics) are flagged here for the same "
+            "reason.  Benchmarks, the CLI and the experiment harness are "
+            "exempt by path — environment reads belong in harness code."
+        ),
+        hint=(
+            "Thread configuration through ERapidConfig/WorkloadSpec and "
+            "read the environment in the harness layer (repro.perf, "
+            "repro.cli, repro.experiments) only."
+        ),
+        scope=SIM_STATE_PREFIXES,
+    ),
+    Rule(
+        code="SIM010",
+        title="zero-delay p0 event in engine code",
+        rationale=(
+            "`schedule(0.0, ...)`/`schedule_fast(0.0, ...)` enqueue at "
+            "priority 0, *ahead* of every pending continuation at the same "
+            "timestamp — the same-time ordering ambiguity PR 3 and PR 4 "
+            "fixed by hand.  Engine-layer same-instant hops must use the "
+            "priority-1 continuation class so cascades replay in FIFO "
+            "order regardless of who scheduled first."
+        ),
+        hint=(
+            "Use `sim.schedule_late(0.0, ...)` for same-instant engine "
+            "continuations; literal zero-delay p0 scheduling belongs only "
+            "to the kernel's own wakeup machinery (repro.sim)."
+        ),
+        scope=("repro.core", "repro.network"),
+    ),
+    Rule(
+        code="SIM011",
+        title="fractional float arithmetic on cycle counters",
+        rationale=(
+            "The cycle-synchronous clock loop keeps every tick time on the "
+            "integer cycle grid (integral-valued floats); PR 4's router "
+            "phases are only correct under that discipline.  True division "
+            "on a cycle/time counter, or combining one with a fractional "
+            "float constant, silently moves ticks off the grid where "
+            "`now.is_integer()` gating and DueQueue monotonicity break."
+        ),
+        hint=(
+            "Keep cycle arithmetic on integers or integral floats: use "
+            "`//`, integer constants, or pre-scaled integral steps; never "
+            "`/` or fractional literals on a tick/cycle counter."
+        ),
+        scope=CYCLE_PREFIXES,
     ),
 )
 

@@ -57,8 +57,8 @@ class BoardModel:
 
     def reset_windows(self) -> None:
         """Start a new R_w window on every LC buffer counter."""
-        for q in self.tx_queues.values():
-            q.reset_window()
+        for dest in sorted(self.tx_queues):
+            self.tx_queues[dest].reset_window()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BoardModel b{self.board} nodes={len(self.nodes)}>"

@@ -345,20 +345,45 @@ class DetailedEngine:
                 arm(ni.next_due)
 
     # ------------------------------------------------------------------
-    def start(self) -> None:
+    def start(self, node_order=None, optical_order=None) -> None:
+        """Register all processes; orders only permute FIFO tie-breaking.
+
+        ``node_order`` / ``optical_order`` are permutations of the node ids
+        and remote ``(board, wavelength)`` keys used by the determinism
+        auditor: registration order changes the FIFO sequence numbers of
+        same-time start-up events, so a run that is a pure function of the
+        kernel's ``(time, priority, FIFO)`` total order must not change.
+        """
         if self._started:
             raise ConfigurationError("engine already started")
         self._started = True
-        for node in range(self.topology.total_nodes):
+        nodes = list(range(self.topology.total_nodes))
+        if node_order is not None:
+            if sorted(node_order) != nodes:
+                raise ConfigurationError(
+                    "node_order must be a permutation of all node ids"
+                )
+            nodes = list(node_order)
+        for node in nodes:
             self.sim.process(
                 self._injector_proc(node, self.sources[node]), name=f"dinj{node}"
             )
-        for (b, w), queue in self.tx_queues.items():
-            dest = self.rwa.dest_served_by(b, w)
-            if dest != b:
-                self.sim.process(
-                    self._optical_proc(b, w, dest, queue), name=f"opt{b}.{w}"
+        remote = [
+            key for key in self.tx_queues if self.rwa.dest_served_by(*key) != key[0]
+        ]
+        if optical_order is not None:
+            if sorted(optical_order) != sorted(remote):
+                raise ConfigurationError(
+                    "optical_order must be a permutation of the remote "
+                    "(board, wavelength) keys"
                 )
+            remote = list(optical_order)
+        for b, w in remote:
+            dest = self.rwa.dest_served_by(b, w)
+            self.sim.process(
+                self._optical_proc(b, w, dest, self.tx_queues[(b, w)]),
+                name=f"opt{b}.{w}",
+            )
         if self.config.policy.dpm:
             self.sim.process(self._dpm_window_proc(), name="detailed-dpm")
 
@@ -431,5 +456,7 @@ class DetailedEngine:
             pattern=self.workload.pattern,
             load=self.workload.load,
             events=self.sim.event_count,
-            dpm_transitions=sum(lc.dpm_transitions for lc in self.lcs.values()),
+            dpm_transitions=sum(
+                self.lcs[key].dpm_transitions for key in sorted(self.lcs)
+            ),
         )

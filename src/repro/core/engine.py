@@ -419,8 +419,8 @@ class FastEngine:
     # Window bookkeeping
     # ------------------------------------------------------------------
     def reset_windows(self) -> None:
-        for ch in self.channels.values():
-            ch.reset_window()
+        for key in sorted(self.channels):
+            self.channels[key].reset_window()
         for board in self.boards:
             board.reset_windows()
 
@@ -447,8 +447,10 @@ class FastEngine:
             pattern=self.workload.pattern,
             load=self.workload.load,
             grants=self.srs.grants,
-            dpm_transitions=sum(c.dpm_transitions for c in self.channels.values()),
-            sleeps=sum(c.sleeps for c in self.channels.values()),
+            dpm_transitions=sum(
+                self.channels[k].dpm_transitions for k in sorted(self.channels)
+            ),
+            sleeps=sum(self.channels[k].sleeps for k in sorted(self.channels)),
             lasers_on_final=self.srs.lasers_on(),
             events=self.sim.event_count,
         )

@@ -91,7 +91,8 @@ class LockStepCoordinator:
         now = engine.sim.now
         channels = {}
         owners = {}
-        for ch in engine.channels.values():
+        for key in sorted(engine.channels):
+            ch = engine.channels[key]
             channels[ch.key] = ch.window_stats()
             owners[ch.key] = ch.owner
         pairs = {}

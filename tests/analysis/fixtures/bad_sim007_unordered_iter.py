@@ -1,0 +1,38 @@
+# sim-lint: module=repro.core.fixture
+"""SIM007 fixture: hash- and history-ordered iteration in engine code."""
+
+
+def reset_all(queues: dict) -> None:
+    for q in queues.values():
+        q.reset_window()
+
+
+def drain_keys(table: dict) -> list:
+    return [table[k] for k in table.keys()]
+
+
+def visit_links(links) -> list:
+    return [l for l in set(links)]
+
+
+def visit_frozen(links) -> list:
+    out = []
+    for l in frozenset(links):
+        out.append(l)
+    return out
+
+
+def literal_set() -> int:
+    total = 0
+    for port in {3, 1, 2}:
+        total += port
+    return total
+
+
+def sorted_is_fine(queues: dict) -> list:
+    return [queues[k] for k in sorted(queues.keys())]
+
+
+def suppressed(queues: dict) -> int:
+    # Order-insensitive: integer sum over all entries.
+    return sum(q.depth for q in queues.values())  # sim-lint: ignore[SIM007]

@@ -1,0 +1,13 @@
+# sim-lint: module=repro.traffic.fixture
+"""SIM008 fixture: RNG machinery built outside repro.sim.rng."""
+import numpy as np
+from numpy.random import SeedSequence
+
+
+def make_stream(seed: int):
+    seq = np.random.SeedSequence(seed, spawn_key=(1, 2))
+    return np.random.Generator(np.random.PCG64(seq))
+
+
+def stdlib_rng(seed: int):
+    return Random(seed)

@@ -1,0 +1,23 @@
+# sim-lint: module=repro.traffic.fixture
+"""SIM009 fixture: host environment reads in simulation state code."""
+import os
+import time
+from os import environ
+
+
+def cache_dir() -> str:
+    return os.environ.get("ERAPID_CACHE_DIR", "~/.cache")
+
+
+def salt() -> bytes:
+    return os.urandom(8)
+
+
+def tuned() -> str:
+    return os.getenv("ERAPID_TUNING", "default")
+
+
+def stamp() -> float:
+    # traffic is outside SIM001's core scope; the wall-clock read lands
+    # on SIM009 instead.
+    return time.time()

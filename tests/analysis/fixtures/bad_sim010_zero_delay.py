@@ -1,0 +1,18 @@
+# sim-lint: module=repro.core.fixture
+"""SIM010 fixture: literal zero-delay p0 events in engine code."""
+
+
+def hop(sim, callback) -> None:
+    sim.schedule(0.0, callback)
+
+
+def hop_fast(sim, callback) -> None:
+    sim.schedule_fast(0, callback)
+
+
+def timed_is_fine(sim, callback) -> None:
+    sim.schedule(1.0, callback)
+
+
+def late_is_fine(sim, callback) -> None:
+    sim.schedule_late(0.0, callback)

@@ -1,0 +1,23 @@
+# sim-lint: module=repro.sim.cycle.fixture
+"""SIM011 fixture: float arithmetic off the integer cycle grid."""
+
+
+def half_cycle(cycle: float) -> float:
+    return cycle / 2
+
+
+def fractional_step(now: float) -> float:
+    return now + 0.5
+
+
+def drift(next_due: float) -> float:
+    next_due -= 0.25
+    return next_due
+
+
+def integral_grid_is_fine(now: float) -> float:
+    return now + 1.0
+
+
+def floor_div_is_fine(cycle: float) -> float:
+    return cycle // 2

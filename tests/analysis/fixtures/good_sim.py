@@ -14,10 +14,10 @@ class Credit:
     vc: int
 
 
-def make_stream(seed: int) -> np.random.Generator:
-    """SIM002: constructing seeded generator machinery is allowed."""
-    seq = np.random.SeedSequence(seed, spawn_key=(1, 2))
-    return np.random.Generator(np.random.PCG64(seq))
+def draw_gap(rng: np.random.Generator, p: float) -> int:
+    """SIM002/SIM008: drawing through a passed-in registry stream is the
+    sanctioned form — machinery construction lives in repro.sim.rng."""
+    return int(rng.geometric(p))
 
 
 def window_closed(now: float, boundary: float) -> bool:
@@ -46,3 +46,14 @@ def microbench() -> int:
     sim.schedule(0.0, lambda: None)
     sim.run()
     return sim.event_count
+
+
+def reset_all(queues: dict) -> None:
+    """SIM007: sorted-key iteration is the sanctioned order."""
+    for key in sorted(queues):
+        queues[key].reset_window()
+
+
+def continue_same_instant(sim, callback) -> None:
+    """SIM010: same-instant engine hops ride the p1 continuation class."""
+    sim.schedule_late(0.0, callback)

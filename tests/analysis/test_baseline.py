@@ -148,3 +148,48 @@ def test_cli_missing_path_exits_two(capsys):
     rc = main(["lint", "definitely/not/a/path.py"])
     assert rc == 2
     assert "no such path" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Byte-stability (PR 6 satellite)
+# ----------------------------------------------------------------------
+
+def test_write_orders_by_rule_path_then_numeric_line(tmp_path):
+    findings = [
+        make_finding(path="src/repro/sim/b.py", code="SIM004", line=10),
+        make_finding(path="src/repro/sim/b.py", code="SIM004", line=9),
+        make_finding(path="src/repro/sim/a.py", code="SIM004", line=100),
+        make_finding(path="src/repro/sim/b.py", code="SIM001", line=50),
+    ]
+    out = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).write(out)
+    entries = json.loads(out.read_text())["findings"]
+    assert entries == [
+        "src/repro/sim/b.py:SIM001:50",
+        "src/repro/sim/a.py:SIM004:100",
+        # line 9 before line 10: numeric, not lexical, ordering
+        "src/repro/sim/b.py:SIM004:9",
+        "src/repro/sim/b.py:SIM004:10",
+    ]
+
+
+def test_write_is_byte_stable_across_rewrites(tmp_path):
+    findings = [
+        make_finding(path="src/repro/sim/x.py", code="SIM003", line=i)
+        for i in (3, 12, 7, 101, 21)
+    ]
+    p1 = tmp_path / "a.json"
+    p2 = tmp_path / "b.json"
+    Baseline.from_findings(findings).write(p1)
+    Baseline.load(p1).write(p2)
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_write_normalizes_paths_to_posix(tmp_path):
+    findings = [
+        make_finding(path="src\\repro\\sim\\x.py", code="SIM003", line=4)
+    ]
+    out = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).write(out)
+    entries = json.loads(out.read_text())["findings"]
+    assert entries == ["src/repro/sim/x.py:SIM003:4"]

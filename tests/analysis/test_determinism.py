@@ -11,6 +11,7 @@ from repro.analysis.determinism import (
     check_repeatable,
     compare_fingerprints,
     fingerprint_parts,
+    simulate_detailed_fingerprint,
     simulate_fingerprint,
 )
 
@@ -57,19 +58,51 @@ def test_permuted_insertion_order_is_repeatable():
     assert f1.digest == f2.digest
 
 
-def test_audit_passes_on_the_real_engine():
+def test_audit_passes_on_both_engines():
     report = audit(seed=3, boards=2, nodes_per_board=2)
     assert report.ok
-    assert len(report.checks) == 2
+    assert len(report.checks) == 4
     assert all(c.ok for c in report.checks)
     payload = report.to_json()
     assert payload["ok"] is True
     names = {c["name"] for c in payload["checks"]}
     assert names == {
-        "same-seed repeatability (default event-insertion order)",
-        "same-seed repeatability (permuted event-insertion order)",
+        "fast engine: same-seed repeatability (default event-insertion order)",
+        "fast engine: same-seed repeatability (permuted event-insertion order)",
+        "detailed engine: same-seed repeatability "
+        "(default process-registration order)",
+        "detailed engine: same-seed repeatability "
+        "(permuted process-registration order)",
     }
     assert "deterministic" in report.format()
+
+
+def test_audit_fast_only_skips_the_detailed_engine():
+    report = audit(seed=3, boards=2, nodes_per_board=2, include_detailed=False)
+    assert report.ok
+    assert len(report.checks) == 2
+    assert all(c.name.startswith("fast engine:") for c in report.checks)
+
+
+def test_detailed_engine_same_seed_same_fingerprint():
+    f1 = simulate_detailed_fingerprint(seed=11)
+    f2 = simulate_detailed_fingerprint(seed=11)
+    assert f1.digest == f2.digest
+    assert f1.metric_dict["labeled_delivered"] != "0"
+
+
+def test_detailed_engine_permuted_order_matches_default():
+    # The detailed engine is a pure function of the kernel's total event
+    # order, so shuffling process registration must not move a single flit.
+    default = simulate_detailed_fingerprint(seed=11)
+    permuted = simulate_detailed_fingerprint(seed=11, permuted=True)
+    assert default.digest == permuted.digest
+
+
+def test_detailed_engine_different_seed_different_fingerprint():
+    f1 = simulate_detailed_fingerprint(seed=11)
+    f2 = simulate_detailed_fingerprint(seed=12)
+    assert f1.digest != f2.digest
 
 
 class _BrokenKernel:

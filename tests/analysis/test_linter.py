@@ -215,3 +215,116 @@ def test_shipped_tree_is_lint_clean():
     """The satellite promise: the real src/ tree has zero findings."""
     repo_root = Path(__file__).resolve().parents[2]
     assert lint_paths([repo_root / "src"]) == []
+
+
+# ----------------------------------------------------------------------
+# PR 6 rules: SIM007–SIM011
+# ----------------------------------------------------------------------
+
+def test_sim007_unordered_iter_fixture():
+    findings = lint_fixture("bad_sim007_unordered_iter.py")
+    assert codes_and_lines(findings) == [
+        ("SIM007", 6),   # for ch in channels.values()
+        ("SIM007", 11),  # listcomp over queues.keys()
+        ("SIM007", 15),  # listcomp over set(nodes)
+        ("SIM007", 20),  # for b in frozenset(boards)
+        ("SIM007", 27),  # for w in {0, 1, 2} set literal
+    ]
+
+
+def test_sim007_only_fires_in_engine_packages():
+    snippet = "def f(d):\n    return [d[k] for k in d.keys()]\n"
+    assert codes_and_lines(
+        lint_source(snippet, module="repro.network.x")
+    ) == [("SIM007", 2)]
+    # Harness layers iterate however they like.
+    assert lint_source(snippet, module="repro.experiments.x") == []
+    assert lint_source(snippet, module="repro.cli") == []
+
+
+def test_sim007_sorted_wrapper_is_sanctioned():
+    snippet = "def f(s):\n    return [x for x in sorted(s)]\n"
+    assert lint_source(snippet, module="repro.sim.x") == []
+
+
+def test_sim008_rng_machinery_fixture():
+    findings = lint_fixture("bad_sim008_rng_machinery.py")
+    assert codes_and_lines(findings) == [
+        ("SIM008", 4),   # from numpy.random import SeedSequence
+        ("SIM008", 8),   # np.random.SeedSequence(...)
+        ("SIM008", 9),   # np.random.Generator(...)
+        ("SIM008", 9),   # np.random.PCG64(...)
+        ("SIM008", 13),  # bare Random()
+    ]
+
+
+def test_sim008_exempt_inside_the_registry_module():
+    snippet = (
+        "import numpy as np\n\n"
+        "def make(seed):\n"
+        "    return np.random.Generator(np.random.PCG64(seed))\n"
+    )
+    assert lint_source(snippet, module="repro.sim.rng") == []
+    assert codes_and_lines(lint_source(snippet, module="repro.traffic.x")) == [
+        ("SIM008", 4),
+        ("SIM008", 4),
+    ]
+
+
+def test_sim009_env_read_fixture():
+    findings = lint_fixture("bad_sim009_env_read.py")
+    assert codes_and_lines(findings) == [
+        ("SIM009", 5),   # from os import environ
+        ("SIM009", 9),   # os.environ["..."]
+        ("SIM009", 13),  # os.urandom(8)
+        ("SIM009", 17),  # os.getenv("...")
+        ("SIM009", 23),  # time.time() outside the SIM001 core
+    ]
+
+
+def test_sim009_cli_and_benchmarks_are_exempt():
+    snippet = "import os\n\ndef f():\n    return os.environ.get('HOME')\n"
+    assert codes_and_lines(lint_source(snippet, module="repro.power.x")) == [
+        ("SIM009", 4)
+    ]
+    assert lint_source(snippet, module="repro.cli") == []
+    assert lint_source(snippet, module="repro.experiments.sweep") == []
+
+
+def test_sim010_zero_delay_fixture():
+    findings = lint_fixture("bad_sim010_zero_delay.py")
+    assert codes_and_lines(findings) == [
+        ("SIM010", 6),   # sim.schedule(0.0, ...)
+        ("SIM010", 10),  # sim.schedule_fast(0, ...)
+    ]
+
+
+def test_sim010_kernel_itself_is_exempt():
+    # The kernel's own zero-delay wakeup machinery is the implementation
+    # of schedule_late — the rule binds engine code, not repro.sim.
+    snippet = "def f(sim, cb):\n    sim.schedule(0.0, cb)\n"
+    assert lint_source(snippet, module="repro.sim.process") == []
+    assert codes_and_lines(lint_source(snippet, module="repro.core.x")) == [
+        ("SIM010", 2)
+    ]
+
+
+def test_sim011_cycle_float_fixture():
+    findings = lint_fixture("bad_sim011_cycle_float.py")
+    assert codes_and_lines(findings) == [
+        ("SIM011", 6),   # cycle / 2
+        ("SIM011", 10),  # now + 0.5
+        ("SIM011", 14),  # next_due -= 0.25
+    ]
+
+
+def test_sim011_only_fires_in_the_cycle_engine():
+    snippet = "def f(now):\n    return now + 0.5\n"
+    assert codes_and_lines(
+        lint_source(snippet, module="repro.sim.cycle.kernel")
+    ) == [("SIM011", 2)]
+    assert lint_source(snippet, module="repro.sim.kernel") == []
+
+
+def test_good_fixture_passes_all_eleven_rules():
+    assert lint_fixture("good_sim.py") == []

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 emitter tests: structure, rule metadata, CLI integration."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+from repro.analysis.sarif import SarifResult, sarif_dumps, sarif_log
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_log_shape_and_location():
+    log = sarif_log(
+        [
+            SarifResult(
+                rule_id="SIM007",
+                message="iteration over a set",
+                path="src/repro/core/engine.py",
+                line=42,
+            )
+        ]
+    )
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "SIM007"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/core/engine.py"
+    assert loc["region"]["startLine"] == 42
+
+
+def test_rule_metadata_comes_from_the_registry():
+    log = sarif_log(
+        [SarifResult(rule_id="SIM011", message="m", path="p.py", line=1)]
+    )
+    (rule,) = log["runs"][0]["tool"]["driver"]["rules"]
+    assert rule["id"] == "SIM011"
+    assert rule["shortDescription"]["text"]
+    assert rule["fullDescription"]["text"]
+    assert rule["help"]["text"]
+
+
+def test_non_lint_rule_ids_get_descriptors():
+    log = sarif_log(
+        [
+            SarifResult(rule_id="LAYER", message="m", path="a.py", line=1),
+            SarifResult(rule_id="LEGACY", message="m", path="b.py", line=2),
+            SarifResult(rule_id="FROZEN", message="m", path="c.py"),
+        ]
+    )
+    rules = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert rules == {"LAYER", "LEGACY", "FROZEN"}
+
+
+def test_zero_findings_is_a_valid_empty_log():
+    log = sarif_log([])
+    assert log["runs"][0]["results"] == []
+    assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+def test_dumps_round_trips():
+    results = [SarifResult(rule_id="SIM001", message="x", path="y.py", line=3)]
+    assert json.loads(sarif_dumps(results)) == sarif_log(results)
+
+
+def test_line_floor_is_one():
+    log = sarif_log([SarifResult(rule_id="FROZEN", message="m", path="p", line=0)])
+    region = log["runs"][0]["results"][0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+def test_cli_lint_sarif_on_bad_fixture(capsys):
+    rc = main(
+        [
+            "--format=sarif",
+            "lint",
+            str(FIXTURES / "bad_sim007_unordered_iter.py"),
+            "--no-baseline",
+            "--include-fixtures",
+        ]
+    )
+    assert rc == 1
+    log = json.loads(capsys.readouterr().out)
+    results = log["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"SIM007"}
+    assert len(results) == 5
+
+
+def test_cli_layering_sarif_on_clean_tree(capsys):
+    rc = main(["--format=sarif", "layering", str(REPO_ROOT / "src")])
+    assert rc == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_cli_determinism_rejects_sarif(capsys):
+    rc = main(["--format=sarif", "determinism"])
+    assert rc == 2
+    assert "static passes" in capsys.readouterr().err

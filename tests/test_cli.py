@@ -55,3 +55,63 @@ def test_cli_sweep_with_csv(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "headline ratios" in out
     assert csv_path.exists()
+
+
+def test_cli_profile_fast_engine(capsys):
+    rc = main([
+        "profile", "--engine", "fast", "--policy", "NP-NB",
+        "--boards", "2", "--nodes", "2", "--load", "0.3",
+        "--warmup", "500", "--measure", "1000", "--top", "5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # cProfile's cumulative-time table, then the throughput summary.
+    assert "cumulative" in out and "ncalls" in out
+    assert "== profile summary ==" in out
+    assert "packets/sec" in out and "events/sec" in out
+    assert "packets delivered" in out
+    # The fast engine is packet-level: no flit accounting.
+    assert "flits/sec" not in out
+
+
+def test_cli_profile_detailed_engine(capsys):
+    rc = main([
+        "profile", "--engine", "detailed", "--policy", "NP-NB",
+        "--boards", "2", "--nodes", "2", "--load", "0.3",
+        "--warmup", "500", "--measure", "1000", "--top", "5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "detailed engine" in out
+    assert "packets/sec" in out and "events/sec" in out
+    assert "flits routed" in out and "flits/sec" in out
+
+
+def test_cli_profile_top_limits_table(capsys):
+    rc = main([
+        "profile", "--engine", "fast", "--policy", "NP-NB",
+        "--boards", "2", "--nodes", "2", "--load", "0.2",
+        "--warmup", "200", "--measure", "400", "--top", "1",
+    ])
+    assert rc == 0
+    assert "List reduced" in capsys.readouterr().out
+
+
+def test_cli_profile_rejects_unknown_engine(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([
+            "profile", "--engine", "warp",
+            "--boards", "2", "--nodes", "2",
+        ])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_cli_profile_detailed_rejects_dbr_policy(capsys):
+    rc = main([
+        "profile", "--engine", "detailed", "--policy", "P-B",
+        "--boards", "2", "--nodes", "2",
+        "--warmup", "200", "--measure", "400",
+    ])
+    assert rc == 2
+    assert "cannot run DBR" in capsys.readouterr().err
