@@ -22,7 +22,7 @@ def test_bench_sweep_smoke(results_dir):
     # The warm pass must be 100% hits: one store per run on the cold pass,
     # one hit per run on the warm pass, zero stray misses afterwards.
     stats = report["cache_stats"]
-    assert stats["stores"] == report["runs"]
+    assert stats["puts"] == report["runs"]
     assert stats["hits"] == report["runs"]
     assert stats["misses"] == report["runs"]  # cold pass misses only
 

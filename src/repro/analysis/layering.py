@@ -77,6 +77,17 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset(
         {"core", "metrics", "network", "power", "sim", "traffic", "errors"}
     ),
+    # The sweep service orchestrates the perf harness (executor + cache)
+    # and builds run descriptions from the engine config layer; it rides
+    # on analysis only for the sweep fingerprint it stamps into
+    # manifests.  Deliberately *not* a wildcard layer: the service must
+    # never import experiments (the one-shot figure harness) or power
+    # internals — its contact with simulation semantics is exclusively
+    # through declarative specs.
+    "service": frozenset(
+        {"analysis", "core", "errors", "metrics", "network", "perf", "sim",
+         "traffic"}
+    ),
     # Harness layers: may import anything.
     "experiments": frozenset({ANY}),
     "cli": frozenset({ANY}),

@@ -246,14 +246,19 @@ RULES: Tuple[Rule, ...] = (
             "simulation-state packages outside SIM001's core scope "
             "(traffic, power, metrics) are flagged here for the same "
             "reason.  Benchmarks, the CLI and the experiment harness are "
-            "exempt by path — environment reads belong in harness code."
+            "exempt by path, and the sweep service (repro.service) is "
+            "exempt explicitly — a long-running server legitimately reads "
+            "wall clock and environment (spool paths, cache dirs, audit "
+            "timestamps); determinism lives below it, in the runs it "
+            "schedules."
         ),
         hint=(
             "Thread configuration through ERapidConfig/WorkloadSpec and "
             "read the environment in the harness layer (repro.perf, "
-            "repro.cli, repro.experiments) only."
+            "repro.cli, repro.experiments, repro.service) only."
         ),
         scope=SIM_STATE_PREFIXES,
+        exempt=("repro.service",),
     ),
     Rule(
         code="SIM010",

@@ -10,6 +10,10 @@
     erapid table1
     erapid rwa       --boards 8
     erapid ablate    --which window|thresholds|levels|limited-dbr|smoothing
+    erapid cache     stats|path|clear [--dir DIR]
+    erapid serve     --spool DIR [--jobs N] [--once | --idle-exit S]
+    erapid submit    --spool DIR [--kind sweep|run] [--loads ...] [--policies ...]
+    erapid jobs      --spool DIR [--job KEY] [--wait S]
 
 (Also runnable as ``python -m repro``.)
 """
@@ -18,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.erapid import ERapidSystem
@@ -112,6 +117,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--which",
         default="window",
         choices=["window", "thresholds", "levels", "limited-dbr", "smoothing"],
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed run cache"
+    )
+    cache_cmd.add_argument(
+        "action", choices=("stats", "path", "clear"),
+        help="stats: counters + entry count + on-disk size; path: print "
+        "the store directory; clear: delete every entry and reset counters",
+    )
+    cache_cmd.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: $ERAPID_CACHE_DIR or "
+        "~/.cache/erapid/runs)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep service over a job-spool directory"
+    )
+    serve.add_argument(
+        "--spool", required=True,
+        help="spool directory (incoming submissions + mirrored status)",
+    )
+    serve.add_argument(
+        "--artifacts", default=None,
+        help="artifact store root for manifests and the audit log "
+        "(default: <spool>/artifacts-store)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="run-cache directory (default: $ERAPID_CACHE_DIR or "
+        "~/.cache/erapid/runs)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width of the worker shard (per job)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="bounded job-queue depth; submissions beyond it are rejected "
+        "(backpressure)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="ingest the current spool contents, drain, and exit",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.2,
+        help="spool scan interval in seconds (default: 0.2)",
+    )
+    serve.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="exit after this many seconds with no work (default: run "
+        "forever)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="drop a job spec into a serve spool directory"
+    )
+    submit.add_argument("--spool", required=True, help="spool directory")
+    submit.add_argument(
+        "--spec", default=None,
+        help="JSON job-spec file to submit verbatim (e.g. the `spec` "
+        "object of a past manifest); other spec flags are ignored",
+    )
+    submit.add_argument("--kind", default="sweep", choices=("sweep", "run"))
+    submit.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    submit.add_argument("--loads", default="0.1,0.3,0.5,0.7,0.9")
+    submit.add_argument(
+        "--policies", default="NP-NB,P-NB,NP-B,P-B",
+        help="comma-separated policy list",
+    )
+    submit.add_argument("--boards", type=int, default=8)
+    submit.add_argument("--nodes", type=int, default=8)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--warmup", type=float, default=8000)
+    submit.add_argument("--measure", type=float, default=12000)
+    submit.add_argument("--drain-limit", type=float, default=24000)
+    submit.add_argument(
+        "--priority", default="", choices=("", "interactive", "bulk"),
+        help="queue priority (default: interactive for run, bulk for sweep)",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list or inspect jobs mirrored in a serve spool"
+    )
+    jobs_cmd.add_argument("--spool", required=True, help="spool directory")
+    jobs_cmd.add_argument(
+        "--job", default=None, help="job key (as printed by `erapid submit`)"
+    )
+    jobs_cmd.add_argument(
+        "--wait", type=float, default=None,
+        help="with --job: poll until the job reaches a terminal state or "
+        "this many seconds elapse",
     )
     return parser
 
@@ -299,6 +398,155 @@ def main(argv: Optional[List[str]] = None) -> int:
         _, table = fn()
         print(table)
         return 0
+
+    if args.command == "cache":
+        from repro.perf.cache import RunCache
+
+        cache = RunCache(args.dir)
+        if args.action == "path":
+            print(cache.root)
+            return 0
+        if args.action == "clear":
+            removed = cache.clear()
+            cache.reset_counters()
+            print(f"cleared {removed} entries from {cache.root}")
+            return 0
+        counters = cache.persistent_stats()
+        lookups = counters["hits"] + counters["misses"]
+        hit_rate = f"{counters['hits'] / lookups:.1%}" if lookups else "n/a"
+        print(format_kv(
+            {
+                "path": str(cache.root),
+                "entries": cache.entry_count(),
+                "on-disk bytes": cache.disk_bytes(),
+                "hits": counters["hits"],
+                "misses": counters["misses"],
+                "puts": counters["puts"],
+                "hit rate": hit_rate,
+            },
+            title="== run cache ==",
+        ))
+        return 0
+
+    if args.command == "serve":
+        from repro.perf.cache import RunCache
+        from repro.service.artifacts import ArtifactStore
+        from repro.service.orchestrator import SweepService
+        from repro.service.spool import SpoolServer
+
+        cache = RunCache(args.cache_dir)
+        store = ArtifactStore(
+            args.artifacts
+            if args.artifacts is not None
+            else str(Path(args.spool) / "artifacts-store")
+        )
+        service = SweepService(
+            cache, store, jobs=args.jobs, queue_depth=args.queue_depth
+        ).start()
+        server = SpoolServer(args.spool, service, log=print)
+        print(
+            f"erapid serve: spool={server.spool} artifacts={store.root} "
+            f"cache={cache.root} jobs={args.jobs} "
+            f"queue-depth={args.queue_depth}"
+        )
+        try:
+            if args.once:
+                server.serve_once()
+            else:
+                server.serve_forever(
+                    poll=args.poll, idle_exit=args.idle_exit
+                )
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print("interrupted; draining current job ...")
+        finally:
+            service.stop()
+        return 0
+
+    if args.command == "submit":
+        import json
+
+        from repro.errors import JobSpecError
+        from repro.service.spec import JobSpec
+        from repro.service.spool import submit_to_spool
+
+        try:
+            if args.spec is not None:
+                data = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+                spec = JobSpec.from_dict(data)
+            else:
+                spec = JobSpec(
+                    kind=args.kind,
+                    pattern=args.pattern,
+                    loads=tuple(float(x) for x in args.loads.split(",")),
+                    policies=tuple(args.policies.split(",")),
+                    boards=args.boards,
+                    nodes_per_board=args.nodes,
+                    seed=args.seed,
+                    warmup=args.warmup,
+                    measure=args.measure,
+                    drain_limit=args.drain_limit,
+                    priority=args.priority,
+                )
+        except (OSError, ValueError, JobSpecError) as exc:
+            print(f"erapid submit: bad job spec: {exc}", file=sys.stderr)
+            return 2
+        key = submit_to_spool(args.spool, spec)
+        # Stdout is exactly the job key so shells can capture it.
+        print(key)
+        return 0
+
+    if args.command == "jobs":
+        import time as _time
+
+        from repro.service.spool import list_statuses, read_status
+
+        terminal = ("completed", "failed", "rejected", "invalid")
+        if args.job is None:
+            statuses = list_statuses(args.spool)
+            if not statuses:
+                print("no jobs in spool")
+                return 0
+            for s in statuses:
+                counts = s.get("counts") or {}
+                hit_note = (
+                    f" hits={counts.get('hits')}/{counts.get('total')}"
+                    if counts
+                    else ""
+                )
+                print(
+                    f"{s.get('job_key', '?')[:12]}  "
+                    f"{s.get('state', '?'):<9}  "
+                    f"{s.get('kind', '?'):<5}  "
+                    f"runs={s.get('runs_done', 0)}/{s.get('runs_total', '?')}"
+                    f"{hit_note}"
+                )
+            return 0
+        deadline = (
+            _time.monotonic() + args.wait if args.wait is not None else None
+        )
+        while True:
+            status = read_status(args.spool, args.job)
+            state = status.get("state") if status else None
+            if state in terminal:
+                break
+            if deadline is None or _time.monotonic() >= deadline:
+                if args.wait is not None:
+                    print(
+                        f"erapid jobs: job {args.job[:12]} still "
+                        f"{state or 'unknown'} after {args.wait}s",
+                        file=sys.stderr,
+                    )
+                    return 1
+                break
+            _time.sleep(0.2)
+        if status is None:
+            print(f"erapid jobs: no such job {args.job!r}", file=sys.stderr)
+            return 1
+        print(format_kv(
+            {k: status[k] for k in sorted(status)},
+            title=f"== job {args.job[:12]} ==",
+        ))
+        return 0 if status.get("state") == "completed" else 1
 
     return 1  # pragma: no cover - argparse enforces choices
 

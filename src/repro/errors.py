@@ -50,3 +50,19 @@ class MeasurementError(ReproError):
 class CacheError(ReproError):
     """Raised when a run-cache key cannot be derived (unfingerprintable
     configuration object) — never for a routine miss."""
+
+
+class ServiceError(ReproError):
+    """Base class for sweep-service (job orchestration) errors."""
+
+
+class JobSpecError(ServiceError):
+    """Raised for an invalid or unparseable job specification."""
+
+
+class QueueFullError(ServiceError):
+    """Backpressure signal: the bounded job queue rejected a submission."""
+
+
+class JobFailedError(ServiceError):
+    """Raised to subscribers when the job they wait on failed."""

@@ -135,8 +135,11 @@ def reproduce_all(
         total = stats["hits"] + stats["misses"]
         log(
             f"  sweep cache: {stats['hits']}/{total} hits "
-            f"({stats['stores']} stored) in {run_cache.root}"
+            f"({stats['puts']} stored) in {run_cache.root}"
         )
+        # Fold this invocation into the store's cumulative counters so
+        # `erapid cache stats` reflects harness traffic too.
+        run_cache.flush_counters()
     sweeps_s = perf_counter() - start
 
     start = perf_counter()

@@ -27,8 +27,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
+import threading
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.core.config import ERapidConfig
 from repro.errors import CacheError
@@ -121,8 +123,22 @@ def run_cache_key(
 # ----------------------------------------------------------------------
 # Store
 # ----------------------------------------------------------------------
+#: Sidecar file holding cumulative hit/miss/put counters for the store.
+#: Lives alongside the entries but is never a valid entry name (keys are
+#: 64 hex chars), so entry iteration skips it structurally.
+_STATS_NAME = "_stats.json"
+
+
 class RunCache:
-    """On-disk run store with hit/miss/store counters.
+    """On-disk run store with hit/miss/put counters.
+
+    Counters are per-instance (this process's session) until
+    :meth:`flush_counters` merges them into the ``_stats.json`` sidecar in
+    the cache directory — the cumulative view ``erapid cache stats``
+    reports.  The merge is read-modify-write under an atomic replace, so a
+    racing flush from another process can drop increments but can never
+    corrupt the file; the counters are operational telemetry, not
+    correctness state.
 
     Parameters
     ----------
@@ -135,7 +151,8 @@ class RunCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
-        self.stores = 0
+        self.puts = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def key_for(
@@ -157,40 +174,138 @@ class RunCache:
             result = RunResult.from_dict(data["result"])
         except (OSError, ValueError, KeyError, TypeError):
             # Missing, corrupt or truncated entry: a miss, never an error.
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return result
 
     def put(self, key: str, result: RunResult) -> None:
-        """Store ``result`` under ``key`` (atomic tmp-file + rename)."""
+        """Store ``result`` under ``key``, crash- and race-safe.
+
+        The payload goes to a uniquely-named temp file in the cache
+        directory (``mkstemp`` — unique even across threads sharing a
+        PID), is flushed to disk, and is then ``os.replace``d into place.
+        A crash mid-write leaves only a stray ``*.tmp`` file, never a torn
+        entry; concurrent writers of the same key each publish a complete
+        entry and the last replace wins (all writers of one key carry
+        bit-identical payloads by construction).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         payload = json.dumps(
             {"cache_format": CACHE_FORMAT, "result": result.to_dict()},
             sort_keys=True,
         )
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(payload, encoding="utf-8")
-        os.replace(tmp, path)
-        self.stores += 1
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".put-{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            # Never leave the temp file behind on a failed publish.
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.puts += 1
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        """Entry files in the store (sidecar and temp files excluded)."""
+        if not self.root.is_dir():
+            return iter(())
+        return iter(
+            sorted(
+                f
+                for f in self.root.glob("*.json")
+                if len(f.stem) == 64 and f.name != _STATS_NAME
+            )
+        )
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def disk_bytes(self) -> int:
+        """Total on-disk size of all entries (sidecar excluded)."""
+        total = 0
+        for f in self.entries():
+            try:
+                total += f.stat().st_size
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+        return total
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
-        if not self.root.is_dir():
-            return 0
         removed = 0
-        for f in self.root.glob("*.json"):
+        for f in self.entries():
             f.unlink(missing_ok=True)
             removed += 1
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        """This instance's session counters (not the persistent totals)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    # ------------------------------------------------------------------
+    # Persistent counters
+    # ------------------------------------------------------------------
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / _STATS_NAME
+
+    def persistent_stats(self) -> Dict[str, int]:
+        """Cumulative counters from the ``_stats.json`` sidecar."""
+        try:
+            data = json.loads(self._stats_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            data = {}
+        return {
+            k: int(data.get(k, 0)) if isinstance(data.get(k, 0), int) else 0
+            for k in ("hits", "misses", "puts")
+        }
+
+    def flush_counters(self) -> Dict[str, int]:
+        """Merge session counters into the sidecar; returns the totals.
+
+        Session counters reset to zero after the merge so repeated flushes
+        never double-count.  The sidecar write is tmp-file + replace like
+        :meth:`put`.
+        """
+        with self._lock:
+            session = {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+            self.hits = self.misses = self.puts = 0
+        totals = self.persistent_stats()
+        for k, v in sorted(session.items()):
+            totals[k] += v
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".stats-", suffix=".tmp"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(totals, sort_keys=True))
+        os.replace(tmp_name, self._stats_path)
+        return totals
+
+    def reset_counters(self) -> None:
+        """Zero the session counters and delete the persistent sidecar."""
+        with self._lock:
+            self.hits = self.misses = self.puts = 0
+        self._stats_path.unlink(missing_ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<RunCache {self.root} hits={self.hits} misses={self.misses} "
-            f"stores={self.stores}>"
+            f"puts={self.puts}>"
         )

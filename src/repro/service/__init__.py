@@ -1,0 +1,68 @@
+"""Sweep service: async job orchestration over the run cache.
+
+This package turns the one-shot experiment harness
+(:func:`repro.experiments.sweep.run_sweep` + the content-addressed
+:class:`repro.perf.cache.RunCache`) into a long-running, many-client
+service — the "millions of users" path: most submissions answered from
+cache, identical in-flight work deduplicated onto one execution, the
+remainder scheduled onto a bounded process-pool worker shard.
+
+``repro.service.spec``
+    Typed job specifications (JSON wire format, SHA-256 job keys keyed on
+    the same ``KERNEL_VERSION`` discipline as the run cache).
+
+``repro.service.queue``
+    Bounded two-level priority queue: interactive jobs overtake queued
+    bulk sweeps; a full queue is an explicit
+    :class:`~repro.errors.QueueFullError` reject (backpressure).
+
+``repro.service.runner``
+    Executes one job: per-run cache dedup, process-pool fan-out, run
+    records.  Results are bit-identical to a direct ``run_sweep``.
+
+``repro.service.orchestrator``
+    :class:`SweepService` — non-blocking submission, in-flight dedup with
+    subscriber fan-in, a scheduler thread, streamed progress events.
+
+``repro.service.artifacts`` / ``repro.service.audit``
+    The persistent record: one manifest per completed job (spec, cache
+    keys, hit/miss per run, timings, fingerprint) and an append-only
+    JSONL audit log of every lifecycle transition.
+
+``repro.service.spool``
+    The dependency-free front end: a spool directory of JSON submissions
+    and mirrored status files, driven by ``erapid serve`` /
+    ``erapid submit`` / ``erapid jobs``.
+"""
+
+from repro.service.artifacts import ArtifactStore, default_artifact_root
+from repro.service.audit import AuditLog
+from repro.service.orchestrator import Job, JobHandle, SweepService
+from repro.service.queue import BoundedJobQueue
+from repro.service.runner import JobExecution, RunRecord, execute_job
+from repro.service.spec import JobSpec, PRIORITIES
+from repro.service.spool import (
+    SpoolServer,
+    list_statuses,
+    read_status,
+    submit_to_spool,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "AuditLog",
+    "BoundedJobQueue",
+    "Job",
+    "JobExecution",
+    "JobHandle",
+    "JobSpec",
+    "PRIORITIES",
+    "RunRecord",
+    "SpoolServer",
+    "SweepService",
+    "default_artifact_root",
+    "execute_job",
+    "list_statuses",
+    "read_status",
+    "submit_to_spool",
+]

@@ -1,0 +1,75 @@
+"""Bounded priority queue with explicit backpressure.
+
+The service's admission control lives here: the queue holds at most
+``depth`` jobs, and a push beyond that raises
+:class:`~repro.errors.QueueFullError` — an explicit reject the front end
+turns into a ``rejected`` status, never silent unbounded buffering.
+
+Ordering is ``(priority rank, arrival sequence)``: interactive jobs
+(rank 0) overtake queued bulk sweeps (rank 1), and jobs of equal rank
+run strictly FIFO.  The queue is thread-safe; ``pop`` blocks with an
+optional timeout and wakes immediately on :meth:`BoundedJobQueue.close`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from repro.errors import QueueFullError, ServiceError
+
+__all__ = ["BoundedJobQueue"]
+
+T = TypeVar("T")
+
+
+class BoundedJobQueue(Generic[T]):
+    """Thread-safe bounded two-level priority queue."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ServiceError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._heap: List[Tuple[int, int, T]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, priority: int, item: T) -> None:
+        """Enqueue ``item``; raises :class:`QueueFullError` at capacity."""
+        with self._cond:
+            if self._closed:
+                raise ServiceError("queue is closed")
+            if len(self._heap) >= self.depth:
+                raise QueueFullError(
+                    f"job queue full ({self.depth} pending); retry later"
+                )
+            heapq.heappush(self._heap, (priority, next(self._seq), item))
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Highest-priority item, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        drained — the scheduler loop treats both as "check for shutdown".
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._heap or self._closed, timeout=timeout
+            )
+            if not self._heap:
+                return None
+            _, _, item = heapq.heappop(self._heap)
+            return item
+
+    def close(self) -> None:
+        """Refuse new pushes and wake every blocked ``pop``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)

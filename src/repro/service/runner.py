@@ -1,0 +1,137 @@
+"""Single-job execution: cache dedup, worker-shard fan-out, run records.
+
+:func:`execute_job` is the service's unit of work.  It expands a
+:class:`~repro.service.spec.JobSpec` into run descriptions in the exact
+task order of :func:`repro.experiments.sweep.run_sweep`, answers every
+run it can from the content-addressed :class:`~repro.perf.cache.RunCache`,
+fans the remainder out to the bounded process-pool shard
+(:func:`repro.perf.executor.execute_tasks`), and stores every fresh
+result back.  Because the task list, seeding, and reassembly are
+identical to the direct sweep path, a job's results — and therefore its
+:func:`~repro.analysis.determinism.sweep_fingerprint` — are bit-identical
+to ``run_sweep`` on the same spec, at any ``jobs`` width and any cache
+hit pattern.
+
+Every run produces a :class:`RunRecord` (cache key + hit/miss) in
+deterministic spec order; the artifact manifest persists them so a past
+job is auditable run by run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, cast
+
+from repro.analysis.determinism import sweep_fingerprint
+from repro.metrics.collector import RunResult
+from repro.perf.cache import RunCache
+from repro.perf.executor import RunTask, execute_tasks
+from repro.service.spec import JobSpec
+
+__all__ = ["RunRecord", "JobExecution", "execute_job", "EventHook", "ExecuteFn"]
+
+#: ``on_event(kind, policy, load, result)`` with kind in
+#: {"run_cached", "run_done"} — invoked per run (deterministic spec order
+#: for cache hits, completion order for live runs).
+EventHook = Callable[[str, str, float, RunResult], None]
+
+#: Signature of :func:`repro.perf.executor.execute_tasks` — injectable so
+#: tests can gate/instrument execution without touching the real pool.
+ExecuteFn = Callable[..., List[RunResult]]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's cache outcome inside a job."""
+
+    policy: str
+    load: float
+    cache_key: Optional[str]
+    hit: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "load": self.load,
+            "cache_key": self.cache_key,
+            "hit": self.hit,
+        }
+
+
+@dataclass(frozen=True)
+class JobExecution:
+    """Outcome of one executed job."""
+
+    results: Dict[str, List[RunResult]]
+    records: List[RunRecord]
+    hits: int
+    executed: int
+    fingerprint: str
+    execute_seconds: float
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+
+def execute_job(
+    spec: JobSpec,
+    cache: Optional[RunCache],
+    jobs: int = 1,
+    execute: Optional[ExecuteFn] = None,
+    on_event: Optional[EventHook] = None,
+) -> JobExecution:
+    """Execute one job: cache lookups, pool fan-out, result storage."""
+    run_execute = execute_tasks if execute is None else execute
+    plan = spec.plan()
+    descriptions = spec.run_descriptions()
+    results: Dict[str, List[Optional[RunResult]]] = {
+        p: [None] * len(spec.loads) for p in spec.policies
+    }
+    records: List[Optional[RunRecord]] = [None] * len(descriptions)
+    tasks: List[RunTask] = []
+    #: Parallel to ``tasks``: (description index, policy, load slot, key).
+    meta: List[tuple] = []
+    start = time.perf_counter()
+
+    load_index = {load: li for li, load in enumerate(spec.loads)}
+    for di, desc in enumerate(descriptions):
+        key: Optional[str] = None
+        hit: Optional[RunResult] = None
+        if cache is not None:
+            key = cache.key_for(desc.config, desc.workload, plan)
+            hit = cache.get(key)
+        if hit is not None:
+            records[di] = RunRecord(desc.policy, desc.load, key, hit=True)
+            results[desc.policy][load_index[desc.load]] = hit
+            if on_event is not None:
+                on_event("run_cached", desc.policy, desc.load, hit)
+            continue
+        records[di] = RunRecord(desc.policy, desc.load, key, hit=False)
+        tasks.append(RunTask(desc.config, desc.workload, plan))
+        meta.append((di, desc.policy, load_index[desc.load], key))
+
+    def on_result(index: int, result: RunResult) -> None:
+        _, policy, li, key = meta[index]
+        results[policy][li] = result
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        if on_event is not None:
+            on_event("run_done", policy, spec.loads[li], result)
+
+    run_execute(tasks, jobs=jobs, on_result=on_result)
+    if cache is not None:
+        cache.flush_counters()
+
+    full = {p: cast(List[RunResult], list(rs)) for p, rs in results.items()}
+    done_records = cast(List[RunRecord], records)
+    hits = sum(1 for r in done_records if r.hit)
+    return JobExecution(
+        results=full,
+        records=done_records,
+        hits=hits,
+        executed=len(tasks),
+        fingerprint=sweep_fingerprint(full),
+        execute_seconds=time.perf_counter() - start,
+    )

@@ -57,6 +57,26 @@ def test_upward_import_is_a_violation():
     assert [v.kind for v in violations] == ["layer"]
 
 
+def test_service_layer_is_declared_and_bounded():
+    # The sweep service rides on the perf harness, the config layer and
+    # the analysis fingerprint ...
+    assert "service" in LAYER_DAG
+    clean = [
+        edge("repro.service.runner", "repro.perf.executor"),
+        edge("repro.service.runner", "repro.perf.cache"),
+        edge("repro.service.runner", "repro.analysis.determinism"),
+        edge("repro.service.spec", "repro.core.config"),
+    ]
+    assert check_layering(clean) == []
+    # ... but is not a wildcard layer: importing the one-shot experiment
+    # harness from the service is a violation.
+    violations = check_layering(
+        [edge("repro.service.orchestrator", "repro.experiments.sweep")]
+    )
+    assert [v.kind for v in violations] == ["layer"]
+    assert "experiments" in violations[0].message
+
+
 def test_legacy_import_outside_perf_is_forbidden():
     violations = check_layering(
         [edge("repro.core.engine", "repro.perf.legacy_engine")]

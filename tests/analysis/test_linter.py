@@ -291,6 +291,19 @@ def test_sim009_cli_and_benchmarks_are_exempt():
     assert lint_source(snippet, module="repro.experiments.sweep") == []
 
 
+def test_sim009_service_layer_is_exempt():
+    # A long-running server legitimately reads the host environment
+    # (spool paths, artifact dirs) and the wall clock (audit stamps);
+    # determinism lives below it, in the runs it schedules.
+    snippet = (
+        "import os, time\n\n"
+        "def f():\n"
+        "    return os.environ.get('ERAPID_ARTIFACT_DIR'), time.time()\n"
+    )
+    assert lint_source(snippet, module="repro.service.artifacts") == []
+    assert lint_source(snippet, module="repro.service.audit") == []
+
+
 def test_sim010_zero_delay_fixture():
     findings = lint_fixture("bad_sim010_zero_delay.py")
     assert codes_and_lines(findings) == [

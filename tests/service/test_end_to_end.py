@@ -1,0 +1,82 @@
+"""Acceptance: the service is bit-identical to a direct ``run_sweep``.
+
+A 16-run sweep (4 policies x 4 loads) submitted twice must execute 16
+runs the first time and 0 the second (manifest records 16/16 cache hits),
+and both jobs' ``sweep_fingerprint`` must equal the fingerprint of a
+direct serial :func:`repro.experiments.sweep.run_sweep` on the same
+parameters — the service adds orchestration, never drift.
+"""
+
+from repro.analysis.determinism import sweep_fingerprint
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.metrics.collector import MeasurementPlan
+from repro.perf.cache import RunCache
+from repro.service.artifacts import ArtifactStore
+from repro.service.orchestrator import SweepService
+from repro.service.spec import JobSpec
+
+LOADS = (0.1, 0.2, 0.3, 0.4)
+POLICIES = ("NP-NB", "P-NB", "NP-B", "P-B")
+PLAN = dict(warmup=200.0, measure=600.0, drain_limit=1500.0)
+
+
+def test_sweep_twice_through_service_matches_direct_run_sweep(tmp_path):
+    spec = JobSpec(
+        loads=LOADS,
+        policies=POLICIES,
+        boards=2,
+        nodes_per_board=4,
+        seed=1,
+        **PLAN,
+    )
+    assert spec.total_runs == 16
+
+    cache = RunCache(tmp_path / "cache")
+    store = ArtifactStore(tmp_path / "store")
+    service = SweepService(cache, store).start()
+    try:
+        first = service.submit(spec)
+        first_exec = first.wait(timeout=600)
+        second = service.submit(
+            JobSpec(
+                loads=LOADS,
+                policies=POLICIES,
+                boards=2,
+                nodes_per_board=4,
+                seed=1,
+                **PLAN,
+            )
+        )
+        second_exec = second.wait(timeout=600)
+    finally:
+        service.stop()
+
+    # First pass executed everything; second was answered from disk.
+    assert (first_exec.executed, first_exec.hits) == (16, 0)
+    assert (second_exec.executed, second_exec.hits) == (0, 16)
+    manifest = store.read_manifest(second.job_id)
+    assert manifest["counts"] == {
+        "total": 16, "hits": 16, "misses": 0, "executed": 0,
+    }
+    assert all(r["hit"] for r in manifest["runs"])
+
+    # Bit-identity against the direct serial sweep path.
+    direct = run_sweep(
+        SweepSpec(
+            pattern="uniform",
+            loads=LOADS,
+            policies=POLICIES,
+            boards=2,
+            nodes_per_board=4,
+            seed=1,
+            plan=MeasurementPlan(**PLAN),
+        ),
+        jobs=1,
+    )
+    expected = sweep_fingerprint(direct)
+    assert first_exec.fingerprint == expected
+    assert second_exec.fingerprint == expected
+    for policy in direct:
+        assert [r.to_dict() for r in direct[policy]] == [
+            r.to_dict() for r in first_exec.results[policy]
+        ]

@@ -1,0 +1,67 @@
+"""BoundedJobQueue: priority order, FIFO ties, backpressure, close."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueueFullError, ServiceError
+from repro.service.queue import BoundedJobQueue
+
+
+def test_interactive_overtakes_queued_bulk():
+    q = BoundedJobQueue(8)
+    q.push(1, "bulk-1")
+    q.push(1, "bulk-2")
+    q.push(0, "interactive-1")
+    assert q.pop(timeout=0) == "interactive-1"
+    assert q.pop(timeout=0) == "bulk-1"
+    assert q.pop(timeout=0) == "bulk-2"
+
+
+def test_equal_rank_is_fifo():
+    q = BoundedJobQueue(8)
+    for name in ("a", "b", "c"):
+        q.push(1, name)
+    assert [q.pop(timeout=0) for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_push_beyond_depth_is_an_explicit_reject():
+    q = BoundedJobQueue(2)
+    q.push(1, "a")
+    q.push(1, "b")
+    with pytest.raises(QueueFullError, match="retry later"):
+        q.push(0, "c")
+    # The reject did not disturb the queued work.
+    assert len(q) == 2
+    assert q.pop(timeout=0) == "a"
+
+
+def test_pop_timeout_returns_none():
+    q = BoundedJobQueue(2)
+    assert q.pop(timeout=0.01) is None
+
+
+def test_close_wakes_blocked_pop_and_refuses_pushes():
+    q = BoundedJobQueue(2)
+    got = []
+    t = threading.Thread(target=lambda: got.append(q.pop(timeout=5)))
+    t.start()
+    q.close()
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert got == [None]
+    with pytest.raises(ServiceError, match="closed"):
+        q.push(0, "late")
+
+
+def test_close_drains_remaining_items():
+    q = BoundedJobQueue(4)
+    q.push(1, "pending")
+    q.close()
+    assert q.pop(timeout=0) == "pending"
+    assert q.pop(timeout=0) is None
+
+
+def test_depth_must_be_positive():
+    with pytest.raises(ServiceError):
+        BoundedJobQueue(0)

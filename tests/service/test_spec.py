@@ -1,0 +1,134 @@
+"""JobSpec: validation, wire round-trip, and key semantics.
+
+The job key is the service's dedup identity, so its sensitivity matters
+both ways: every work-defining field must move the key, and priority —
+deliberately excluded — must not.
+"""
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.service.spec import PRIORITIES, JobSpec
+
+
+def test_defaults_build_a_figure5_sweep():
+    spec = JobSpec()
+    assert spec.kind == "sweep"
+    assert spec.total_runs == 20  # 5 loads x 4 policies
+    assert spec.priority == "bulk"
+
+
+def test_run_kind_defaults_to_interactive_priority():
+    spec = JobSpec(kind="run", loads=(0.5,), policies=("P-B",))
+    assert spec.priority == "interactive"
+    assert spec.total_runs == 1
+
+
+def test_run_kind_requires_exactly_one_load_and_policy():
+    with pytest.raises(JobSpecError):
+        JobSpec(kind="run", loads=(0.2, 0.4), policies=("P-B",))
+    with pytest.raises(JobSpecError):
+        JobSpec(kind="run", loads=(0.5,), policies=("P-B", "NP-B"))
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(kind="mystery"),
+        dict(pattern="nope"),
+        dict(loads=()),
+        dict(policies=()),
+        dict(policies=("P-B", "bogus")),
+        dict(loads=(0.0,)),
+        dict(loads=(1.5,)),
+        dict(loads=(0.2, 0.2)),
+        dict(policies=("P-B", "P-B")),
+        dict(priority="urgent"),
+        dict(warmup=-1.0),
+    ],
+)
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(JobSpecError):
+        JobSpec(**bad)
+
+
+def test_round_trip_preserves_identity():
+    spec = JobSpec(
+        pattern="complement",
+        loads=(0.2, 0.6),
+        policies=("NP-NB", "P-B"),
+        boards=4,
+        nodes_per_board=4,
+        seed=7,
+        priority="interactive",
+    )
+    again = JobSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.job_key() == spec.job_key()
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = JobSpec().to_dict()
+    data["gpu"] = True
+    with pytest.raises(JobSpecError, match="unknown job spec fields"):
+        JobSpec.from_dict(data)
+
+
+def test_from_dict_rejects_non_mapping_and_bad_sequences():
+    with pytest.raises(JobSpecError):
+        JobSpec.from_dict([1, 2, 3])
+    with pytest.raises(JobSpecError):
+        JobSpec.from_dict({"loads": 0.5})
+
+
+def test_key_moves_with_every_work_field():
+    base = JobSpec()
+    variants = [
+        JobSpec(pattern="complement"),
+        JobSpec(loads=(0.1, 0.3, 0.5, 0.7)),
+        JobSpec(policies=("NP-NB", "P-NB", "NP-B")),
+        JobSpec(boards=4),
+        JobSpec(nodes_per_board=4),
+        JobSpec(seed=2),
+        JobSpec(warmup=4000.0),
+        JobSpec(measure=6000.0),
+        JobSpec(drain_limit=30000.0),
+    ]
+    keys = {base.job_key()} | {v.job_key() for v in variants}
+    assert len(keys) == len(variants) + 1  # all distinct
+
+
+def test_priority_does_not_move_the_key():
+    assert (
+        JobSpec(priority="interactive").job_key()
+        == JobSpec(priority="bulk").job_key()
+    )
+
+
+def test_key_includes_kernel_version():
+    from repro.sim.kernel import KERNEL_VERSION
+
+    payload = JobSpec().work_payload()
+    assert payload["kernel_version"] == KERNEL_VERSION
+
+
+def test_run_descriptions_are_policy_major_load_ordered():
+    spec = JobSpec(loads=(0.2, 0.4), policies=("NP-NB", "P-B"))
+    descs = spec.run_descriptions()
+    assert [(d.policy, d.load) for d in descs] == [
+        ("NP-NB", 0.2),
+        ("NP-NB", 0.4),
+        ("P-B", 0.2),
+        ("P-B", 0.4),
+    ]
+    for d in descs:
+        assert d.workload.pattern == spec.pattern
+        assert d.workload.seed == spec.seed
+        assert d.config.topology.boards == spec.boards
+
+
+def test_priority_rank_matches_registry():
+    assert JobSpec(priority="interactive").priority_rank() == PRIORITIES[
+        "interactive"
+    ]
+    assert JobSpec(priority="bulk").priority_rank() == PRIORITIES["bulk"]

@@ -1,0 +1,151 @@
+"""Spool front end: atomic submissions, status mirroring, bad input."""
+
+import json
+
+from repro.metrics.collector import RunResult
+from repro.perf.cache import RunCache
+from repro.service.artifacts import ArtifactStore
+from repro.service.orchestrator import SweepService
+from repro.service.spec import JobSpec
+from repro.service.spool import (
+    SpoolServer,
+    list_statuses,
+    read_status,
+    status_path,
+    submit_to_spool,
+)
+
+
+def fake_execute(tasks, jobs=1, on_result=None):
+    results = []
+    for i, t in enumerate(tasks):
+        load = t.workload.load
+        r = RunResult(
+            throughput=load * 0.9,
+            offered=load,
+            avg_latency=10.0,
+            p99_latency=20.0,
+            max_latency=30.0,
+            power_mw=1000.0 * load,
+        )
+        results.append(r)
+        if on_result is not None:
+            on_result(i, r)
+    return results
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        loads=(0.2, 0.4),
+        policies=("NP-NB", "P-B"),
+        boards=2,
+        nodes_per_board=4,
+        warmup=200.0,
+        measure=600.0,
+        drain_limit=1500.0,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+def make_server(tmp_path, **service_kwargs):
+    service = SweepService(
+        RunCache(tmp_path / "cache"),
+        ArtifactStore(tmp_path / "store"),
+        execute=fake_execute,
+        **service_kwargs,
+    ).start()
+    return SpoolServer(tmp_path / "spool", service), service
+
+
+def test_submit_serve_status_round_trip(tmp_path):
+    server, service = make_server(tmp_path)
+    try:
+        spec = tiny_spec()
+        key = submit_to_spool(tmp_path / "spool", spec)
+        assert key == spec.job_key()
+        server.serve_once(timeout=60)
+
+        status = read_status(tmp_path / "spool", key)
+        assert status is not None
+        assert status["state"] == "completed"
+        assert status["counts"] == {"total": 4, "hits": 0, "executed": 4}
+        assert status["runs_done"] == 4
+        # The incoming spec file was consumed.
+        assert not list((server.spool / "incoming").glob("*.json"))
+        assert [s["job_key"] for s in list_statuses(tmp_path / "spool")] == [
+            key
+        ]
+    finally:
+        service.stop()
+
+
+def test_second_serve_is_all_cache_hits(tmp_path):
+    server, service = make_server(tmp_path)
+    try:
+        key = submit_to_spool(tmp_path / "spool", tiny_spec())
+        server.serve_once(timeout=60)
+        first = read_status(tmp_path / "spool", key)
+
+        submit_to_spool(tmp_path / "spool", tiny_spec())
+        server.serve_once(timeout=60)
+        second = read_status(tmp_path / "spool", key)
+
+        assert second["counts"] == {"total": 4, "hits": 4, "executed": 0}
+        assert second["sweep_fingerprint"] == first["sweep_fingerprint"]
+        assert second["job_id"] != first["job_id"]
+    finally:
+        service.stop()
+
+
+def test_invalid_submission_becomes_invalid_status(tmp_path):
+    server, service = make_server(tmp_path)
+    try:
+        bad = server.spool / "incoming" / "bad.json"
+        bad.write_text(json.dumps({"kind": "mystery"}), encoding="utf-8")
+        assert server.scan_once() == 1
+        status = read_status(tmp_path / "spool", "bad")
+        assert status["state"] == "invalid"
+        assert "mystery" in status["error"]
+        assert not bad.exists()
+    finally:
+        service.stop()
+
+
+def test_unparseable_submission_becomes_invalid_status(tmp_path):
+    server, service = make_server(tmp_path)
+    try:
+        bad = server.spool / "incoming" / "torn.json"
+        bad.write_text('{"kind": "swe', encoding="utf-8")
+        server.scan_once()
+        assert read_status(tmp_path / "spool", "torn")["state"] == "invalid"
+    finally:
+        service.stop()
+
+
+def test_status_filename_is_the_job_key(tmp_path):
+    spec = tiny_spec()
+    path = status_path(tmp_path / "spool", spec.job_key())
+    assert path.name == f"{spec.job_key()}.json"
+    assert read_status(tmp_path / "spool", spec.job_key()) is None
+
+
+def test_inflight_duplicates_in_spool_dedupe(tmp_path):
+    server, service = make_server(tmp_path)
+    try:
+        submit_to_spool(tmp_path / "spool", tiny_spec())
+        submit_to_spool(tmp_path / "spool", tiny_spec())
+        submit_to_spool(tmp_path / "spool", tiny_spec())
+        server.serve_once(timeout=60)
+        statuses = list_statuses(tmp_path / "spool")
+        assert len(statuses) == 1
+        assert statuses[0]["state"] == "completed"
+        actions = [r["action"] for r in service.audit.read_all()]
+        # Whether the duplicates attach in-flight or hit the cache as
+        # fresh jobs depends on scan/execute interleaving, but work must
+        # never run twice: the pool executed exactly 4 tasks total.
+        assert actions.count("submitted") + actions.count("deduped") == 3
+        stats = service.cache.persistent_stats()
+        assert stats["puts"] == 4
+    finally:
+        service.stop()

@@ -95,7 +95,7 @@ def test_miss_then_hit_round_trips_exactly(tmp_path, run_desc):
     got = cache.get(key)
     assert got is not None
     assert got.to_dict() == result.to_dict()
-    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+    assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
 
 
 def test_corrupt_entry_is_a_miss(tmp_path, run_desc):
@@ -124,6 +124,102 @@ def test_entry_file_is_json_with_format_tag(tmp_path, run_desc):
 
 
 # ----------------------------------------------------------------------
+# Crash-safe concurrent writes
+# ----------------------------------------------------------------------
+def test_concurrent_writers_never_publish_a_torn_entry(tmp_path, run_desc):
+    """Many threads putting the same key while readers poll: every read is
+    either a miss (before first publish) or the complete entry — never a
+    parse error surfacing as an exception, never a partial payload."""
+    import threading
+
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    result = fake_result()
+    expected = result.to_dict()
+    stop = threading.Event()
+    torn = []
+
+    def writer():
+        for _ in range(50):
+            cache.put(key, result)
+
+    def reader():
+        while not stop.is_set():
+            got = cache.get(key)
+            if got is not None and got.to_dict() != expected:
+                torn.append(got)
+
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    writers = [threading.Thread(target=writer) for _ in range(4)]
+    for t in readers + writers:
+        t.start()
+    for t in writers:
+        t.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert torn == []
+    # No stray temp files survive a clean run, and the entry is intact.
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert cache.get(key).to_dict() == expected
+    assert cache.stats()["puts"] == 200
+
+
+def test_put_failure_leaves_no_temp_file(tmp_path, run_desc, monkeypatch):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    import os as os_mod
+
+    def boom(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.perf.cache.os.replace", boom)
+    with pytest.raises(OSError):
+        cache.put(key, fake_result())
+    monkeypatch.undo()
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert cache.get(key) is None  # nothing was published
+
+
+# ----------------------------------------------------------------------
+# Counters and introspection
+# ----------------------------------------------------------------------
+def test_persistent_counters_accumulate_across_instances(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    cache.get(key)  # miss
+    cache.put(key, fake_result())
+    cache.get(key)  # hit
+    totals = cache.flush_counters()
+    assert totals == {"hits": 1, "misses": 1, "puts": 1}
+    # Session counters reset: a second flush adds nothing.
+    assert cache.flush_counters() == totals
+    # A fresh instance sees the persisted totals and merges its own.
+    other = RunCache(tmp_path)
+    other.get(key)  # hit
+    assert other.flush_counters() == {"hits": 2, "misses": 1, "puts": 1}
+    assert other.persistent_stats() == {"hits": 2, "misses": 1, "puts": 1}
+
+
+def test_entries_and_size_exclude_stats_sidecar(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(*run_desc)
+    cache.put(key, fake_result())
+    cache.flush_counters()
+    assert (tmp_path / "_stats.json").exists()
+    assert cache.entry_count() == 1
+    assert [p.stem for p in cache.entries()] == [key]
+    assert cache.disk_bytes() == (tmp_path / f"{key}.json").stat().st_size
+    # clear() removes entries but leaves the counters sidecar.
+    assert cache.clear() == 1
+    assert (tmp_path / "_stats.json").exists()
+    assert cache.persistent_stats()["puts"] == 1
+    cache.reset_counters()
+    assert not (tmp_path / "_stats.json").exists()
+    assert cache.persistent_stats() == {"hits": 0, "misses": 0, "puts": 0}
+
+
+# ----------------------------------------------------------------------
 # Sweep integration
 # ----------------------------------------------------------------------
 def test_cached_sweep_is_bit_identical(tmp_path):
@@ -138,7 +234,7 @@ def test_cached_sweep_is_bit_identical(tmp_path):
     )
     cache = RunCache(tmp_path)
     first = run_sweep(spec, cache=cache)
-    assert cache.stats()["stores"] == 4
+    assert cache.stats()["puts"] == 4
     second = run_sweep(spec, cache=cache)
     assert cache.stats()["hits"] == 4
     assert sweep_fingerprint(first) == sweep_fingerprint(second)
