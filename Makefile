@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint layering frozen determinism typecheck baseline bench bench-detailed
+.PHONY: check test lint layering frozen determinism typecheck baseline bench bench-detailed bench-batch
 
 # The single correctness gate: tier-1 tests, the simulation-invariant
 # linter (ratcheted against analysis-baseline.json), the import-layering
@@ -50,3 +50,11 @@ bench:
 # mismatch).  Rewrites BENCH_detailed.json at the repo root.
 bench-detailed:
 	$(PYTHON) -m repro.perf bench --only detailed
+
+# Just the batch-engine benchmark: vectorized struct-of-arrays sweep vs
+# the scalar process pool on the paper's 144-point grid, gated on the
+# statistical-equivalence tolerances, the permutation-subset bit-identity
+# fingerprint, and the >=5x speedup bar (non-zero exit on any failure).
+# Rewrites BENCH_batch.json at the repo root.
+bench-batch:
+	$(PYTHON) -m repro.perf bench --only batch

@@ -1,0 +1,51 @@
+"""Bench: batch-engine runs/sec vs the scalar process-pool sweep.
+
+Wall-time numbers are informational in quick mode (the ≥5x bar applies
+only to the full 144-point grid in CI's bench-smoke job); what is
+asserted hard at every size is the fidelity contract that makes the
+batch tier shippable: the statistical-equivalence harness passes its
+declared tolerances, and the stream-identical permutation subset is
+bit-identical to the scalar engine.
+"""
+
+import json
+
+from repro.perf.bench import bench_batch, write_report
+
+
+def test_bench_batch_smoke(results_dir):
+    report = bench_batch(quick=True, jobs=2)
+
+    assert report["benchmark"] == "batch"
+    assert report["quick"] is True
+    assert report["runs"] > 0
+    assert 0 < report["covered_runs"] <= report["runs"]
+    assert report["batch_kernel_version"] >= 1
+
+    equiv = report["equivalence"]
+    assert equiv["ok"], equiv["failures"]
+    assert equiv["total"] == report["runs"]
+
+    bit = report["bit_identity"]
+    assert bit["matches"], bit
+    assert bit["runs"] > 0
+    assert bit["scalar_fingerprint"] == bit["batch_fingerprint"]
+
+    assert report["batch_seconds"] > 0
+    assert report["scalar_seconds"] > 0
+    assert report["speedup"] > 0
+
+    path = results_dir / "bench_batch_quick.json"
+    write_report(report, path)
+    print(
+        "batch quick ({} runs, {} batch-covered): batch {:.1f} runs/s vs "
+        "scalar jobs=2 {:.1f} runs/s ({:.2f}x) [saved to {}]".format(
+            report["runs"],
+            report["covered_runs"],
+            report["batch_runs_per_sec"],
+            report["scalar_runs_per_sec"],
+            report["speedup"],
+            path,
+        )
+    )
+    assert json.loads(path.read_text())["benchmark"] == "batch"

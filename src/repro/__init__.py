@@ -17,55 +17,62 @@ Quickstart::
     system = ERapidSystem.build(boards=8, nodes_per_board=8, policy="P-B")
     result = system.run(WorkloadSpec(pattern="complement", load=0.5))
     print(result.summary())
+
+The package namespace is lazy (PEP 562): ``import repro`` touches no
+submodule — and in particular stays numpy-free — until an attribute is
+actually used.  This keeps CLI startup and scalar-only embedders from
+paying for the vectorized batch tier's numpy import.
 """
 
-from repro.core import (
-    ERapidConfig,
-    ERapidSystem,
-    FastEngine,
-    NP_B,
-    NP_NB,
-    P_B,
-    P_NB,
-    POLICIES,
-    ReconfigPolicy,
-    Thresholds,
-    make_policy,
-)
-from repro.core.detailed import DetailedEngine
-from repro.metrics import MeasurementPlan, RunResult
-from repro.network.topology import ERapidTopology
-from repro.optics import StaticRWA, SuperHighway
-from repro.power import PowerLevel, PowerLevelTable, TABLE1_LEVELS
-from repro.sim import Simulator
-from repro.traffic import CapacityModel, WorkloadSpec, make_pattern
+from importlib import import_module
+from typing import Any, List
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "CapacityModel",
-    "DetailedEngine",
-    "ERapidConfig",
-    "ERapidSystem",
-    "ERapidTopology",
-    "FastEngine",
-    "MeasurementPlan",
-    "NP_B",
-    "NP_NB",
-    "P_B",
-    "P_NB",
-    "POLICIES",
-    "PowerLevel",
-    "PowerLevelTable",
-    "ReconfigPolicy",
-    "RunResult",
-    "Simulator",
-    "StaticRWA",
-    "SuperHighway",
-    "TABLE1_LEVELS",
-    "Thresholds",
-    "WorkloadSpec",
-    "__version__",
-    "make_pattern",
-    "make_policy",
-]
+#: Public attribute -> submodule that defines it.  Resolution happens on
+#: first access via :func:`__getattr__` below.
+_EXPORTS = {
+    "CapacityModel": "repro.traffic",
+    "DetailedEngine": "repro.core.detailed",
+    "ERapidConfig": "repro.core",
+    "ERapidSystem": "repro.core",
+    "ERapidTopology": "repro.network.topology",
+    "FastEngine": "repro.core",
+    "MeasurementPlan": "repro.metrics",
+    "NP_B": "repro.core",
+    "NP_NB": "repro.core",
+    "P_B": "repro.core",
+    "P_NB": "repro.core",
+    "POLICIES": "repro.core",
+    "PowerLevel": "repro.power",
+    "PowerLevelTable": "repro.power",
+    "ReconfigPolicy": "repro.core",
+    "RunResult": "repro.metrics",
+    "Simulator": "repro.sim",
+    "StaticRWA": "repro.optics",
+    "SuperHighway": "repro.optics",
+    "TABLE1_LEVELS": "repro.power",
+    "Thresholds": "repro.core",
+    "WorkloadSpec": "repro.traffic",
+    "make_pattern": "repro.traffic",
+    "make_policy": "repro.core",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module_name), name)
+    # Cache on the package so later accesses skip this hook.
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

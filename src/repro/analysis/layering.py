@@ -14,6 +14,10 @@ with :mod:`ast` (the code under analysis is never imported):
 * :data:`LAYER_DAG` declares, per package, the set of packages it may
   import.  ``"*"`` marks the harness layers (``perf``, ``experiments``,
   ``cli``) that may import anything.
+* :data:`MODULE_LAYERS` declares *tighter* module-scoped budgets that
+  override the containing package's entry — e.g. ``repro.core.batch``
+  may not import the network substrate or power package even though
+  ``core`` as a whole may (the vectorized model is analytic by design).
 * :data:`EDGE_ALLOWLIST` holds the few deliberate module-level exceptions
   (today: one type-only edge), each carrying a rationale.
 * Any import of a ``repro.perf.legacy*`` module from outside
@@ -33,6 +37,7 @@ from repro.analysis.linter import module_name_for_path
 
 __all__ = [
     "LAYER_DAG",
+    "MODULE_LAYERS",
     "EDGE_ALLOWLIST",
     "ImportEdge",
     "LayerViolation",
@@ -97,6 +102,23 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "__main__": frozenset({ANY}),
 }
 
+#: Module-scoped import budgets *tighter* than the containing package's
+#: DAG entry.  A module listed here is checked against its own set (plus
+#: :data:`EDGE_ALLOWLIST`) instead of the package entry; its own package
+#: must be listed explicitly if same-package imports are allowed.
+#:
+#: * ``repro.core.batch`` — the vectorized struct-of-arrays sweep tier.
+#:   It models power analytically and advances state on its own cycle
+#:   grid, so it must never import the event-driven network substrate
+#:   (``repro.network``) or the stateful power package (``repro.power``);
+#:   growing such an import would mean the "vectorized" engine quietly
+#:   re-entered scalar simulation territory.
+MODULE_LAYERS: Dict[str, FrozenSet[str]] = {
+    "repro.core.batch": frozenset(
+        {"core", "errors", "metrics", "optics", "sim", "traffic"}
+    ),
+}
+
 #: Deliberate module-level exceptions to the package DAG, as
 #: ``(importer module, imported module)`` pairs.  Keep this list short and
 #: every entry justified:
@@ -132,7 +154,7 @@ class LayerViolation:
     line: int
     src_module: str
     dst_module: str
-    kind: str  # "layer" | "legacy" | "undeclared"
+    kind: str  # "layer" | "legacy" | "undeclared" | "module"
     message: str
 
     def format(self) -> str:
@@ -234,10 +256,12 @@ def check_layering(
     edges: Iterable[ImportEdge],
     dag: Optional[Mapping[str, FrozenSet[str]]] = None,
     allowlist: Optional[FrozenSet[Tuple[str, str]]] = None,
+    module_layers: Optional[Mapping[str, FrozenSet[str]]] = None,
 ) -> List[LayerViolation]:
     """Evaluate ``edges`` against the declared DAG and the legacy rule."""
     the_dag = LAYER_DAG if dag is None else dag
     the_allowlist = EDGE_ALLOWLIST if allowlist is None else allowlist
+    the_module_layers = MODULE_LAYERS if module_layers is None else module_layers
     violations: List[LayerViolation] = []
     for edge in edges:
         src_pkg = package_of(edge.src_module)
@@ -257,6 +281,28 @@ def check_layering(
                         f"`{edge.src_module}` imports frozen oracle "
                         f"`{edge.dst_module}`; only repro.perf and tests/ "
                         "may touch legacy_* modules"
+                    ),
+                )
+            )
+            continue
+        module_allowed = the_module_layers.get(edge.src_module)
+        if module_allowed is not None:
+            if (
+                dst_pkg in module_allowed
+                or (edge.src_module, edge.dst_module) in the_allowlist
+            ):
+                continue
+            violations.append(
+                LayerViolation(
+                    path=edge.path,
+                    line=edge.line,
+                    src_module=edge.src_module,
+                    dst_module=edge.dst_module,
+                    kind="module",
+                    message=(
+                        f"`{edge.src_module}` has a module-scoped budget and "
+                        f"may not import `{edge.dst_module}` ({dst_pkg}); "
+                        f"allowed layers: {sorted(module_allowed) or 'none'}"
                     ),
                 )
             )
@@ -315,6 +361,12 @@ def format_dag() -> str:
             ", ".join(sorted(allowed)) or "nothing"
         )
         lines.append(f"  {pkg:<12} -> {target}")
+    for module in sorted(MODULE_LAYERS):
+        allowed = MODULE_LAYERS[module]
+        lines.append(
+            f"  {module} (module-scoped) -> "
+            f"{', '.join(sorted(allowed)) or 'nothing'}"
+        )
     lines.append(
         "  legacy rule: only repro.perf and tests/ may import "
         "repro.perf.legacy* (frozen oracles)"

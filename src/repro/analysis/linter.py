@@ -29,7 +29,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.rules import RULES, SLOTTED_CLASS_PREFIXES, Rule, rule_for
+from repro.analysis.rules import (
+    RULES,
+    SLOTTED_CLASS_PREFIXES,
+    VECTOR_ENGINE_PREFIXES,
+    Rule,
+    rule_for,
+)
 
 __all__ = ["Finding", "lint_source", "lint_paths", "module_name_for_path"]
 
@@ -135,6 +141,31 @@ _RNG_MACHINERY = _ALLOWED_NP_RANDOM
 
 _KERNEL_NAMES = frozenset({"sim", "simulator", "kernel"})
 
+#: Receiver names that read as an RNG stream (SIM008's vectorized-draw
+#: check): `rng.geometric(p, size=n)` etc.  Matched on the terminal
+#: variable/attribute name, so `self._rng` and `gap_rng` both qualify.
+_RNG_RECEIVER = re.compile(r"(^(rng|gen|generator|stream|rand|random)$)|(_(rng|gen|stream)$)")
+
+#: ``numpy.random.Generator`` distribution methods whose bulk (`size=`)
+#: form must route through repro.sim.rng's chunk-consistent helpers when
+#: called from engine-scope code.
+_DIST_METHODS = frozenset(
+    {
+        "integers",
+        "random",
+        "choice",
+        "geometric",
+        "exponential",
+        "poisson",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "permutation",
+        "shuffle",
+    }
+)
+
 _MODULE_MARKER = re.compile(r"#\s*sim-lint:\s*module=([\w.]+)")
 _IGNORE_MARKER = re.compile(r"#\s*sim-lint:\s*ignore(?:\[([\w,\s]+)\])?")
 
@@ -213,6 +244,13 @@ class _Visitor(ast.NodeVisitor):
         #: Enclosing function stack: (node, is_generator, assigned_names).
         self._funcs: List[Tuple[ast.AST, bool, FrozenSet[str]]] = []
         self._active = {r.code: r.applies_to(module) for r in RULES}
+        #: SIM008's vectorized-draw check only fires in the engine scope
+        #: (plus the batch slab orchestrator) — harness code may draw
+        #: arrays, engine code must use repro.sim.rng's helpers.
+        self._vector_scope = module is not None and any(
+            module == p or module.startswith(p + ".")
+            for p in VECTOR_ENGINE_PREFIXES
+        )
         #: Plain (non-dataclass) classes here must carry __slots__ (SIM006).
         self._slotted_classes = module is not None and any(
             module == p or module.startswith(p + ".")
@@ -392,9 +430,33 @@ class _Visitor(ast.NodeVisitor):
                 "bare `Random()` construction outside repro.sim.rng; route "
                 "draws through RngRegistry.stream(...)",
             )
+        self._check_vectorized_draw(node)
         self._check_zero_delay_schedule(node)
         self._check_kernel_reentry(node)
         self.generic_visit(node)
+
+    def _check_vectorized_draw(self, node: ast.Call) -> None:
+        """SIM008 (vectorized form): bulk draws on an rng-ish receiver in
+        engine-scope code must use repro.sim.rng's chunk-consistent
+        helpers, or scalar and batch engines diverge in stream use."""
+        if not self._vector_scope:
+            return
+        fn = node.func
+        if not (isinstance(fn, ast.Attribute) and fn.attr in _DIST_METHODS):
+            return
+        if not any(kw.arg == "size" for kw in node.keywords):
+            return
+        receiver = self._terminal_name(fn.value)
+        if receiver is None or not _RNG_RECEIVER.search(receiver):
+            return
+        self._emit(
+            node,
+            "SIM008",
+            f"vectorized draw `{receiver}.{fn.attr}(..., size=...)` in "
+            "engine code bypasses the chunk-consistent helpers; use "
+            "repro.sim.rng.geometric_gap_array / integer_array so scalar "
+            "and batch engines consume streams identically",
+        )
 
     def _check_zero_delay_schedule(self, node: ast.Call) -> None:
         """SIM010: literal zero-delay p0 scheduling in engine code."""

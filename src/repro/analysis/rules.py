@@ -55,6 +55,16 @@ ENGINE_PREFIXES: Tuple[str, ...] = (
     "repro.network",
 )
 
+#: The engine scope plus the batch slab orchestrator.  The vectorized
+#: batch tier made ``repro.perf.executor`` engine-adjacent: it groups run
+#: grids into slab dicts (iteration order is part of the result contract)
+#: and is the most likely first home of a stray vectorized draw.  SIM007
+#: uses this as its scope; SIM008's vectorized-draw check (`size=` draws
+#: on an rng-ish receiver) is confined to it.
+VECTOR_ENGINE_PREFIXES: Tuple[str, ...] = ENGINE_PREFIXES + (
+    "repro.perf.executor",
+)
+
 #: Simulation state packages for SIM009: everything that executes inside a
 #: run or computes its results.  Benchmarks, the CLI and the experiment
 #: runner are exempt *by omission* — host environment reads are fine in
@@ -206,14 +216,17 @@ RULES: Tuple[Rule, ...] = (
             "dependent for strings), and dict.keys()/.values() iterate in "
             "construction-history order — both change silently when "
             "unrelated code is refactored, which is exactly the drift the "
-            "same-seed auditor can only catch after the fact."
+            "same-seed auditor can only catch after the fact.  The batch "
+            "slab orchestrator (repro.perf.executor) is in scope for the "
+            "same reason: slab grouping iterates dicts whose order must be "
+            "provably immaterial to results."
         ),
         hint=(
             "Iterate `sorted(...)` over the keys (then index), or suppress "
             "with `# sim-lint: ignore[SIM007]` plus a comment proving the "
             "body is order-insensitive."
         ),
-        scope=ENGINE_PREFIXES,
+        scope=VECTOR_ENGINE_PREFIXES,
     ),
     Rule(
         code="SIM008",
@@ -225,12 +238,20 @@ RULES: Tuple[Rule, ...] = (
             "machinery (`np.random.Generator`, `SeedSequence`, `PCG64`, "
             "bare `Random()`) outside :mod:`repro.sim.rng` creates streams "
             "the registry cannot see, so they escape the common-random-"
-            "numbers discipline and the spawn-key collision guarantees."
+            "numbers discipline and the spawn-key collision guarantees.  "
+            "In the engine scope (VECTOR_ENGINE_PREFIXES) the rule also "
+            "flags *vectorized* draws — `rng.<dist>(..., size=n)` on an "
+            "rng-ish receiver — because bulk draws must go through the "
+            "chunk-consistent helpers in repro.sim.rng "
+            "(`geometric_gap_array`, `integer_array`) or the scalar and "
+            "batch engines stop consuming streams identically."
         ),
         hint=(
             "Accept an `np.random.Generator` parameter and have the caller "
             "pass `registry.stream('<entity name>')`; only repro.sim.rng "
-            "may construct generator machinery."
+            "may construct generator machinery.  For bulk draws in engine "
+            "code, use repro.sim.rng.geometric_gap_array / integer_array "
+            "instead of direct `size=` draws."
         ),
         scope=REPRO_PREFIXES,
         exempt=("repro.sim.rng",),

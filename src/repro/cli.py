@@ -3,14 +3,14 @@
 ::
 
     erapid run       --pattern complement --policy P-B --load 0.5
-    erapid profile   --pattern uniform --load 0.4 [--engine fast|detailed] [--top 25]
-    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--csv out.csv]
-    erapid reproduce --out results/ [--jobs N] [--no-cache]
+    erapid profile   --pattern uniform --load 0.4 [--engine fast|detailed|batch] [--top 25]
+    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--engine fast|batch] [--csv out.csv]
+    erapid reproduce --out results/ [--jobs N] [--no-cache] [--engine fast|batch]
     erapid fig3
     erapid table1
     erapid rwa       --boards 8
     erapid ablate    --which window|thresholds|levels|limited-dbr|smoothing
-    erapid cache     stats|path|clear [--dir DIR]
+    erapid cache     stats|path|clear [--dir DIR] [--by-engine]
     erapid serve     --spool DIR [--jobs N] [--once | --idle-exit S]
     erapid submit    --spool DIR [--kind sweep|run] [--loads ...] [--policies ...]
     erapid jobs      --spool DIR [--job KEY] [--wait S]
@@ -65,9 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--warmup", type=float, default=2000)
     prof.add_argument("--measure", type=float, default=6000)
     prof.add_argument(
-        "--engine", default="fast", choices=("fast", "detailed"),
-        help="which engine to profile: the event-driven fast engine or the "
-        "cycle-synchronous flit-level detailed engine (default: fast)",
+        "--engine", default="fast", choices=("fast", "detailed", "batch"),
+        help="which engine to profile: the event-driven fast engine, the "
+        "cycle-synchronous flit-level detailed engine, or the vectorized "
+        "batch engine as a one-run slab (default: fast)",
     )
     prof.add_argument(
         "--top", type=int, default=25,
@@ -86,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the (policy x load) matrix in N worker processes "
         "(bit-identical to serial)",
+    )
+    sweep.add_argument(
+        "--engine", default="fast", choices=("fast", "batch"),
+        help="sweep engine: scalar fast engine (default) or the vectorized "
+        "batch engine (statistically equivalent, order-of-magnitude faster "
+        "on large grids)",
     )
 
     sub.add_parser("table1", help="regenerate Table 1")
@@ -107,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the content-addressed run cache "
         "($ERAPID_CACHE_DIR or ~/.cache/erapid/runs)",
+    )
+    repro_cmd.add_argument(
+        "--engine", default="fast", choices=("fast", "batch"),
+        help="sweep-stage engine: scalar fast engine (default) or the "
+        "vectorized batch engine with scalar fallback",
     )
 
     rwa = sub.add_parser("rwa", help="print the static RWA (Figure 1)")
@@ -131,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None,
         help="cache directory (default: $ERAPID_CACHE_DIR or "
         "~/.cache/erapid/runs)",
+    )
+    cache_cmd.add_argument(
+        "--by-engine", action="store_true",
+        help="with stats: break entry count and on-disk bytes down by the "
+        "engine that produced each entry",
     )
 
     serve = sub.add_parser(
@@ -199,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--priority", default="", choices=("", "interactive", "bulk"),
         help="queue priority (default: interactive for run, bulk for sweep)",
     )
+    submit.add_argument(
+        "--engine", default="fast", choices=("fast", "batch"),
+        help="execution engine for the job's runs (default: fast)",
+    )
 
     jobs_cmd = sub.add_parser(
         "jobs", help="list or inspect jobs mirrored in a serve spool"
@@ -258,7 +279,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             pattern=args.pattern, load=args.load, seed=args.seed
         )
         profiler = cProfile.Profile()
-        if args.engine == "detailed":
+        if args.engine == "batch":
+            from repro.core.batch import BatchEngine, coverage_gap
+            from repro.core.config import ERapidConfig
+            from repro.network.topology import ERapidTopology
+
+            config = ERapidConfig(
+                topology=ERapidTopology(
+                    boards=args.boards, nodes_per_board=args.nodes
+                ),
+                policy=POLICIES[args.policy],
+                seed=args.seed,
+            )
+            gap = coverage_gap(config, workload, plan)
+            if gap is not None:
+                print(
+                    f"erapid profile: the batch engine does not cover this "
+                    f"point ({gap})",
+                    file=sys.stderr,
+                )
+                return 2
+            batch = BatchEngine([(config, workload, plan)])
+            start = time.perf_counter()
+            profiler.enable()
+            result = batch.run()[0]
+            profiler.disable()
+            elapsed = time.perf_counter() - start
+            describe = (
+                f"R(1,{args.boards},{args.nodes}) batch engine "
+                f"[{args.policy}] (1-run slab)"
+            )
+            delivered = result.labeled_delivered
+            flits = None
+            events = 0
+        elif args.engine == "detailed":
             from repro.core.config import ERapidConfig
             from repro.core.detailed import DetailedEngine
             from repro.network.topology import ERapidTopology
@@ -348,7 +402,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"power={result.power_mw:.1f}mW"
             )
 
-        panel = FigurePanel.run(spec, progress=sweep_progress, jobs=args.jobs)
+        panel = FigurePanel.run(
+            spec, progress=sweep_progress, jobs=args.jobs, engine=args.engine
+        )
         print(panel.render())
         if args.csv:
             path = write_csv(args.csv, sweep_rows(panel.results))
@@ -373,7 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         loads = tuple(float(x) for x in args.loads.split(","))
         reproduce_all(
-            args.out, loads=loads, jobs=args.jobs, cache=not args.no_cache
+            args.out, loads=loads, jobs=args.jobs, cache=not args.no_cache,
+            engine=args.engine,
         )
         return 0
 
@@ -414,18 +471,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         counters = cache.persistent_stats()
         lookups = counters["hits"] + counters["misses"]
         hit_rate = f"{counters['hits'] / lookups:.1%}" if lookups else "n/a"
-        print(format_kv(
-            {
-                "path": str(cache.root),
-                "entries": cache.entry_count(),
-                "on-disk bytes": cache.disk_bytes(),
-                "hits": counters["hits"],
-                "misses": counters["misses"],
-                "puts": counters["puts"],
-                "hit rate": hit_rate,
-            },
-            title="== run cache ==",
-        ))
+        rows = {
+            "path": str(cache.root),
+            "entries": cache.entry_count(),
+            "on-disk bytes": cache.disk_bytes(),
+            "hits": counters["hits"],
+            "misses": counters["misses"],
+            "puts": counters["puts"],
+            "hit rate": hit_rate,
+        }
+        if args.by_engine:
+            for engine_name, bucket in cache.by_engine_stats().items():
+                rows[f"{engine_name} entries"] = bucket["entries"]
+                rows[f"{engine_name} bytes"] = bucket["bytes"]
+        print(format_kv(rows, title="== run cache =="))
         return 0
 
     if args.command == "serve":
@@ -486,6 +545,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     measure=args.measure,
                     drain_limit=args.drain_limit,
                     priority=args.priority,
+                    engine=args.engine,
                 )
         except (OSError, ValueError, JobSpecError) as exc:
             print(f"erapid submit: bad job spec: {exc}", file=sys.stderr)

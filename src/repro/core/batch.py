@@ -1,0 +1,1044 @@
+"""The batch (vectorized, struct-of-arrays) E-RAPID engine tier.
+
+Third engine tier after :mod:`repro.core.engine` (fast, event-driven) and
+:mod:`repro.core.detailed` (flit-level): a :class:`BatchEngine` advances
+*many runs at once* on one shared integer cycle grid.  All per-run state —
+node injection/ejection ports, per-pair transmitter queues, wavelength
+ownership and power level, DPM window counters, energy accumulators — lives
+in flat numpy struct-of-arrays indexed ``run-major``:
+
+* node  ``rn = r * N + n``          (``N`` nodes per run),
+* pair  ``pq = (r * B + s) * B + d``  (transmitter queue of board ``s``
+  toward board ``d``),
+* channel ``rc = r * (W * B) + w * B + d``  (wavelength ``w`` into ``d``).
+
+Each cycle applies masked updates to every run simultaneously; runs that
+drain their labeled packets are frozen (their rows masked out) until the
+whole slab finishes.  The Lock-Step control plane (window snapshots, DPM
+decisions, DBR grant plans with the real :func:`repro.core.dbr.dbr_plan`)
+runs at the same window boundaries and protocol latencies as the fast
+engine.
+
+Fidelity contract (enforced by the statistical-equivalence harness in
+:mod:`repro.analysis.equivalence` and the batch benchmark gate):
+
+* **Bit-identical where streams allow**: injection gap draws go through
+  :func:`repro.sim.rng.geometric_gap_array`, which consumes the PCG64
+  stream exactly like the scalar path, so for permutation patterns (no
+  per-packet destination draws) ``offered`` and ``labeled_injected`` match
+  :class:`~repro.core.engine.FastEngine` bit for bit.  Uniform traffic
+  interleaves destination draws on the scalar path and is statistically
+  equivalent only.
+* **Integer cycle grid**: service completions are rounded up to the next
+  cycle before delivery, intra-board deliveries keep the fast engine's
+  same-cycle hand-off, and blocked senders retry once per cycle instead of
+  exactly at the freeing pop.  These quantizations shift per-packet timing
+  by under a cycle and are covered by the declared tolerances.
+* **Latency proxy**: per-packet identity is not tracked; labeled latency
+  pairs the j-th labeled delivery with the j-th labeled injection (FIFO
+  proxy, exact in expectation for drained runs).  ``p99_latency`` and
+  ``max_latency`` are not available and report 0.
+
+``coverage_gap`` says whether a run point is batchable; the executor falls
+back to per-run scalar execution for anything it declines, so ``--engine
+batch`` never changes *what* can be swept, only how fast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ERapidConfig
+from repro.core.dbr import DestDemand, WavelengthState, dbr_plan
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.optics.rwa import StaticRWA
+from repro.sim.rng import RngRegistry, geometric_gap_array, integer_array
+from repro.traffic.capacity import CapacityParams
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["BATCH_KERNEL_VERSION", "coverage_gap", "slab_key", "BatchEngine"]
+
+#: Version of the vectorized kernel, folded into batch cache keys so batch
+#: results can never alias scalar entries (and are invalidated together
+#: when the kernel's numerics change).
+BATCH_KERNEL_VERSION = 1
+
+#: Gap draws per vectorized refill while precomputing injection schedules.
+_GAP_DRAW_CHUNK = 4096
+
+#: Delivery/exit ring length in cycles; must exceed the longest scheduled
+#: lead (wake + DVS stall + lowest-rate service + fiber/pipeline).
+_RING = 512
+
+
+# ----------------------------------------------------------------------
+# Coverage and slab partitioning
+# ----------------------------------------------------------------------
+def coverage_gap(
+    config: ERapidConfig, workload: WorkloadSpec, plan: MeasurementPlan
+) -> Optional[str]:
+    """Why this run point cannot run on the batch engine (None = it can).
+
+    The executor uses this to route uncovered points to the scalar
+    fallback; tests assert the reasons stay accurate.
+    """
+    if workload.process != "bernoulli":
+        return f"injection process {workload.process!r} is not vectorized"
+    try:
+        pattern = workload.resolve_pattern(config.topology)
+    except Exception as exc:  # noqa: BLE001 - reason string for fallback
+        return f"pattern {workload.pattern!r} not resolvable: {exc}"
+    if not pattern.is_permutation and pattern.name != "uniform":
+        return f"pattern {workload.pattern!r} is neither uniform nor a permutation"
+    if config.policy.dpm_smoothing != 0.0:
+        return "dpm_smoothing requires per-window EWMA state (scalar only)"
+    if config.policy.max_grants_per_dest is not None:
+        # Supported by dbr_plan directly, but kept scalar until the
+        # ablation harness grows batch coverage tests for it.
+        return "max_grants_per_dest ablation is scalar only"
+    for name in ("warmup", "measure", "drain_limit"):
+        value = float(getattr(plan, name))
+        if not value.is_integer():
+            return f"plan.{name}={value} is not on the integer cycle grid"
+    chunk = max(1000.0, config.control.window_cycles / 2)
+    if not float(chunk).is_integer():
+        return "drain chunk is fractional (odd window_cycles)"
+    if config.topology.total_nodes > 32000:
+        return "topology too large for int16 destination arrays"
+    # A service (plus wake + worst DVS stall + delivery) must never span
+    # more than one window boundary, or the single-slot busy-carry
+    # accounting breaks.
+    levels = config.power_levels
+    svc_max = config.optical.packet_service_cycles(
+        workload.packet_bytes, levels.lowest.bit_rate_gbps
+    )
+    per_step = max(
+        config.transitions.voltage_transition_cycles,
+        config.transitions.frequency_relock_cycles,
+    )
+    d_nodes = config.topology.nodes_per_board
+    lead = (
+        config.wake_cycles
+        + per_step * (len(levels) - 1)
+        + svc_max
+        + config.optical.fiber_latency_cycles
+        + config.router.pipeline_cycles
+        + config.control.power_cycle_latency(d_nodes)
+    )
+    if config.control.window_cycles < 2 * lead:
+        return f"window_cycles={config.control.window_cycles} < 2x max lead {lead:.0f}"
+    if lead + 8 >= _RING:
+        return f"max event lead {lead:.0f} exceeds the ring horizon {_RING}"
+    boards = config.topology.boards
+    if config.control.power_cycle_latency(d_nodes) >= config.control.window_cycles:
+        return "power cycle latency spills past the next window"
+    if config.control.dbr_cycle_latency(boards, d_nodes) >= config.control.window_cycles:
+        return "DBR cycle latency spills past the next window"
+    return None
+
+
+def slab_key(
+    config: ERapidConfig, workload: WorkloadSpec, plan: MeasurementPlan
+) -> Tuple[object, ...]:
+    """Hashable key grouping run points one :class:`BatchEngine` can share.
+
+    Everything that shapes the shared cycle grid and array geometry is in
+    the key; policy, pattern, load and workload seed vary freely within a
+    slab (they are per-run columns).
+    """
+    t = config.topology
+    levels = tuple(
+        (lvl.name, lvl.bit_rate_gbps, lvl.vdd, lvl.link_power_mw)
+        for lvl in config.power_levels.levels
+    )
+    return (
+        (t.clusters, t.boards, t.nodes_per_board, t.wavelengths),
+        (
+            config.router.channel_bits,
+            config.router.clock_ghz,
+            config.router.pipeline_cycles,
+            config.router.packet_bytes,
+            config.router.flit_bytes,
+        ),
+        (
+            config.control.window_cycles,
+            config.control.lc_hop_cycles,
+            config.control.rc_hop_cycles,
+            config.control.compute_cycles,
+        ),
+        (config.optical.clock_ghz, config.optical.fiber_latency_cycles),
+        levels,
+        config.link_power.idle_fraction,
+        (
+            config.transitions.frequency_relock_cycles,
+            config.transitions.voltage_transition_cycles,
+        ),
+        config.tx_queue_capacity,
+        config.wake_cycles,
+        config.seed,
+        (float(plan.warmup), float(plan.measure), float(plan.drain_limit)),
+        (workload.packet_bytes, workload.flit_bytes, workload.process),
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class BatchEngine:
+    """Advance a slab of run points simultaneously in numpy."""
+
+    def __init__(
+        self,
+        runs: Sequence[Tuple[ERapidConfig, WorkloadSpec, MeasurementPlan]],
+    ) -> None:
+        if not runs:
+            raise ConfigurationError("BatchEngine needs at least one run")
+        keys = {slab_key(*run) for run in runs}
+        if len(keys) > 1:
+            raise ConfigurationError(
+                f"runs span {len(keys)} slabs; partition with slab_key first"
+            )
+        for i, run in enumerate(runs):
+            gap = coverage_gap(*run)
+            if gap is not None:
+                raise ConfigurationError(f"run {i} not batchable: {gap}")
+        self.runs = list(runs)
+        config, workload, plan = self.runs[0]
+        self.config = config
+        self.plan = plan
+        topo = config.topology
+        self.R = len(self.runs)
+        self.B = topo.boards
+        self.D = topo.nodes_per_board
+        self.N = topo.total_nodes
+        self.W = topo.wavelengths
+        self.CH = self.W * self.B
+        self.wu = int(plan.warmup)
+        self.me = int(plan.measure_end)
+        self.he = int(plan.hard_end)
+        self.measure = float(plan.measure)
+        self.Wc = int(config.control.window_cycles)
+        self.chunk = int(max(1000.0, self.Wc / 2))
+        self.SER = int(config.router.packet_serialization_cycles)
+        self.SEND = self.SER + int(config.router.pipeline_cycles)
+        self.DELIV = int(
+            config.optical.fiber_latency_cycles + config.router.pipeline_cycles
+        )
+        self.CAP = int(config.tx_queue_capacity)
+        self.WAKE = int(config.wake_cycles)
+        self.rwa = StaticRWA(self.B)
+        levels = config.power_levels
+        self.L = len(levels)
+        self.P_mw = np.array([lvl.link_power_mw for lvl in levels.levels])
+        self.svc_by_level = np.array(
+            [
+                config.optical.packet_service_cycles(
+                    workload.packet_bytes, lvl.bit_rate_gbps
+                )
+                for lvl in levels.levels
+            ]
+        )
+        self.step_stall = int(
+            max(
+                config.transitions.voltage_transition_cycles,
+                config.transitions.frequency_relock_cycles,
+            )
+        )
+        self.power_lat = int(config.control.power_cycle_latency(self.D))
+        self.dbr_lat = int(config.control.dbr_cycle_latency(self.B, self.D))
+        self.idle_frac = float(config.link_power.idle_fraction)
+        self._policies = [cfg.policy for cfg, _, _ in self.runs]
+        self._workloads = [wl for _, wl, _ in self.runs]
+        self._build_state()
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _build_state(self) -> None:
+        R, B, D, N, W, CH = self.R, self.B, self.D, self.N, self.W, self.CH
+        RN, RC, RBB = R * N, R * CH, R * B * B
+        # Send ports (one per node): packets arrived / started, port state.
+        self.p_injcnt = np.zeros(RN, dtype=np.int64)
+        self.p_started = np.zeros(RN, dtype=np.int64)
+        self.p_busy = np.zeros(RN, dtype=bool)
+        self.p_blocked = np.zeros(RN, dtype=bool)
+        # Blocked senders as a compact index list (retried once per cycle).
+        self.blk = np.zeros(0, dtype=np.int64)
+        # Pair transmitter queues: bounded rings of local dest-node ids.
+        self.tx_ring = np.zeros(RBB * self.CAP, dtype=np.int16)
+        self.tx_head = np.zeros(RBB, dtype=np.int64)
+        self.tx_qlen = np.zeros(RBB, dtype=np.int64)
+        self.occ_acc = np.zeros(RBB)  # integral of queue length over window
+        self.q_last = np.zeros(RBB, dtype=np.int64)
+        # Optical channels.
+        self.c_owner = np.full(RC, -1, dtype=np.int16)
+        self.c_level = np.full(RC, self.L - 1, dtype=np.int8)
+        self.c_sleep = np.zeros(RC, dtype=bool)
+        self.c_stall = np.zeros(RC, dtype=np.int64)
+        self.c_busy_until = np.zeros(RC)
+        self.c_pq = np.zeros(RC, dtype=np.int64)
+        self.win_busy = np.zeros(RC)
+        self.win_carry = np.zeros(RC)
+        # Receive ports.
+        self.r_qlen = np.zeros(RN, dtype=np.int64)
+        self.r_busy = np.zeros(RN, dtype=bool)
+        # Per-run accumulators.
+        self.delivered_total = np.zeros(R, dtype=np.int64)
+        self.delivered_measure = np.zeros(R, dtype=np.int64)
+        self.lab_del = np.zeros(R, dtype=np.int64)
+        self.sum_del_t = np.zeros(R)
+        self.base_A = np.zeros(R)
+        self.base_last = np.zeros(R)
+        self.base_E = np.zeros(R)
+        self.busy_E = np.zeros(R)
+        self.grants = np.zeros(R, dtype=np.int64)
+        self.dpm_transitions = np.zeros(R, dtype=np.int64)
+        self.sleeps = np.zeros(R, dtype=np.int64)
+        # Active masks (runs freeze as they drain).
+        self.active_r = np.ones(R, dtype=bool)
+        self.active_n = np.ones(RN, dtype=bool)
+        self.active_rc = np.ones(RC, dtype=bool)
+        # Static RWA ownership, replicated per run: owner[d][w] = s.
+        for s in range(B):
+            for d in range(B):
+                if s == d:
+                    continue
+                w = self.rwa.wavelength_for(s, d)
+                c = w * B + d
+                self.c_owner[c::CH] = s
+                self.c_pq[c::CH] = (
+                    np.arange(R, dtype=np.int64) * B + s
+                ) * B + d
+        owned_per_run = int(np.count_nonzero(self.c_owner[:CH] >= 0))
+        self.base_A[:] = owned_per_run * self.P_mw[self.L - 1]
+        # Reverse index pair -> owned channels, so pushes can poke exactly
+        # the channels that might dispatch (updated incrementally on DBR
+        # grants; W is a hard upper bound on channels per pair).
+        self.pair_ch = np.full((RBB, W), -1, dtype=np.int64)
+        self.pair_nch = np.zeros(RBB, dtype=np.int64)
+        for rc in np.flatnonzero(self.c_owner >= 0):
+            pq = self.c_pq[rc]
+            self.pair_ch[pq, self.pair_nch[pq]] = rc
+            self.pair_nch[pq] += 1
+        # Per-run policy columns, expanded to channel rows.
+        dpm = np.array([p.dpm for p in self._policies])
+        dbr = np.array([p.dbr for p in self._policies])
+        self.run_dpm = dpm
+        self.run_dbr = dbr
+        self.lockstep_on = bool((dpm | dbr).any())
+        thr = [p.thresholds for p in self._policies]
+        self.thr_lmin_rc = np.repeat([t.l_min for t in thr], CH)
+        self.thr_lmax_rc = np.repeat([t.l_max for t in thr], CH)
+        self.thr_bmax_rc = np.repeat([t.b_max for t in thr], CH)
+        # Precomputed injection schedules + destination streams.
+        self._build_traffic()
+        # Event rings: python lists of small index arrays per cycle slot.
+        # The loop is event-driven — every phase scans only the indices
+        # carried by these rings (plus this cycle's injections), never the
+        # full state arrays, so per-cycle cost scales with activity.
+        self.ring_deliv: List[List[np.ndarray]] = [[] for _ in range(_RING)]
+        self.ring_pexit: List[List[np.ndarray]] = [[] for _ in range(_RING)]
+        self.ring_rexit: List[List[np.ndarray]] = [[] for _ in range(_RING)]
+        # Channels whose service ends (and may redispatch) at a cycle.
+        self.ring_cend: List[List[np.ndarray]] = [[] for _ in range(_RING)]
+        # Pending control-plane applications, keyed by apply cycle.
+        self._pend_dpm: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._pend_dbr: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _build_traffic(self) -> None:
+        """Draw every run's full injection schedule up front.
+
+        Gap draws consume each node's named stream exactly as the scalar
+        engine does (chunk size cannot change the values); uniform
+        destination draws are chunked on the same stream afterwards, which
+        is the documented statistically-equivalent deviation.
+        """
+        R, N = self.R, self.N
+        cfg = self.config
+        params = CapacityParams(
+            packet_bits=cfg.router.packet_bytes * 8,
+            optical_gbps=cfg.power_levels.highest.bit_rate_gbps,
+            electrical_gbps=cfg.router.port_gbps,
+            clock_ghz=cfg.router.clock_ghz,
+        )
+        he = self.he
+        times_parts: List[np.ndarray] = []
+        rn_parts: List[np.ndarray] = []
+        counts = np.zeros(R * N, dtype=np.int64)
+        self.inj_measure = np.zeros(R, dtype=np.int64)
+        self.pre_wu_inj = np.zeros(R, dtype=np.int64)
+        self.lab_inj = np.zeros(R, dtype=np.int64)
+        self.lab_prefix: List[np.ndarray] = []
+        dest_parts: List[np.ndarray] = []
+        for r in range(R):
+            workload = self._workloads[r]
+            rate = workload.injection_rate(cfg.topology, params)
+            pattern = workload.resolve_pattern(cfg.topology)
+            registry = RngRegistry(seed=workload.seed)
+            run_lab_times: List[np.ndarray] = []
+            # One sized draw usually covers the horizon (mean gap 1/rate,
+            # so ~he*rate gaps reach he; the 6-sigma margin makes a top-up
+            # draw rare).  Chunking never changes the values drawn.
+            mean_gaps = he * rate
+            n0 = int(mean_gaps + 6.0 * math.sqrt(mean_gaps) + 16.0)
+            for n in range(N):
+                stream = registry.stream(f"inject.{n}")
+                if rate <= 0.0:
+                    t = np.zeros(0, dtype=np.int64)
+                else:
+                    g = geometric_gap_array(stream, rate, n0)
+                    total = int(g.sum())
+                    if total < he:
+                        gaps = [g]
+                        while total < he:
+                            g2 = geometric_gap_array(
+                                stream, rate, _GAP_DRAW_CHUNK
+                            )
+                            gaps.append(g2)
+                            total += int(g2.sum())
+                        g = np.concatenate(gaps)
+                    t = np.cumsum(g)
+                    t = t[: np.searchsorted(t, he)]
+                rn = r * N + n
+                counts[rn] = len(t)
+                times_parts.append(t)
+                rn_parts.append(np.full(len(t), rn, dtype=np.int64))
+                lo = int(np.searchsorted(t, self.wu))
+                hi = int(np.searchsorted(t, self.me))
+                self.inj_measure[r] += hi - lo
+                self.pre_wu_inj[r] += lo
+                run_lab_times.append(t[lo:hi])
+                if pattern.is_permutation:
+                    dest_parts.append(
+                        np.full(len(t), pattern.dest(n), dtype=np.int16)
+                    )
+                else:
+                    d = integer_array(stream, 0, N - 1, len(t))
+                    d += d >= n
+                    dest_parts.append(d.astype(np.int16))
+            self.lab_inj[r] = self.inj_measure[r]
+            lab = np.sort(np.concatenate(run_lab_times))
+            prefix = np.zeros(len(lab) + 1)
+            np.cumsum(lab, out=prefix[1:])
+            self.lab_prefix.append(prefix)
+        self.p_off = np.zeros(R * N + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.p_off[1:])
+        self.flat_dest = (
+            np.concatenate(dest_parts) if dest_parts else np.zeros(0, np.int16)
+        )
+        times_all = np.concatenate(times_parts) if times_parts else np.zeros(0, np.int64)
+        rn_all = np.concatenate(rn_parts) if rn_parts else np.zeros(0, np.int64)
+        order = np.argsort(times_all, kind="stable")
+        self.evt_rn = rn_all[order]
+        per_cycle = np.bincount(times_all.astype(np.int64), minlength=he + 1)
+        self.evt_off = np.zeros(he + 2, dtype=np.int64)
+        np.cumsum(per_cycle, out=self.evt_off[1 : len(per_cycle) + 1])
+        self.evt_off[len(per_cycle) + 1 :] = self.evt_off[len(per_cycle)]
+
+    # ------------------------------------------------------------------
+    # Energy bookkeeping
+    # ------------------------------------------------------------------
+    def _flush_base(self, run_idx: np.ndarray, t: int) -> None:
+        """Integrate enabled-channel power A(t) up to ``t`` for these runs."""
+        ov = np.clip(
+            np.minimum(t, self.me) - np.maximum(self.base_last[run_idx], self.wu),
+            0.0,
+            None,
+        )
+        self.base_E[run_idx] += self.base_A[run_idx] * ov
+        self.base_last[run_idx] = t
+
+    # ------------------------------------------------------------------
+    # Pair-queue helpers
+    # ------------------------------------------------------------------
+    def _flush_occ(self, pqs: np.ndarray, t: int) -> None:
+        self.occ_acc[pqs] += self.tx_qlen[pqs] * (t - self.q_last[pqs])
+        self.q_last[pqs] = t
+
+    def _push_pairs(
+        self,
+        pq: np.ndarray,
+        loc: np.ndarray,
+        rn: np.ndarray,
+        t: int,
+        poked: List[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ranked admission of this cycle's packets into their pair queues.
+
+        Returns ``(admit, srn, order)``: the boolean admit mask aligned
+        with the *sorted* inputs, the sorted ``rn``, and the sort
+        permutation (so callers can carry per-packet side data through the
+        same ordering); blocked senders are exactly ``srn[~admit]``.
+        Admission rank within a pair follows caller order (the scalar
+        engine admits in event order — a same-cycle tie broken
+        differently, inside tolerance).  Pairs that received packets are
+        appended to ``poked`` so the dispatch phase can wake exactly their
+        channels.
+        """
+        order = np.argsort(pq, kind="stable")
+        spq = pq[order]
+        sloc = loc[order]
+        srn = rn[order]
+        first = np.searchsorted(spq, spq, side="left")
+        rank = np.arange(len(spq), dtype=np.int64) - first
+        admit = rank < (self.CAP - self.tx_qlen[spq])
+        apq = spq[admit]
+        m = len(apq)
+        if m:
+            slot = (self.tx_head[apq] + self.tx_qlen[apq] + rank[admit]) % self.CAP
+            neq = np.empty(m, dtype=bool)
+            neq[0] = True
+            np.not_equal(apq[1:], apq[:-1], out=neq[1:])
+            cut = neq.nonzero()[0]
+            upq = apq[cut]
+            self._flush_occ(upq, t)
+            self.tx_ring[apq * self.CAP + slot] = sloc[admit]
+            cnt = np.empty(len(cut), dtype=np.int64)
+            np.subtract(cut[1:], cut[:-1], out=cnt[:-1])
+            cnt[-1] = m - cut[-1]
+            self.tx_qlen[upq] += cnt
+            poked.append(upq)
+        return admit, srn, order
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _window_boundary(self, t: int) -> None:
+        k = t // self.Wc
+        # Freeze the LC hardware counters (the lockstep snapshot).
+        self._flush_occ(np.arange(len(self.tx_qlen), dtype=np.int64), t)
+        util = np.minimum(1.0, self.win_busy / self.Wc)
+        buf_p = np.minimum(1.0, self.occ_acc / (self.Wc * self.CAP))
+        qe_p = self.tx_qlen == 0
+        owned = self.c_owner >= 0
+        bu_rc = np.where(owned, buf_p[self.c_pq], 0.0)
+        qe_rc = np.where(owned, qe_p[self.c_pq], True)
+        run_power = self.run_dpm & (~self.run_dbr | (k % 2 == 1)) & self.active_r
+        run_bw = self.run_dbr & (~self.run_dpm | (k % 2 == 0)) & self.active_r
+        if run_power.any():
+            self._pend_dpm[t + self.power_lat] = (util, bu_rc, qe_rc, run_power)
+        if run_bw.any():
+            chc = np.bincount(
+                self.c_pq[owned], minlength=len(self.tx_qlen)
+            )
+            rc_idx, new_owner = self._plan_dbr(run_bw, buf_p, qe_p, chc)
+            if len(rc_idx):
+                self._pend_dbr[t + self.dbr_lat] = (rc_idx, new_owner)
+        # Window reset: busy time carried across the boundary seeds the
+        # next window; queue-occupancy integrals restart.
+        np.copyto(self.win_busy, self.win_carry)
+        self.win_carry.fill(0.0)
+        self.occ_acc.fill(0.0)
+
+    def _plan_dbr(
+        self,
+        run_bw: np.ndarray,
+        buf_p: np.ndarray,
+        qe_p: np.ndarray,
+        chc: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the real §3.2 allocator per (run, dest) on the snapshot."""
+        B, W, CH = self.B, self.W, self.CH
+        rcs: List[int] = []
+        owners: List[int] = []
+        for r in np.flatnonzero(run_bw):
+            thresholds = self._policies[r].thresholds
+            pq0 = r * B * B
+            for d in range(B):
+                states = []
+                for w in range(W):
+                    rc = r * CH + w * B + d
+                    owner = int(self.c_owner[rc])
+                    if owner < 0:
+                        states.append(WavelengthState(w, None, 0.0, True, False))
+                    else:
+                        pq = pq0 + owner * B + d
+                        states.append(
+                            WavelengthState(
+                                w, owner, float(buf_p[pq]), bool(qe_p[pq]), False
+                            )
+                        )
+                demands = [
+                    DestDemand(
+                        s,
+                        float(buf_p[pq0 + s * B + d]),
+                        bool(qe_p[pq0 + s * B + d]),
+                        int(chc[pq0 + s * B + d]),
+                    )
+                    for s in range(B)
+                    if s != d
+                ]
+                for w, new_owner in dbr_plan(
+                    d, states, demands, thresholds, self.rwa, max_grants=None
+                ):
+                    rcs.append(r * CH + w * B + d)
+                    owners.append(new_owner)
+        return (
+            np.array(rcs, dtype=np.int64),
+            np.array(owners, dtype=np.int16),
+        )
+
+    def _apply_dpm(self, t: int, pend: Tuple[np.ndarray, ...]) -> None:
+        util, bu, qe, run_power = pend
+        CH = self.CH
+        mask = (
+            np.repeat(run_power, CH)
+            & (self.c_owner >= 0)
+            & self.active_rc
+        )
+        sleep_cond = (util <= 0.0) & qe
+        sleep_m = mask & sleep_cond & ~self.c_sleep
+        down_m = mask & ~sleep_cond & (util < self.thr_lmin_rc) & (self.c_level > 0)
+        up_m = (
+            mask
+            & ~sleep_cond
+            & ~(util < self.thr_lmin_rc)
+            & (util > self.thr_lmax_rc)
+            & ((self.thr_bmax_rc <= 0.0) | (bu > self.thr_bmax_rc))
+            & (self.c_level < self.L - 1)
+        )
+        changed = sleep_m | down_m | up_m
+        if not changed.any():
+            return
+        runs_touched = np.unique(np.flatnonzero(changed) // CH)
+        self._flush_base(runs_touched, t)
+        idx = np.flatnonzero(sleep_m)
+        if len(idx):
+            runs = idx // CH
+            # Slept channels were enabled (owned, awake): drop their draw.
+            np.add.at(self.base_A, runs, -self.P_mw[self.c_level[idx]])
+            self.c_sleep[idx] = True
+            np.add.at(self.sleeps, runs, 1)
+        for m, delta in ((down_m, -1), (up_m, +1)):
+            idx = np.flatnonzero(m)
+            if not len(idx):
+                continue
+            runs = idx // CH
+            old = self.c_level[idx].astype(np.int64)
+            new = old + delta
+            awake = ~self.c_sleep[idx]
+            np.add.at(
+                self.base_A,
+                runs[awake],
+                self.P_mw[new[awake]] - self.P_mw[old[awake]],
+            )
+            self.c_level[idx] = new.astype(np.int8)
+            self.c_stall[idx] = np.maximum(self.c_stall[idx], t + self.step_stall)
+            np.add.at(self.dpm_transitions, runs, 1)
+
+    def _apply_dbr(
+        self, t: int, pend: Tuple[np.ndarray, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Apply a pending grant plan; returns the granted channel ids."""
+        rc_idx, new_owner = pend
+        keep = self.active_rc[rc_idx]
+        rc_idx, new_owner = rc_idx[keep], new_owner[keep]
+        if not len(rc_idx):
+            return None
+        CH, B = self.CH, self.B
+        runs = rc_idx // CH
+        self._flush_base(np.unique(runs), t)
+        owner_before = self.c_owner[rc_idx]
+        enabled_before = (owner_before >= 0) & ~self.c_sleep[rc_idx]
+        lit = ~enabled_before
+        np.add.at(self.base_A, runs[lit], self.P_mw[self.c_level[rc_idx[lit]]])
+        old_pq = self.c_pq[rc_idx]
+        self.c_owner[rc_idx] = new_owner
+        self.c_sleep[rc_idx] = False
+        dests = rc_idx % B
+        new_pq = (runs * B + new_owner.astype(np.int64)) * B + dests
+        self.c_pq[rc_idx] = new_pq
+        np.add.at(self.grants, runs, 1)
+        # Maintain the pair -> channels reverse index (grant plans are
+        # small, so a python loop is fine here).
+        pair_ch, pair_nch = self.pair_ch, self.pair_nch
+        for rc, was, po, pn in zip(
+            rc_idx.tolist(), owner_before.tolist(), old_pq.tolist(), new_pq.tolist()
+        ):
+            if was >= 0:
+                row = pair_ch[po]
+                k = self.pair_nch[po]
+                for j in range(k):
+                    if row[j] == rc:
+                        row[j] = row[k - 1]
+                        row[k - 1] = -1
+                        break
+                pair_nch[po] = k - 1
+            row = pair_ch[pn]
+            row[pair_nch[pn]] = rc
+            pair_nch[pn] += 1
+        return rc_idx
+
+    # ------------------------------------------------------------------
+    # The cycle loop
+    # ------------------------------------------------------------------
+    def run(self) -> List[RunResult]:
+        """Advance the slab cycle by cycle.
+
+        Every phase is event-driven: the only indices examined each cycle
+        are the ones carried by the event rings (injections, port exits,
+        deliveries, service ends) plus the compact blocked-sender list, so
+        per-cycle cost scales with actual activity, not with slab size.
+        """
+        SEND, SER = self.SEND, self.SER
+        N, B, D = self.N, self.B, self.D
+        wu, me, he, Wc = self.wu, self.me, self.he, self.Wc
+        evt_rn, evt_off = self.evt_rn, self.evt_off
+        flat_dest, p_off = self.flat_dest, self.p_off
+        p_started, p_injcnt = self.p_started, self.p_injcnt
+        p_busy, p_blocked = self.p_busy, self.p_blocked
+        r_qlen, r_busy, active_n = self.r_qlen, self.r_busy, self.active_n
+        ring_deliv, ring_pexit = self.ring_deliv, self.ring_pexit
+        ring_rexit, ring_cend = self.ring_rexit, self.ring_cend
+        push = self._push_pairs
+        lockstep = self.lockstep_on
+        lab_cur = np.empty(self.R, dtype=np.int64)
+        frozen = False  # becomes True once any run drains (enables masking)
+        for t in range(he + 1):
+            slot_i = t % _RING
+            send_cand: List[np.ndarray] = []
+            recv_cand: List[np.ndarray] = []
+            disp_cand = ring_cend[slot_i]
+            poked: List[np.ndarray] = []
+            # (0) Control plane: window boundaries and pending applies.
+            if lockstep:
+                if t and t % Wc == 0:
+                    self._window_boundary(t)
+                pend = self._pend_dpm.pop(t, None)
+                if pend is not None:
+                    self._apply_dpm(t, pend)
+                pend2 = self._pend_dbr.pop(t, None)
+                if pend2 is not None:
+                    granted = self._apply_dbr(t, pend2)
+                    if granted is not None:
+                        disp_cand.append(granted)
+            # (1) Injections arriving this cycle.  Nodes that are busy or
+            # blocked are dropped from the start candidates here: if they
+            # exit or unblock this same cycle, those phases re-add them,
+            # which keeps the candidate parts disjoint (no dedup needed).
+            lo = evt_off[t]
+            hi = evt_off[t + 1]
+            if hi > lo:
+                inj = evt_rn[lo:hi]
+                p_injcnt[inj] += 1
+                m = ~p_busy[inj] & ~p_blocked[inj]
+                if frozen:
+                    m &= active_n[inj]
+                inj_f = inj[m]
+                if len(inj_f):
+                    send_cand.append(inj_f)
+            # (2) Optical deliveries landing this cycle.
+            slot = ring_deliv[slot_i]
+            if slot:
+                arr = slot[0] if len(slot) == 1 else np.concatenate(slot)
+                slot.clear()
+                if frozen:
+                    arr = arr[active_n[arr]]
+                if len(arr):
+                    np.add.at(r_qlen, arr, 1)
+                    recv_cand.append(arr)
+            # (3) Send-port exits route their packet; blocked senders
+            # retry in the same ranked push (blocked first, so they keep
+            # their earlier admission priority).
+            rn_e = None
+            slot = ring_pexit[slot_i]
+            if slot:
+                rn_e = slot[0] if len(slot) == 1 else np.concatenate(slot)
+                slot.clear()
+                if frozen:
+                    rn_e = rn_e[active_n[rn_e]]
+                if len(rn_e):
+                    p_busy[rn_e] = False
+                    send_cand.append(rn_e)
+                else:
+                    rn_e = None
+            rem_rn = None
+            if rn_e is not None:
+                dest_e = flat_dest[p_off[rn_e] + p_started[rn_e] - 1].astype(
+                    np.int64
+                )
+                runs_e = rn_e // N
+                sb_e = (rn_e % N) // D
+                db_e = dest_e // D
+                local = db_e == sb_e
+                if local.any():
+                    lrn = runs_e[local] * N + dest_e[local]
+                    np.add.at(r_qlen, lrn, 1)
+                    recv_cand.append(lrn)
+                rem = ~local
+                if rem.any():
+                    rem_rn = rn_e[rem]
+                    rem_pq = (runs_e[rem] * B + sb_e[rem]) * B + db_e[rem]
+                    rem_loc = dest_e[rem] % D
+            nblk = len(self.blk)
+            if nblk or rem_rn is not None:
+                if nblk:
+                    blk = self.blk
+                    dest_b = flat_dest[
+                        p_off[blk] + p_started[blk] - 1
+                    ].astype(np.int64)
+                    blk_pq = ((blk // N) * B + (blk % N) // D) * B + dest_b // D
+                    if rem_rn is not None:
+                        rn_p = np.concatenate([blk, rem_rn])
+                        pq_p = np.concatenate([blk_pq, rem_pq])
+                        loc_p = np.concatenate([dest_b % D, rem_loc])
+                    else:
+                        rn_p, pq_p, loc_p = blk, blk_pq, dest_b % D
+                else:
+                    rn_p, pq_p, loc_p = rem_rn, rem_pq, rem_loc
+                admit, srn, order = push(pq_p, loc_p, rn_p, t, poked)
+                if nblk:
+                    if rem_rn is not None:
+                        sfresh = order >= nblk
+                        freed = srn[admit & ~sfresh]
+                        newly = srn[~admit & sfresh]
+                        if len(newly):
+                            p_blocked[newly] = True
+                    else:
+                        freed = srn[admit]
+                    if len(freed):
+                        p_blocked[freed] = False
+                        send_cand.append(freed)
+                    self.blk = srn[~admit]
+                else:
+                    newly = srn[~admit]
+                    if len(newly):
+                        p_blocked[newly] = True
+                        self.blk = newly
+            # (5) Send-port starts (same-cycle turnaround): candidates are
+            # exactly the nodes whose state changed this cycle.
+            if send_cand:
+                cand = (
+                    send_cand[0]
+                    if len(send_cand) == 1
+                    else np.concatenate(send_cand)
+                )
+                m = (
+                    ~p_busy[cand]
+                    & ~p_blocked[cand]
+                    & (p_injcnt[cand] > p_started[cand])
+                )
+                idx = cand[m]
+                if len(idx):
+                    p_busy[idx] = True
+                    p_started[idx] += 1
+                    ring_pexit[(t + SEND) % _RING].append(idx)
+            # (6) Channel dispatch: channels whose service just ended, plus
+            # channels of pairs that were pushed to, plus fresh grants.
+            if poked:
+                pqu = poked[0] if len(poked) == 1 else np.concatenate(poked)
+                chs = self.pair_ch[pqu].ravel()
+                chs = chs[chs >= 0]
+                if len(chs):
+                    disp_cand.append(chs)
+            if disp_cand:
+                rcs = (
+                    disp_cand[0]
+                    if len(disp_cand) == 1
+                    else np.concatenate(disp_cand)
+                )
+                disp_cand.clear()
+                rcs.sort()
+                self._dispatch(t, rcs, frozen)
+            # (7) Receive ports: completions then starts.
+            slot = ring_rexit[slot_i]
+            if slot:
+                rn_c = slot[0] if len(slot) == 1 else np.concatenate(slot)
+                slot.clear()
+                if frozen:
+                    rn_c = rn_c[active_n[rn_c]]
+                if len(rn_c):
+                    r_busy[rn_c] = False
+                    add = np.bincount(rn_c // N, minlength=self.R)
+                    self.delivered_total += add
+                    if wu <= t < me:
+                        self.delivered_measure += add
+                    np.subtract(self.delivered_total, self.pre_wu_inj, out=lab_cur)
+                    np.maximum(lab_cur, 0, out=lab_cur)
+                    np.minimum(lab_cur, self.lab_inj, out=lab_cur)
+                    self.sum_del_t += t * (lab_cur - self.lab_del)
+                    self.lab_del[:] = lab_cur
+                    recv_cand.append(rn_c)
+            if recv_cand:
+                cand = (
+                    recv_cand[0]
+                    if len(recv_cand) == 1
+                    else np.concatenate(recv_cand)
+                )
+                cand.sort()
+                k = len(cand)
+                m = np.empty(k, dtype=bool)
+                m[0] = True
+                np.not_equal(cand[1:], cand[:-1], out=m[1:])
+                m &= ~r_busy[cand] & (r_qlen[cand] > 0)
+                idx = cand[m]
+                if len(idx):
+                    r_busy[idx] = True
+                    r_qlen[idx] -= 1
+                    ring_rexit[(t + SER) % _RING].append(idx)
+            # (8) Drain checks on the scalar engine's chunk grid.
+            if t >= me and (t - me) % self.chunk == 0:
+                done = self.active_r & (self.lab_del == self.lab_inj)
+                if done.any():
+                    self._freeze(done)
+                    active_n = self.active_n
+                    frozen = True
+                    if not self.active_r.any():
+                        break
+        self._flush_base(np.arange(self.R, dtype=np.int64), he)
+        return self._results()
+
+    def _dispatch(self, t: int, cand: np.ndarray, frozen: bool = False) -> None:
+        """Serve the candidate channels (sorted, possibly repeated) at ``t``."""
+        n = len(cand)
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        np.not_equal(cand[1:], cand[:-1], out=keep[1:])
+        keep &= self.c_busy_until[cand] <= t
+        if frozen:
+            keep &= self.active_rc[cand]
+        cand = cand[keep]
+        if not len(cand):
+            return
+        pqs = self.c_pq[cand]
+        has = self.tx_qlen[pqs] > 0
+        cand = cand[has]
+        n = len(cand)
+        if not n:
+            return
+        pqs = pqs[has]
+        CAP, B, D, N, CH = self.CAP, self.B, self.D, self.N, self.CH
+        # Rank same-pair channels by ascending wavelength (cand is sorted
+        # rc-ascending = wavelength-ascending within a pair).
+        order = np.argsort(pqs, kind="stable")
+        spq = pqs[order]
+        first = np.searchsorted(spq, spq, side="left")
+        rank = np.arange(n, dtype=np.int64) - first
+        serve = rank < self.tx_qlen[spq]
+        chosen = cand[order][serve]
+        if not len(chosen):
+            return
+        cpq = spq[serve]
+        crank = rank[serve]
+        loc = self.tx_ring[cpq * CAP + (self.tx_head[cpq] + crank) % CAP].astype(
+            np.int64
+        )
+        m = len(cpq)
+        neq = np.empty(m, dtype=bool)
+        neq[0] = True
+        np.not_equal(cpq[1:], cpq[:-1], out=neq[1:])
+        cut = neq.nonzero()[0]
+        upq = cpq[cut]
+        self._flush_occ(upq, t)
+        counts = np.empty(len(cut), dtype=np.int64)
+        np.subtract(cut[1:], cut[:-1], out=counts[:-1])
+        counts[-1] = m - cut[-1]
+        self.tx_qlen[upq] -= counts
+        self.tx_head[upq] = (self.tx_head[upq] + counts) % CAP
+        runs = chosen // CH
+        # Wake DPM-slept lasers (the packet pays wake_cycles; the laser
+        # starts drawing idle power immediately).
+        slp = self.c_sleep[chosen]
+        if slp.any():
+            widx = chosen[slp]
+            wruns = runs[slp]
+            self._flush_base(np.unique(wruns), t)
+            np.add.at(self.base_A, wruns, self.P_mw[self.c_level[widx]])
+            self.c_sleep[widx] = False
+        start = np.maximum(t + self.WAKE * slp, self.c_stall[chosen]).astype(float)
+        lvl = self.c_level[chosen].astype(np.int64)
+        end = start + self.svc_by_level[lvl]
+        self.c_busy_until[chosen] = end
+        # Busy energy over the measurement window.
+        ov = np.minimum(end, self.me) - np.maximum(start, self.wu)
+        np.maximum(ov, 0.0, out=ov)
+        np.add.at(self.busy_E, runs, self.P_mw[lvl] * ov)
+        # Link_util busy time, split at the next window boundary.
+        wend = (t // self.Wc + 1) * self.Wc
+        wb = np.minimum(end, wend) - start
+        np.maximum(wb, 0.0, out=wb)
+        self.win_busy[chosen] += wb
+        wc = end - np.maximum(start, wend)
+        np.maximum(wc, 0.0, out=wc)
+        self.win_carry[chosen] += wc
+        # Deliveries (fiber + destination pipeline after service) and the
+        # channel's own re-dispatch moment, grouped by completion cycle.
+        end_i = np.ceil(end).astype(np.int64)
+        rn_dest = runs * N + (cpq % B) * D + loc
+        order2 = np.argsort(end_i, kind="stable")
+        end_s = end_i[order2]
+        rn_s = rn_dest[order2]
+        ch_s = chosen[order2]
+        k = len(end_s)
+        neq2 = np.empty(k, dtype=bool)
+        neq2[0] = True
+        np.not_equal(end_s[1:], end_s[:-1], out=neq2[1:])
+        cut2 = neq2.nonzero()[0]
+        bounds = cut2.tolist()
+        bounds.append(k)
+        times = end_s[cut2].tolist()
+        ring_deliv, ring_cend = self.ring_deliv, self.ring_cend
+        deliv = self.DELIV
+        for i, et in enumerate(times):
+            lo = bounds[i]
+            hi = bounds[i + 1]
+            ring_cend[et % _RING].append(ch_s[lo:hi])
+            ring_deliv[(et + deliv) % _RING].append(rn_s[lo:hi])
+
+    def _freeze(self, done: np.ndarray) -> None:
+        """Mask out drained runs; stale ring events are filtered on pop."""
+        self.active_r &= ~done
+        self.active_n = np.repeat(self.active_r, self.N)
+        self.active_rc = np.repeat(self.active_r, self.CH)
+        rows = np.flatnonzero(np.repeat(done, self.N))
+        self.p_busy[rows] = False
+        self.p_blocked[rows] = False
+        self.r_busy[rows] = False
+        if len(self.blk):
+            self.blk = self.blk[self.active_n[self.blk]]
+
+    # ------------------------------------------------------------------
+    def _results(self) -> List[RunResult]:
+        out: List[RunResult] = []
+        nodes = self.N
+        owned = (self.c_owner >= 0).reshape(self.R, self.CH)
+        power = (
+            self.idle_frac * self.base_E + (1.0 - self.idle_frac) * self.busy_E
+        ) / self.measure
+        for r, (config, workload, _) in enumerate(self.runs):
+            lab_del = int(self.lab_del[r])
+            if lab_del > 0:
+                lat = float(
+                    (self.sum_del_t[r] - self.lab_prefix[r][lab_del]) / lab_del
+                )
+            else:
+                lat = 0.0
+            out.append(
+                RunResult(
+                    throughput=int(self.delivered_measure[r]) / (self.measure * nodes),
+                    offered=int(self.inj_measure[r]) / (self.measure * nodes),
+                    avg_latency=lat,
+                    p99_latency=0.0,
+                    max_latency=0.0,
+                    power_mw=float(power[r]),
+                    labeled_injected=int(self.lab_inj[r]),
+                    labeled_delivered=lab_del,
+                    delivered_measure=int(self.delivered_measure[r]),
+                    extra={
+                        "policy": config.policy.name,
+                        "pattern": workload.pattern,
+                        "load": workload.load,
+                        "grants": int(self.grants[r]),
+                        "dpm_transitions": int(self.dpm_transitions[r]),
+                        "sleeps": int(self.sleeps[r]),
+                        "lasers_on_final": int(np.count_nonzero(owned[r])),
+                        "events": 0,
+                        "engine": "batch",
+                    },
+                )
+            )
+        return out

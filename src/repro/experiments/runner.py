@@ -61,6 +61,7 @@ def reproduce_all(
     log: Callable[[str], None] = print,
     jobs: int = 1,
     cache: Union[bool, RunCache, None] = True,
+    engine: str = "fast",
 ) -> Dict[str, Path]:
     """Run every experiment; returns {artifact name: path}.
 
@@ -73,6 +74,10 @@ def reproduce_all(
         ``True`` (default) memoizes sweep runs in the default run cache
         (``$ERAPID_CACHE_DIR`` or ``~/.cache/erapid/runs``); pass a
         :class:`RunCache` to choose the store, or ``False`` to disable.
+    engine:
+        Sweep-stage engine: ``"fast"`` (scalar, default) or ``"batch"``
+        (vectorized slabs with scalar fallback; statistically equivalent
+        under the declared tolerances, not bit-identical).
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -104,6 +109,8 @@ def reproduce_all(
 
     start = perf_counter()
     mode = f"jobs={jobs}" if jobs > 1 else "serial"
+    if engine != "fast":
+        mode = f"{engine} engine, {mode}"
     cache_note = "cached" if run_cache is not None else "no cache"
     log(f"[3/4] Figure 5/6 load sweeps (4 patterns x 4 policies, {mode}, "
         f"{cache_note}) ...")
@@ -122,7 +129,7 @@ def reproduce_all(
         )
 
     matrix = run_sweep_matrix(
-        specs, progress=progress, jobs=jobs, cache=run_cache
+        specs, progress=progress, jobs=jobs, cache=run_cache, engine=engine
     )
     for name, spec in specs.items():
         panel = FigurePanel(spec, matrix[name])

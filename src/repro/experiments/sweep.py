@@ -97,13 +97,14 @@ def run_sweep(
     progress: Optional[SweepProgress] = None,
     jobs: int = 1,
     cache: Optional["RunCache"] = None,
+    engine: str = "fast",
 ) -> Dict[str, List[RunResult]]:
     """Run the full (policy × load) matrix; returns {policy: [results]}.
 
     ``progress(policy, load, result)`` is invoked after each run when
-    given (the CLI uses it for live output).  ``jobs``/``cache`` behave as
-    documented on :func:`run_sweep_matrix`; outputs are bit-identical for
-    every ``jobs`` value and across cache hits.
+    given (the CLI uses it for live output).  ``jobs``/``cache``/
+    ``engine`` behave as documented on :func:`run_sweep_matrix`; outputs
+    are bit-identical for every ``jobs`` value and across cache hits.
     """
     matrix_progress: Optional[MatrixProgress] = None
     if progress is not None:
@@ -120,6 +121,7 @@ def run_sweep(
         progress=matrix_progress,
         jobs=jobs,
         cache=cache,
+        engine=engine,
     )["sweep"]
 
 
@@ -129,6 +131,7 @@ def run_sweep_matrix(
     progress: Optional[MatrixProgress] = None,
     jobs: int = 1,
     cache: Optional["RunCache"] = None,
+    engine: str = "fast",
 ) -> Dict[str, Dict[str, List[RunResult]]]:
     """Run several sweep panels as one flat (panel × policy × load) batch.
 
@@ -149,18 +152,37 @@ def run_sweep_matrix(
     cache:
         Optional :class:`repro.perf.cache.RunCache`; hits skip execution,
         misses are stored after running.
+    engine:
+        ``"fast"`` (default) runs every point on the scalar
+        :class:`~repro.core.engine.FastEngine`; ``"batch"`` routes points
+        the vectorized model covers through
+        :func:`repro.perf.executor.run_sweep_batched` (scalar fallback for
+        the rest).  Cache keys are engine-aware per point: a point the
+        batch engine executes is keyed in the batch keyspace, a fallback
+        point keeps its scalar key (its result *is* a scalar result).
 
     Returns ``{panel: {policy: [RunResult per load]}}``.
     """
-    from repro.perf.executor import RunTask, execute_tasks
+    from repro.perf.executor import RunTask, execute_tasks, run_sweep_batched
+
+    if engine not in ("fast", "batch"):
+        raise ConfigurationError(
+            f"unknown sweep engine {engine!r}; expected 'fast' or 'batch'"
+        )
+    batch_covers: Optional[Callable[..., Optional[str]]] = None
+    if engine == "batch":
+        from repro.core.batch import coverage_gap
+
+        batch_covers = coverage_gap
 
     results: Dict[str, Dict[str, List[Optional[RunResult]]]] = {
         name: {p: [None] * len(spec.loads) for p in spec.policies}
         for name, spec in specs.items()
     }
     tasks: List[RunTask] = []
-    #: Parallel to ``tasks``: (panel, policy, load, slot index, cache key).
-    meta: List[Tuple[str, str, float, int, Optional[str]]] = []
+    #: Parallel to ``tasks``: (panel, policy, load, slot index, cache key,
+    #: engine keyspace of the point).
+    meta: List[Tuple[str, str, float, int, Optional[str], str]] = []
 
     for name, spec in specs.items():
         base = (base_configs or {}).get(name) or _default_config(spec)
@@ -170,9 +192,16 @@ def run_sweep_matrix(
                 workload = WorkloadSpec(
                     pattern=spec.pattern, load=load, seed=spec.seed
                 )
+                point_engine = "fast"
+                if batch_covers is not None and (
+                    batch_covers(config, workload, spec.plan) is None
+                ):
+                    point_engine = "batch"
                 key: Optional[str] = None
                 if cache is not None:
-                    key = cache.key_for(config, workload, spec.plan)
+                    key = cache.key_for(
+                        config, workload, spec.plan, engine=point_engine
+                    )
                     hit = cache.get(key)
                     if hit is not None:
                         results[name][policy_name][li] = hit
@@ -180,17 +209,20 @@ def run_sweep_matrix(
                             progress(name, policy_name, load, hit, True)
                         continue
                 tasks.append(RunTask(config, workload, spec.plan))
-                meta.append((name, policy_name, load, li, key))
+                meta.append((name, policy_name, load, li, key, point_engine))
 
     def on_result(index: int, result: RunResult) -> None:
-        name, policy_name, load, li, key = meta[index]
+        name, policy_name, load, li, key, point_engine = meta[index]
         results[name][policy_name][li] = result
         if cache is not None and key is not None:
-            cache.put(key, result)
+            cache.put(key, result, engine=point_engine)
         if progress is not None:
             progress(name, policy_name, load, result, False)
 
-    execute_tasks(tasks, jobs=jobs, on_result=on_result)
+    if engine == "batch":
+        run_sweep_batched(tasks, jobs=jobs, on_result=on_result)
+    else:
+        execute_tasks(tasks, jobs=jobs, on_result=on_result)
 
     # All slots are filled now; narrow Optional away for callers.
     return {

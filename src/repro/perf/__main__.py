@@ -3,13 +3,13 @@
 Usage::
 
     python -m repro.perf bench [--quick] [--jobs N]
-                               [--only kernel|engine|detailed|sweep]
+                               [--only kernel|engine|detailed|sweep|batch]
                                [--output DIR]
 
 Writes ``BENCH_kernel.json`` / ``BENCH_engine.json`` /
-``BENCH_detailed.json`` / ``BENCH_sweep.json`` into ``--output`` (default:
-the current directory, i.e. the repo root when invoked from a checkout or
-via ``make bench``).
+``BENCH_detailed.json`` / ``BENCH_sweep.json`` / ``BENCH_batch.json``
+into ``--output`` (default: the current directory, i.e. the repo root
+when invoked from a checkout or via ``make bench``).
 """
 
 from __future__ import annotations
@@ -42,7 +42,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--only",
-        choices=("kernel", "engine", "detailed", "sweep", "all"),
+        choices=("kernel", "engine", "detailed", "sweep", "batch", "all"),
         default="all",
         help="run a single benchmark family (default: all)",
     )
@@ -154,6 +154,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  -> {args.output / 'BENCH_sweep.json'}")
         if not (det["parallel_matches_serial"] and det["cached_matches_serial"]):
             print("bench: determinism cross-check FAILED", file=sys.stderr)
+            return 1
+    if "batch" in reports:
+        b = reports["batch"]
+        equiv = b["equivalence"]
+        bit = b["bit_identity"]
+        print(
+            "batch ({runs} runs, {covered} batch-covered): batch "
+            "{brate:.1f} runs/s vs scalar jobs={jobs} {srate:.1f} runs/s "
+            "({speedup:.2f}x)".format(
+                runs=b["runs"],
+                covered=b["covered_runs"],
+                brate=b["batch_runs_per_sec"],
+                jobs=b["jobs"],
+                srate=b["scalar_runs_per_sec"],
+                speedup=b["speedup"],
+            )
+        )
+        print(
+            "  equivalence: {a} ({n} failures); bit-identity "
+            "({bruns} permutation runs): {c}".format(
+                a="OK" if equiv["ok"] else "OUT OF TOLERANCE",
+                n=len(equiv["failures"]),
+                bruns=bit["runs"],
+                c="OK" if bit["matches"] else "MISMATCH",
+            )
+        )
+        print(f"  -> {args.output / 'BENCH_batch.json'}")
+        if not equiv["ok"]:
+            print(
+                "bench: batch statistical-equivalence gate FAILED",
+                file=sys.stderr,
+            )
+            return 1
+        if not bit["matches"]:
+            print(
+                "bench: batch bit-identity cross-check FAILED", file=sys.stderr
+            )
+            return 1
+        if not b["quick"] and b["speedup"] < 5:
+            print(
+                "bench: batch speedup {:.2f}x below the 5x gate".format(
+                    b["speedup"]
+                ),
+                file=sys.stderr,
+            )
             return 1
     return 0
 

@@ -37,6 +37,15 @@ performance is tracked *in the tree* alongside the code it measures:
     :class:`~repro.metrics.collector.RunResult` field except the
     executed-event count.
 
+``BENCH_batch.json``
+    Sweep-grid runs/sec of the vectorized struct-of-arrays
+    :class:`~repro.core.batch.BatchEngine` against the ``jobs``-wide
+    scalar :class:`~repro.core.engine.FastEngine` pool on the paper's
+    144-point grid — plus the adapted correctness gates: the statistical-
+    equivalence harness (:mod:`repro.analysis.equivalence`, declared
+    throughput/latency/power tolerances) and a bit-identity fingerprint
+    of the stream-identical permutation-pattern injection fields.
+
 Timing uses ``time.perf_counter`` (wall clock is fine here: this module is
 *about* wall time and is exempt from SIM001, which guards the simulation
 core only).  Reported rates are best-of-N to damp scheduler noise.
@@ -62,6 +71,7 @@ from repro.sim.kernel import KERNEL_VERSION, Simulator
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = [
+    "bench_batch",
     "bench_detailed",
     "bench_engine",
     "bench_kernel",
@@ -569,6 +579,123 @@ def bench_sweep(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Batch-engine benchmark
+# ----------------------------------------------------------------------
+def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
+    """Batch-engine runs/sec vs the ``jobs``-wide scalar sweep.
+
+    Full mode runs the paper's 144-point grid (4 patterns × 4 policies ×
+    9 loads on R(1,8,8)) once through :func:`~repro.perf.executor.
+    run_sweep_batched` and once through the scalar process pool, then
+    gates the pair with the statistical-equivalence harness
+    (:mod:`repro.analysis.equivalence`) and a bit-identity fingerprint of
+    the stream-identical permutation subset.  Quick mode shrinks the grid
+    and plan for CI smoke; the equivalence and bit-identity gates apply
+    at every size, the ≥5x speedup bar only to the full grid.
+    """
+    from repro.analysis.equivalence import (
+        DEFAULT_TOLERANCES,
+        bit_identity_fingerprint,
+        compare_runs,
+    )
+    from repro.core.batch import BATCH_KERNEL_VERSION, coverage_gap
+    from repro.core.policies import POLICIES
+    from repro.experiments.sweep import PAPER_LOADS
+    from repro.perf.executor import RunTask, execute_tasks, run_sweep_batched
+
+    if quick:
+        patterns: Tuple[str, ...] = ("complement", "uniform")
+        loads: Tuple[float, ...] = (0.2, 0.5, 0.8)
+        boards, nodes = 4, 4
+        # The measurement window must be long enough that the uniform
+        # points (a *different* random realization per engine, by design)
+        # sit inside the declared tolerances: at measure=2000 the
+        # seed-to-seed power spread on this grid is ~15%, right at the
+        # power band; at measure=6000 it collapses to ~3%.
+        plan = MeasurementPlan(warmup=2000.0, measure=6000.0, drain_limit=10000.0)
+    else:
+        patterns = ("uniform", "complement", "butterfly", "perfect_shuffle")
+        loads = tuple(PAPER_LOADS)
+        boards, nodes = 8, 8
+        plan = MeasurementPlan(warmup=8000.0, measure=12000.0, drain_limit=24000.0)
+    policies = ("NP-NB", "P-NB", "NP-B", "P-B")
+
+    base = ERapidConfig(
+        topology=ERapidTopology(boards=boards, nodes_per_board=nodes)
+    )
+    tasks = []
+    perm_indices = []
+    for pattern in patterns:
+        for policy_name in policies:
+            config = base.with_policy(POLICIES[policy_name])
+            for load in loads:
+                workload = WorkloadSpec(pattern=pattern, load=load, seed=1)
+                if pattern != "uniform":
+                    perm_indices.append(len(tasks))
+                tasks.append(RunTask(config, workload, plan))
+    covered = sum(
+        1
+        for t in tasks
+        if coverage_gap(t.config, t.workload, t.plan) is None
+    )
+
+    start = perf_counter()
+    batch_results = run_sweep_batched(tasks, jobs=1)
+    batch_s = perf_counter() - start
+
+    start = perf_counter()
+    scalar_results = execute_tasks(tasks, jobs=jobs)
+    scalar_s = perf_counter() - start
+
+    equivalence = compare_runs(scalar_results, batch_results)
+    perm_scalar = [scalar_results[i] for i in perm_indices]
+    perm_batch = [batch_results[i] for i in perm_indices]
+    scalar_fp = bit_identity_fingerprint(perm_scalar)
+    batch_fp = bit_identity_fingerprint(perm_batch)
+
+    runs = len(tasks)
+    return {
+        "benchmark": "batch",
+        "kernel_version": KERNEL_VERSION,
+        "batch_kernel_version": BATCH_KERNEL_VERSION,
+        "python": platform.python_version(),
+        "quick": quick,
+        "runs": runs,
+        "covered_runs": covered,
+        "jobs": jobs,
+        "grid": {
+            "patterns": list(patterns),
+            "policies": list(policies),
+            "loads": [float(x) for x in loads],
+            "boards": boards,
+            "nodes_per_board": nodes,
+        },
+        "batch_seconds": batch_s,
+        "scalar_seconds": scalar_s,
+        "batch_runs_per_sec": runs / batch_s if batch_s > 0 else 0.0,
+        "scalar_runs_per_sec": runs / scalar_s if scalar_s > 0 else 0.0,
+        "speedup": scalar_s / batch_s if batch_s > 0 else 0.0,
+        "tolerances": [
+            {
+                "metric": t.metric,
+                "rel_tol": t.rel_tol,
+                "abs_tol": t.abs_tol,
+                "drained_only": t.drained_only,
+            }
+            for t in DEFAULT_TOLERANCES
+        ],
+        "equivalence": equivalence.to_dict(),
+        "bit_identity": {
+            "runs": len(perm_indices),
+            "fields": ["offered", "labeled_injected"],
+            "scalar_fingerprint": scalar_fp,
+            "batch_fingerprint": batch_fp,
+            "matches": scalar_fp == batch_fp,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Orchestration
 # ----------------------------------------------------------------------
 def write_report(report: Dict[str, Any], path: Path) -> None:
@@ -583,8 +710,8 @@ def run_benchmarks(
 ) -> Dict[str, Dict[str, Any]]:
     """Run the selected benchmarks and write ``BENCH_*.json`` reports.
 
-    ``which`` is ``"kernel"``, ``"engine"``, ``"detailed"``, ``"sweep"``
-    or ``"all"``.  Returns the reports keyed by family.
+    ``which`` is ``"kernel"``, ``"engine"``, ``"detailed"``, ``"sweep"``,
+    ``"batch"`` or ``"all"``.  Returns the reports keyed by family.
     """
     output_dir.mkdir(parents=True, exist_ok=True)
     reports: Dict[str, Dict[str, Any]] = {}
@@ -600,4 +727,7 @@ def run_benchmarks(
     if which in ("sweep", "all"):
         reports["sweep"] = bench_sweep(quick=quick, jobs=jobs)
         write_report(reports["sweep"], output_dir / "BENCH_sweep.json")
+    if which in ("batch", "all"):
+        reports["batch"] = bench_batch(quick=quick, jobs=jobs)
+        write_report(reports["batch"], output_dir / "BENCH_batch.json")
     return reports

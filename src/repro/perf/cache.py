@@ -38,12 +38,25 @@ from repro.metrics.collector import MeasurementPlan, RunResult
 from repro.power.levels import PowerLevelTable
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["RunCache", "run_cache_key", "default_cache_dir", "canonical_payload"]
+__all__ = [
+    "RunCache",
+    "run_cache_key",
+    "default_cache_dir",
+    "canonical_payload",
+    "ENGINES",
+]
 
 #: Bump when the cache entry *format* changes (key derivation or value
 #: encoding) — orthogonal to the kernel version, which tracks simulation
 #: semantics.
 CACHE_FORMAT = 1
+
+#: Engine keyspaces the cache knows about.  "fast" is the default and its
+#: keys are byte-for-byte what they were before engines existed (so every
+#: pre-existing entry stays addressable); other engines fold their name —
+#: and any engine-specific kernel version — into the payload, so a batch
+#: result can never alias a scalar entry.
+ENGINES = ("fast", "detailed", "batch")
 
 _ENV_VAR = "ERAPID_CACHE_DIR"
 
@@ -93,27 +106,46 @@ def canonical_payload(
     config: ERapidConfig,
     workload: WorkloadSpec,
     plan: MeasurementPlan,
+    engine: str = "fast",
 ) -> Dict[str, Any]:
-    """The full, canonical description of one run (pre-hash)."""
+    """The full, canonical description of one run (pre-hash).
+
+    ``engine="fast"`` produces *exactly* the historical payload (no
+    ``engine`` field), so scalar keys — and every entry already on disk —
+    are stable across this parameter's introduction.  Any other engine
+    adds its name, and ``"batch"`` additionally folds in
+    :data:`repro.core.batch.BATCH_KERNEL_VERSION` so vectorized-kernel
+    changes invalidate batch entries without touching scalar ones.
+    """
     from repro.sim.kernel import KERNEL_VERSION
 
-    return {
+    if engine not in ENGINES:
+        raise CacheError(f"unknown engine keyspace {engine!r}")
+    payload: Dict[str, Any] = {
         "cache_format": CACHE_FORMAT,
         "kernel_version": KERNEL_VERSION,
         "config": _canonical(config),
         "workload": _canonical(workload),
         "plan": _canonical(plan),
     }
+    if engine != "fast":
+        payload["engine"] = engine
+    if engine == "batch":
+        from repro.core.batch import BATCH_KERNEL_VERSION
+
+        payload["batch_kernel_version"] = BATCH_KERNEL_VERSION
+    return payload
 
 
 def run_cache_key(
     config: ERapidConfig,
     workload: WorkloadSpec,
     plan: MeasurementPlan,
+    engine: str = "fast",
 ) -> str:
     """SHA-256 content address of one run."""
     payload = json.dumps(
-        canonical_payload(config, workload, plan),
+        canonical_payload(config, workload, plan, engine=engine),
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -160,8 +192,9 @@ class RunCache:
         config: ERapidConfig,
         workload: WorkloadSpec,
         plan: MeasurementPlan,
+        engine: str = "fast",
     ) -> str:
-        return run_cache_key(config, workload, plan)
+        return run_cache_key(config, workload, plan, engine=engine)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -181,7 +214,7 @@ class RunCache:
             self.hits += 1
         return result
 
-    def put(self, key: str, result: RunResult) -> None:
+    def put(self, key: str, result: RunResult, engine: str = "fast") -> None:
         """Store ``result`` under ``key``, crash- and race-safe.
 
         The payload goes to a uniquely-named temp file in the cache
@@ -190,12 +223,20 @@ class RunCache:
         A crash mid-write leaves only a stray ``*.tmp`` file, never a torn
         entry; concurrent writers of the same key each publish a complete
         entry and the last replace wins (all writers of one key carry
-        bit-identical payloads by construction).
+        bit-identical payloads by construction).  ``engine`` tags the
+        entry for :meth:`by_engine_stats`; it does not affect the key
+        (callers derive engine-aware keys via :meth:`key_for`).
         """
+        if engine not in ENGINES:
+            raise CacheError(f"unknown engine keyspace {engine!r}")
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         payload = json.dumps(
-            {"cache_format": CACHE_FORMAT, "result": result.to_dict()},
+            {
+                "cache_format": CACHE_FORMAT,
+                "engine": engine,
+                "result": result.to_dict(),
+            },
             sort_keys=True,
         )
         fd, tmp_name = tempfile.mkstemp(
@@ -244,6 +285,32 @@ class RunCache:
             except OSError:  # pragma: no cover - racing unlink
                 pass
         return total
+
+    def by_engine_stats(self) -> Dict[str, Dict[str, int]]:
+        """Entry count and on-disk bytes per engine keyspace.
+
+        Reads each entry's ``engine`` tag; entries written before tagging
+        existed (or whose tag is unreadable) count as ``"fast"`` — exactly
+        the keyspace they were written from.  The three known engines are
+        always present in the result so callers can render a stable table.
+        """
+        out: Dict[str, Dict[str, int]] = {
+            e: {"entries": 0, "bytes": 0} for e in ENGINES
+        }
+        for f in self.entries():
+            engine = "fast"
+            try:
+                data = json.loads(f.read_text(encoding="utf-8"))
+                tag = data.get("engine")
+                if isinstance(tag, str) and tag:
+                    engine = tag
+                size = f.stat().st_size
+            except (OSError, ValueError):  # pragma: no cover - racing unlink
+                continue
+            bucket = out.setdefault(engine, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return out
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

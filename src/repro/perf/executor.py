@@ -26,13 +26,19 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, cast
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 from repro.core.config import ERapidConfig
 from repro.metrics.collector import MeasurementPlan, RunResult
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["RunTask", "execute_run", "execute_tasks"]
+__all__ = ["RunTask", "execute_run", "execute_tasks", "run_sweep_batched"]
+
+#: Run points per :class:`~repro.core.batch.BatchEngine` slab.  Bounds the
+#: struct-of-arrays working set (state is O(runs x wavelengths x boards^2))
+#: while keeping slabs wide enough to amortize the per-cycle numpy
+#: dispatch overhead.
+SLAB_CAP = 256
 
 #: ``on_result(index, result)`` — invoked as runs complete (completion
 #: order under ``jobs > 1``, task order serially).
@@ -96,4 +102,66 @@ def execute_tasks(
                 results[index] = result
                 if on_result is not None:
                     on_result(index, result)
+    return cast(List[RunResult], results)
+
+
+def run_sweep_batched(
+    tasks: Sequence[RunTask],
+    jobs: int = 1,
+    on_result: Optional[ResultHook] = None,
+) -> List[RunResult]:
+    """Execute ``tasks`` on the vectorized batch engine where possible.
+
+    Tasks the batch model covers (:func:`repro.core.batch.coverage_gap`
+    returns None) are grouped by :func:`repro.core.batch.slab_key` into
+    struct-of-arrays slabs of at most :data:`SLAB_CAP` runs, each advanced
+    as one :class:`~repro.core.batch.BatchEngine`; everything else falls
+    back to the scalar :func:`execute_tasks` path (``jobs`` applies to the
+    fallback pool only — a slab is single-process by construction).
+
+    The returned list is in task order, like :func:`execute_tasks`;
+    ``on_result(index, result)`` fires per run as its slab (or fallback
+    run) completes.  Slab membership never changes a run's result: every
+    run's state rows are independent, so partitioning is purely a
+    throughput concern.
+    """
+    from repro.core.batch import BatchEngine, coverage_gap, slab_key
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: List[Optional[RunResult]] = [None] * len(tasks)
+    #: slab key -> task indices, in task order (dict preserves insertion
+    #: order, so slab composition is deterministic in the task sequence).
+    slabs: Dict[Tuple[object, ...], List[int]] = {}
+    scalar_indices: List[int] = []
+    for i, task in enumerate(tasks):
+        if coverage_gap(task.config, task.workload, task.plan) is None:
+            key = slab_key(task.config, task.workload, task.plan)
+            slabs.setdefault(key, []).append(i)
+        else:
+            scalar_indices.append(i)
+
+    # Slab order is immaterial: each run's result depends only on its own
+    # (config, workload, plan) row and lands in its own `results` slot.
+    for indices in slabs.values():  # sim-lint: ignore[SIM007]
+        for lo in range(0, len(indices), SLAB_CAP):
+            chunk = indices[lo : lo + SLAB_CAP]
+            engine = BatchEngine(
+                [(tasks[i].config, tasks[i].workload, tasks[i].plan) for i in chunk]
+            )
+            for i, result in zip(chunk, engine.run()):
+                results[i] = result
+                if on_result is not None:
+                    on_result(i, result)
+
+    if scalar_indices:
+        fallback = [tasks[i] for i in scalar_indices]
+
+        def forward(j: int, result: RunResult) -> None:
+            i = scalar_indices[j]
+            results[i] = result
+            if on_result is not None:
+                on_result(i, result)
+
+        execute_tasks(fallback, jobs=jobs, on_result=forward)
     return cast(List[RunResult], results)

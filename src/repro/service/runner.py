@@ -82,8 +82,23 @@ def execute_job(
     execute: Optional[ExecuteFn] = None,
     on_event: Optional[EventHook] = None,
 ) -> JobExecution:
-    """Execute one job: cache lookups, pool fan-out, result storage."""
-    run_execute = execute_tasks if execute is None else execute
+    """Execute one job: cache lookups, pool fan-out, result storage.
+
+    ``spec.engine == "batch"`` routes execution through
+    :func:`repro.perf.executor.run_sweep_batched` (unless ``execute`` is
+    injected); cache keys are then engine-aware per run — batch keyspace
+    for points the vectorized model covers, scalar keyspace for fallback
+    points.
+    """
+    batch_covers: Optional[Callable[..., Optional[str]]] = None
+    if spec.engine == "batch":
+        from repro.core.batch import coverage_gap
+        from repro.perf.executor import run_sweep_batched
+
+        batch_covers = coverage_gap
+        run_execute = run_sweep_batched if execute is None else execute
+    else:
+        run_execute = execute_tasks if execute is None else execute
     plan = spec.plan()
     descriptions = spec.run_descriptions()
     results: Dict[str, List[Optional[RunResult]]] = {
@@ -91,16 +106,24 @@ def execute_job(
     }
     records: List[Optional[RunRecord]] = [None] * len(descriptions)
     tasks: List[RunTask] = []
-    #: Parallel to ``tasks``: (description index, policy, load slot, key).
+    #: Parallel to ``tasks``: (description index, policy, load slot, key,
+    #: engine keyspace of the point).
     meta: List[tuple] = []
     start = time.perf_counter()
 
     load_index = {load: li for li, load in enumerate(spec.loads)}
     for di, desc in enumerate(descriptions):
+        point_engine = "fast"
+        if batch_covers is not None and (
+            batch_covers(desc.config, desc.workload, plan) is None
+        ):
+            point_engine = "batch"
         key: Optional[str] = None
         hit: Optional[RunResult] = None
         if cache is not None:
-            key = cache.key_for(desc.config, desc.workload, plan)
+            key = cache.key_for(
+                desc.config, desc.workload, plan, engine=point_engine
+            )
             hit = cache.get(key)
         if hit is not None:
             records[di] = RunRecord(desc.policy, desc.load, key, hit=True)
@@ -110,13 +133,13 @@ def execute_job(
             continue
         records[di] = RunRecord(desc.policy, desc.load, key, hit=False)
         tasks.append(RunTask(desc.config, desc.workload, plan))
-        meta.append((di, desc.policy, load_index[desc.load], key))
+        meta.append((di, desc.policy, load_index[desc.load], key, point_engine))
 
     def on_result(index: int, result: RunResult) -> None:
-        _, policy, li, key = meta[index]
+        _, policy, li, key, point_engine = meta[index]
         results[policy][li] = result
         if cache is not None and key is not None:
-            cache.put(key, result)
+            cache.put(key, result, engine=point_engine)
         if on_event is not None:
             on_event("run_done", policy, spec.loads[li], result)
 

@@ -79,6 +79,8 @@ class JobSpec:
     drain_limit: float = 24000.0
     #: "interactive" | "bulk"; empty selects the kind's default.
     priority: str = ""
+    #: "fast" (scalar) or "batch" (vectorized slabs with scalar fallback).
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -114,6 +116,8 @@ class JobSpec:
             )
         if self.priority not in PRIORITIES:
             raise JobSpecError(f"unknown priority {self.priority!r}")
+        if self.engine not in ("fast", "batch"):
+            raise JobSpecError(f"unknown engine {self.engine!r}")
         # Plan validation happens eagerly so a bad spec is rejected at
         # submission, not mid-execution.
         self.plan()
@@ -175,7 +179,7 @@ class JobSpec:
         """Canonical work-defining payload (priority excluded)."""
         from repro.sim.kernel import KERNEL_VERSION
 
-        return {
+        payload: Dict[str, Any] = {
             "service_format": SERVICE_FORMAT,
             "kernel_version": KERNEL_VERSION,
             "kind": self.kind,
@@ -189,6 +193,11 @@ class JobSpec:
             "measure": self.measure,
             "drain_limit": self.drain_limit,
         }
+        # Only non-default engines enter the payload so every historical
+        # fast-engine job key stays byte-stable.
+        if self.engine != "fast":
+            payload["engine"] = self.engine
+        return payload
 
     def job_key(self) -> str:
         """SHA-256 content address of the job's *work* (not its priority)."""
@@ -210,6 +219,7 @@ class JobSpec:
             "measure": self.measure,
             "drain_limit": self.drain_limit,
             "priority": self.priority,
+            "engine": self.engine,
         }
 
     @classmethod

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.network.packet import Packet, PacketFactory
-from repro.sim.rng import RngRegistry, geometric_gap
+from repro.sim.rng import RngRegistry, geometric_gap, geometric_gap_array
 from repro.traffic.patterns import TrafficPattern
 
 __all__ = [
@@ -68,7 +68,7 @@ class BernoulliProcess(InjectionProcess):
         # the open interval is batchable stream-identically.
         if not 0.0 < self.rate < 1.0:
             return None
-        return rng.geometric(self.rate, size=n).tolist()
+        return geometric_gap_array(rng, self.rate, n).tolist()
 
 
 class PoissonProcess(InjectionProcess):
@@ -185,10 +185,15 @@ class TrafficSource:
         process: InjectionProcess,
         factory: Optional[PacketFactory] = None,
         rng: Optional[np.random.Generator] = None,
+        gap_chunk: int = GAP_CHUNK,
     ) -> None:
         if not 0 <= node < pattern.n_nodes:
             raise ConfigurationError(
                 f"node {node} out of range for {pattern.n_nodes}-node pattern"
+            )
+        if gap_chunk < 1:
+            raise ConfigurationError(
+                f"gap_chunk must be >= 1, got {gap_chunk}"
             )
         self.node = node
         self.pattern = pattern
@@ -210,6 +215,11 @@ class TrafficSource:
         self._gap_buffer: List[Union[int, float]] = []
         self._gap_pos = 0
         self._batchable = pattern.is_permutation
+        # Chunk size of each vectorized refill.  Any value yields the same
+        # stream (numpy fills arrays element by element), so the batch
+        # engine can align its draws with the scalar path at whatever
+        # chunking its slab geometry prefers.
+        self.gap_chunk = int(gap_chunk)
 
     def next_gap(self) -> float:
         """Cycles until this node's next injection."""
@@ -219,7 +229,7 @@ class TrafficSource:
             self._gap_pos = pos + 1
             return buf[pos]
         if self._batchable:
-            batch = self.process.gap_batch(self.rng, GAP_CHUNK)
+            batch = self.process.gap_batch(self.rng, self.gap_chunk)
             if batch is not None:
                 self._gap_buffer = batch
                 self._gap_pos = 1

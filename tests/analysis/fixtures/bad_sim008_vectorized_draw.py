@@ -1,0 +1,22 @@
+# sim-lint: module=repro.core.fixture
+"""SIM008 fixture: vectorized draws bypassing repro.sim.rng helpers."""
+
+
+def bulk_gaps(rng, p: float, n: int):
+    return rng.geometric(p, size=n)
+
+
+def bulk_picks(stream, hi: int, n: int):
+    return stream.integers(0, hi, size=n)
+
+
+def attribute_receiver(self, n: int):
+    return self._rng.exponential(2.0, size=n)
+
+
+def scalar_draw_is_fine(rng, p: float):
+    return rng.geometric(p)
+
+
+def non_rng_receiver_is_fine(table, n: int):
+    return table.choice(range(n), size=n)

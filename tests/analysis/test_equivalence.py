@@ -1,0 +1,137 @@
+"""Equivalence-harness self-tests: the gate must actually gate.
+
+Each declared tolerance is perturbed past its limit on synthetic results
+(a "toy engine" pair) and the report must fail; the unperturbed pair must
+pass.  A harness whose failure modes aren't pinned is a rubber stamp.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.equivalence import (
+    DEFAULT_TOLERANCES,
+    EquivalenceReport,
+    MetricDeviation,
+    ToleranceSpec,
+    bit_identity_fingerprint,
+    compare_runs,
+)
+from repro.metrics.collector import RunResult
+
+
+def result(**overrides):
+    fields = dict(
+        throughput=0.02,
+        offered=0.021,
+        avg_latency=140.0,
+        p99_latency=300.0,
+        max_latency=500.0,
+        power_mw=180.0,
+        labeled_injected=100,
+        labeled_delivered=100,
+        delivered_measure=640,
+        extra={},
+    )
+    fields.update(overrides)
+    return RunResult(**fields)
+
+
+def perturbed(reference, metric, tolerance):
+    """A copy of ``reference`` pushed just past ``tolerance`` on ``metric``."""
+    value = float(getattr(reference, metric))
+    bump = 1.01 * tolerance.limit(value)
+    return dataclasses.replace(reference, **{metric: value + bump})
+
+
+TOLERANCES_BY_METRIC = {t.metric: t for t in DEFAULT_TOLERANCES}
+
+
+def test_identical_toy_runs_pass():
+    runs = [result(), result(throughput=0.04, power_mw=90.0)]
+    report = compare_runs(runs, [dataclasses.replace(r) for r in runs])
+    assert report.ok
+    assert report.total == 2
+    for tol in DEFAULT_TOLERANCES:
+        assert report.checked[tol.metric] == 2
+        assert report.worst[tol.metric].deviation == 0.0
+
+
+@pytest.mark.parametrize("metric", sorted(TOLERANCES_BY_METRIC))
+def test_each_tolerance_trips_when_perturbed_past_it(metric):
+    tol = TOLERANCES_BY_METRIC[metric]
+    reference = [result()]
+    candidate = [perturbed(reference[0], metric, tol)]
+    report = compare_runs(reference, candidate)
+    assert not report.ok
+    assert [f.metric for f in report.failures] == [metric]
+    assert report.failures[0].index == 0
+
+
+@pytest.mark.parametrize("metric", sorted(TOLERANCES_BY_METRIC))
+def test_each_tolerance_admits_deviation_inside_the_band(metric):
+    tol = TOLERANCES_BY_METRIC[metric]
+    reference = result()
+    value = float(getattr(reference, metric))
+    candidate = dataclasses.replace(
+        reference, **{metric: value + 0.9 * tol.limit(value)}
+    )
+    assert compare_runs([reference], [candidate]).ok
+
+
+def test_latency_is_checked_only_on_drained_references():
+    tol = TOLERANCES_BY_METRIC["avg_latency"]
+    assert tol.drained_only
+    saturated = result(labeled_injected=100, labeled_delivered=60)
+    candidate = perturbed(saturated, "avg_latency", tol)
+    report = compare_runs([saturated], [candidate])
+    assert report.ok
+    assert report.checked["avg_latency"] == 0
+    # Throughput and power are still checked on the same pair.
+    assert report.checked["throughput"] == 1
+
+
+def test_length_mismatch_is_an_error():
+    with pytest.raises(ValueError):
+        compare_runs([result()], [])
+
+
+def test_worst_tracks_the_largest_relative_exceedance():
+    tol = (ToleranceSpec("throughput", rel_tol=0.0, abs_tol=0.01),)
+    reference = [result(throughput=0.5), result(throughput=0.5)]
+    candidate = [
+        result(throughput=0.502),  # 0.2x of the limit
+        result(throughput=0.508),  # 0.8x of the limit
+    ]
+    report = compare_runs(reference, candidate, tolerances=tol)
+    assert report.ok
+    assert report.worst["throughput"].index == 1
+
+
+def test_report_serializes_for_bench_reports():
+    tol = TOLERANCES_BY_METRIC["power_mw"]
+    reference = [result()]
+    report = compare_runs(reference, [perturbed(reference[0], "power_mw", tol)])
+    data = report.to_dict()
+    assert data["ok"] is False
+    assert data["total"] == 1
+    assert data["failures"][0]["metric"] == "power_mw"
+    assert isinstance(report, EquivalenceReport)
+    assert all(isinstance(f, MetricDeviation) for f in report.failures)
+
+
+def test_bit_identity_fingerprint_is_an_equality_witness():
+    runs = [result(offered=0.25, labeled_injected=640)]
+    same = [result(offered=0.25, labeled_injected=640)]
+    assert bit_identity_fingerprint(runs) == bit_identity_fingerprint(same)
+    # One ULP of drift on a fingerprinted field changes the digest.
+    drifted = [
+        result(
+            offered=float.fromhex("0x1.0000000000001p-2"),
+            labeled_injected=640,
+        )
+    ]
+    assert bit_identity_fingerprint(runs) != bit_identity_fingerprint(drifted)
+    # Non-fingerprinted fields don't participate.
+    noisy = [result(offered=0.25, labeled_injected=640, power_mw=1.0)]
+    assert bit_identity_fingerprint(runs) == bit_identity_fingerprint(noisy)

@@ -13,6 +13,7 @@ from repro.analysis.__main__ import main
 from repro.analysis.layering import (
     EDGE_ALLOWLIST,
     LAYER_DAG,
+    MODULE_LAYERS,
     ImportEdge,
     analyze_paths,
     check_layering,
@@ -75,6 +76,40 @@ def test_service_layer_is_declared_and_bounded():
     )
     assert [v.kind for v in violations] == ["layer"]
     assert "experiments" in violations[0].message
+
+
+def test_batch_module_budget_is_tighter_than_core():
+    # The package entry would allow core -> network/power; the batch
+    # module's own budget must not.
+    budget = MODULE_LAYERS["repro.core.batch"]
+    assert "network" not in budget and "power" not in budget
+    assert budget < LAYER_DAG["core"] | {"core"}
+
+
+def test_batch_module_may_not_import_network_or_power():
+    for dst in ("repro.network.topology", "repro.power.dpm"):
+        violations = check_layering([edge("repro.core.batch", dst)])
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.kind == "module"
+        assert "module-scoped budget" in v.message
+
+
+def test_batch_module_allowed_edges_are_clean():
+    edges = [
+        edge("repro.core.batch", "repro.core.config"),
+        edge("repro.core.batch", "repro.sim.rng"),
+        edge("repro.core.batch", "repro.optics.rwa"),
+        edge("repro.core.batch", "repro.traffic.capacity"),
+        edge("repro.core.batch", "repro.metrics.collector"),
+        edge("repro.core.batch", "repro.errors"),
+    ]
+    assert check_layering(edges) == []
+
+
+def test_module_budget_overrides_only_the_declared_module():
+    # Sibling core modules keep the package-level budget.
+    assert check_layering([edge("repro.core.engine", "repro.network.router")]) == []
 
 
 def test_legacy_import_outside_perf_is_forbidden():

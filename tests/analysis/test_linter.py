@@ -271,6 +271,37 @@ def test_sim008_exempt_inside_the_registry_module():
     ]
 
 
+def test_sim008_vectorized_draw_fixture():
+    findings = lint_fixture("bad_sim008_vectorized_draw.py")
+    assert codes_and_lines(findings) == [
+        ("SIM008", 6),   # rng.geometric(p, size=n)
+        ("SIM008", 10),  # stream.integers(0, hi, size=n)
+        ("SIM008", 14),  # self._rng.exponential(2.0, size=n)
+    ]
+
+
+def test_sim008_vectorized_draw_scope_is_the_engine_tier():
+    snippet = "def f(rng, n):\n    return rng.integers(0, 4, size=n)\n"
+    # Engine packages and the batch slab orchestrator are in scope ...
+    for module in ("repro.core.batch", "repro.sim.x", "repro.perf.executor"):
+        assert codes_and_lines(lint_source(snippet, module=module)) == [
+            ("SIM008", 2)
+        ], module
+    # ... the registry itself and harness layers are not.
+    for module in ("repro.sim.rng", "repro.perf.bench", "repro.traffic.x",
+                   "repro.experiments.x"):
+        assert lint_source(snippet, module=module) == [], module
+
+
+def test_sim007_covers_the_batch_slab_orchestrator():
+    snippet = "def f(d):\n    return [d[k] for k in d.keys()]\n"
+    assert codes_and_lines(
+        lint_source(snippet, module="repro.perf.executor")
+    ) == [("SIM007", 2)]
+    # Other perf modules stay harness-scoped.
+    assert lint_source(snippet, module="repro.perf.cache") == []
+
+
 def test_sim009_env_read_fixture():
     findings = lint_fixture("bad_sim009_env_read.py")
     assert codes_and_lines(findings) == [

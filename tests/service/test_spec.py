@@ -132,3 +132,32 @@ def test_priority_rank_matches_registry():
         "interactive"
     ]
     assert JobSpec(priority="bulk").priority_rank() == PRIORITIES["bulk"]
+
+
+# ----------------------------------------------------------------------
+# Engine field (batch tier)
+# ----------------------------------------------------------------------
+def test_engine_defaults_to_fast_and_validates():
+    assert JobSpec().engine == "fast"
+    assert JobSpec(engine="batch").engine == "batch"
+    with pytest.raises(JobSpecError):
+        JobSpec(engine="warp")
+
+
+def test_fast_engine_keeps_historical_job_keys_stable():
+    """engine="fast" must not enter the payload: every job key minted
+    before the field existed has to keep resolving to the same work."""
+    payload = JobSpec().work_payload()
+    assert "engine" not in payload
+    assert JobSpec().job_key() == JobSpec(engine="fast").job_key()
+
+
+def test_batch_engine_moves_the_job_key():
+    assert JobSpec(engine="batch").job_key() != JobSpec().job_key()
+    assert JobSpec(engine="batch").work_payload()["engine"] == "batch"
+
+
+def test_engine_round_trips_through_the_wire_format():
+    spec = JobSpec(engine="batch")
+    assert spec.to_dict()["engine"] == "batch"
+    assert JobSpec.from_dict(spec.to_dict()) == spec

@@ -115,3 +115,64 @@ def test_cli_profile_detailed_rejects_dbr_policy(capsys):
     ])
     assert rc == 2
     assert "cannot run DBR" in capsys.readouterr().err
+
+
+def test_cli_profile_batch_engine(capsys):
+    rc = main([
+        "profile", "--engine", "batch", "--policy", "P-B",
+        "--pattern", "complement",
+        "--boards", "4", "--nodes", "4", "--load", "0.3",
+        "--warmup", "500", "--measure", "1000", "--top", "5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "batch engine" in out and "1-run slab" in out
+    assert "== profile summary ==" in out
+    # The batch tier is event-free by construction.
+    import re
+
+    assert re.search(r"events executed\s*: 0\b", out)
+
+
+def test_cli_profile_batch_rejects_uncovered_point(capsys):
+    rc = main([
+        "profile", "--engine", "batch", "--policy", "P-B",
+        "--pattern", "hotspot",
+        "--boards", "4", "--nodes", "4", "--load", "0.3",
+        "--warmup", "500", "--measure", "1000",
+    ])
+    assert rc == 2
+    assert "does not cover" in capsys.readouterr().err
+
+
+def test_cli_sweep_engine_batch(capsys):
+    rc = main([
+        "sweep", "--pattern", "complement", "--loads", "0.3",
+        "--boards", "4", "--nodes", "4", "--engine", "batch",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "complement sweep" in out and "throughput" in out
+
+
+def test_cli_cache_stats_by_engine(tmp_path, capsys):
+    rc = main(["cache", "stats", "--by-engine", "--dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for engine in ("fast", "detailed", "batch"):
+        assert f"{engine} entries" in out
+        assert f"{engine} bytes" in out
+    # Without the flag the breakdown stays out of the table.
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    assert "batch entries" not in capsys.readouterr().out
+
+
+def test_cli_engine_flags_parse():
+    parser = build_parser()
+    assert parser.parse_args(["sweep"]).engine == "fast"
+    assert parser.parse_args(["reproduce", "--engine", "batch"]).engine == "batch"
+    assert parser.parse_args(
+        ["submit", "--spool", "s", "--engine", "batch"]
+    ).engine == "batch"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--engine", "detailed"])

@@ -1,0 +1,217 @@
+"""Batch engine tier: coverage routing, slab grouping, fidelity gates.
+
+The vectorized :class:`~repro.core.batch.BatchEngine` is only allowed to
+exist because of the contracts pinned here: permutation-pattern injection
+is bit-identical to the scalar :class:`~repro.core.engine.FastEngine`,
+every other metric stays inside the tolerances declared in
+:mod:`repro.analysis.equivalence`, and points the vectorized model does
+not cover fall back to the scalar engine with scalar-identical results.
+"""
+
+import pytest
+
+from repro.analysis.equivalence import (
+    bit_identity_fingerprint,
+    compare_runs,
+)
+from repro.core.batch import (
+    BATCH_KERNEL_VERSION,
+    BatchEngine,
+    coverage_gap,
+    slab_key,
+)
+from repro.core.config import ERapidConfig
+from repro.core.policies import POLICIES
+from repro.metrics.collector import MeasurementPlan
+from repro.network.topology import ERapidTopology
+from repro.perf.executor import RunTask, execute_tasks, run_sweep_batched
+from repro.traffic.workload import WorkloadSpec
+
+PLAN = MeasurementPlan(warmup=500, measure=1000, drain_limit=2000)
+
+
+def make_config(policy="P-B", boards=4, nodes=4):
+    return ERapidConfig(
+        topology=ERapidTopology(boards=boards, nodes_per_board=nodes),
+        policy=POLICIES[policy],
+    )
+
+
+def grid_tasks(patterns=("complement", "uniform"), loads=(0.2, 0.6)):
+    tasks = []
+    for pattern in patterns:
+        for policy in ("NP-NB", "P-NB", "NP-B", "P-B"):
+            for load in loads:
+                tasks.append(
+                    RunTask(
+                        make_config(policy),
+                        WorkloadSpec(pattern=pattern, load=load, seed=1),
+                        PLAN,
+                    )
+                )
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Coverage
+# ----------------------------------------------------------------------
+def test_coverage_gap_accepts_the_paper_grid():
+    for pattern in ("uniform", "complement", "butterfly", "perfect_shuffle"):
+        workload = WorkloadSpec(pattern=pattern, load=0.5, seed=1)
+        assert coverage_gap(make_config(), workload, PLAN) is None, pattern
+
+
+def test_coverage_gap_reasons_stay_accurate():
+    config = make_config()
+    poisson = WorkloadSpec(pattern="complement", load=0.5, process="poisson")
+    assert "not vectorized" in coverage_gap(config, poisson, PLAN)
+
+    hotspot = WorkloadSpec(pattern="hotspot", load=0.5)
+    assert "neither uniform nor a permutation" in coverage_gap(
+        config, hotspot, PLAN
+    )
+
+    fractional = MeasurementPlan(warmup=500.5, measure=1000, drain_limit=2000)
+    ok = WorkloadSpec(pattern="complement", load=0.5)
+    assert "integer cycle grid" in coverage_gap(config, ok, fractional)
+
+
+# ----------------------------------------------------------------------
+# Slab grouping
+# ----------------------------------------------------------------------
+def test_slab_key_lets_policy_pattern_load_and_seed_vary():
+    base = slab_key(
+        make_config("P-B"), WorkloadSpec("complement", 0.2, seed=1), PLAN
+    )
+    assert base == slab_key(
+        make_config("NP-NB"), WorkloadSpec("uniform", 0.8, seed=7), PLAN
+    )
+
+
+def test_slab_key_splits_on_grid_shaping_inputs():
+    base = slab_key(make_config(), WorkloadSpec("complement", 0.2), PLAN)
+    other_plan = MeasurementPlan(warmup=500, measure=2000, drain_limit=4000)
+    assert base != slab_key(
+        make_config(), WorkloadSpec("complement", 0.2), other_plan
+    )
+    assert base != slab_key(
+        make_config(boards=8, nodes=8), WorkloadSpec("complement", 0.2), PLAN
+    )
+
+
+# ----------------------------------------------------------------------
+# Fidelity vs the scalar engine
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_grid():
+    tasks = grid_tasks()
+    batch = run_sweep_batched(tasks)
+    scalar = execute_tasks(tasks)
+    return tasks, batch, scalar
+
+
+def test_batch_results_within_declared_tolerances(small_grid):
+    _, batch, scalar = small_grid
+    report = compare_runs(scalar, batch)
+    assert report.ok, report.to_dict()["failures"]
+    assert report.total == len(batch)
+
+
+def test_permutation_injection_is_bit_identical(small_grid):
+    tasks, batch, scalar = small_grid
+    perm = [
+        i for i, t in enumerate(tasks) if t.workload.pattern != "uniform"
+    ]
+    assert perm
+    for i in perm:
+        assert batch[i].offered == scalar[i].offered
+        assert batch[i].labeled_injected == scalar[i].labeled_injected
+    assert bit_identity_fingerprint(
+        [batch[i] for i in perm]
+    ) == bit_identity_fingerprint([scalar[i] for i in perm])
+
+
+def test_batch_results_are_tagged(small_grid):
+    _, batch, _ = small_grid
+    for result in batch:
+        assert result.extra["engine"] == "batch"
+        assert result.extra["events"] == 0
+
+
+def test_batch_run_is_deterministic():
+    tasks = grid_tasks(patterns=("complement",), loads=(0.4,))
+    first = BatchEngine([(t.config, t.workload, t.plan) for t in tasks]).run()
+    second = BatchEngine([(t.config, t.workload, t.plan) for t in tasks]).run()
+    assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+
+
+# ----------------------------------------------------------------------
+# Executor routing
+# ----------------------------------------------------------------------
+def test_run_sweep_batched_falls_back_for_uncovered_points():
+    covered = RunTask(
+        make_config(), WorkloadSpec("complement", 0.3, seed=1), PLAN
+    )
+    uncovered = RunTask(
+        make_config(), WorkloadSpec("hotspot", 0.3, seed=1), PLAN
+    )
+    tasks = [uncovered, covered, uncovered]
+    results = run_sweep_batched(tasks)
+    assert len(results) == 3
+    assert results[1].extra["engine"] == "batch"
+    # Fallback points run the scalar engine and are bit-identical to it.
+    scalar = execute_tasks([uncovered])
+    assert results[0].to_dict() == scalar[0].to_dict()
+    assert results[2].to_dict() == scalar[0].to_dict()
+    assert results[0].extra.get("engine") != "batch"
+
+
+def test_run_sweep_batched_reports_results_by_task_index():
+    tasks = grid_tasks(patterns=("complement",), loads=(0.3,))
+    seen = {}
+    results = run_sweep_batched(
+        tasks, on_result=lambda i, r: seen.__setitem__(i, r)
+    )
+    assert sorted(seen) == list(range(len(tasks)))
+    for i, result in enumerate(results):
+        assert seen[i] is result
+
+
+def test_run_sweep_batched_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_sweep_batched([], jobs=0)
+
+
+def test_batch_kernel_version_is_declared():
+    assert isinstance(BATCH_KERNEL_VERSION, int)
+    assert BATCH_KERNEL_VERSION >= 1
+
+
+# ----------------------------------------------------------------------
+# Sweep integration
+# ----------------------------------------------------------------------
+def test_run_sweep_engine_batch_matches_direct_batch_execution():
+    from repro.experiments.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        pattern="complement",
+        loads=(0.3,),
+        policies=("P-B",),
+        boards=4,
+        nodes_per_board=4,
+        plan=PLAN,
+    )
+    results = run_sweep(spec, engine="batch")
+    assert results["P-B"][0].extra["engine"] == "batch"
+    reference = run_sweep(spec)
+    report = compare_runs(reference["P-B"], results["P-B"])
+    assert report.ok
+
+
+def test_run_sweep_rejects_unknown_engine():
+    from repro.errors import ConfigurationError
+    from repro.experiments.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(pattern="complement", loads=(0.3,), plan=PLAN)
+    with pytest.raises(ConfigurationError):
+        run_sweep(spec, engine="warp")

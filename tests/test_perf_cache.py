@@ -261,3 +261,80 @@ def test_resolve_cache_modes(tmp_path):
     store = RunCache(tmp_path)
     assert _resolve_cache(store) is store
     assert _resolve_cache(True) is not None
+
+
+# ----------------------------------------------------------------------
+# Engine-aware keyspaces (batch tier)
+# ----------------------------------------------------------------------
+def test_fast_payload_is_byte_stable_without_engine_fields(run_desc):
+    """Historical scalar keys must survive the batch tier: engine="fast"
+    adds nothing to the canonical payload."""
+    from repro.perf.cache import canonical_payload
+
+    config, workload, plan = run_desc
+    payload = canonical_payload(config, workload, plan)
+    assert "engine" not in payload
+    assert "batch_kernel_version" not in payload
+    assert payload == canonical_payload(config, workload, plan, engine="fast")
+    assert run_cache_key(config, workload, plan) == run_cache_key(
+        config, workload, plan, engine="fast"
+    )
+
+
+def test_engine_keyspaces_are_disjoint(run_desc):
+    config, workload, plan = run_desc
+    keys = {
+        run_cache_key(config, workload, plan, engine=e)
+        for e in ("fast", "detailed", "batch")
+    }
+    assert len(keys) == 3
+
+
+def test_batch_key_tracks_batch_kernel_version(run_desc, monkeypatch):
+    config, workload, plan = run_desc
+    batch_before = run_cache_key(config, workload, plan, engine="batch")
+    fast_before = run_cache_key(config, workload, plan)
+    monkeypatch.setattr("repro.core.batch.BATCH_KERNEL_VERSION", "test-bump")
+    assert run_cache_key(config, workload, plan, engine="batch") != batch_before
+    # The scalar keyspace is untouched by batch kernel bumps.
+    assert run_cache_key(config, workload, plan) == fast_before
+
+
+def test_unknown_engine_raises(run_desc, tmp_path):
+    config, workload, plan = run_desc
+    with pytest.raises(CacheError):
+        run_cache_key(config, workload, plan, engine="warp")
+    with pytest.raises(CacheError):
+        RunCache(tmp_path).put("deadbeef", fake_result(), engine="warp")
+
+
+def test_by_engine_stats_breaks_down_entries(tmp_path, run_desc):
+    config, workload, plan = run_desc
+    cache = RunCache(tmp_path)
+    fast_key = cache.key_for(config, workload, plan)
+    batch_key = cache.key_for(config, workload, plan, engine="batch")
+    cache.put(fast_key, fake_result())
+    cache.put(batch_key, fake_result(), engine="batch")
+    stats = cache.by_engine_stats()
+    assert set(stats) >= {"fast", "detailed", "batch"}
+    assert stats["fast"]["entries"] == 1 and stats["fast"]["bytes"] > 0
+    assert stats["batch"]["entries"] == 1 and stats["batch"]["bytes"] > 0
+    assert stats["detailed"] == {"entries": 0, "bytes": 0}
+
+
+def test_by_engine_stats_counts_untagged_entries_as_fast(tmp_path):
+    cache = RunCache(tmp_path)
+    # An entry written before engine tagging existed has no "engine" key.
+    legacy = {"cache_format": 1, "result": fake_result().to_dict()}
+    (tmp_path / ("ab" * 32 + ".json")).write_text(json.dumps(legacy))
+    stats = cache.by_engine_stats()
+    assert stats["fast"]["entries"] == 1
+
+
+def test_entry_files_carry_engine_tag(tmp_path, run_desc):
+    config, workload, plan = run_desc
+    cache = RunCache(tmp_path)
+    key = cache.key_for(config, workload, plan, engine="batch")
+    cache.put(key, fake_result(), engine="batch")
+    data = json.loads((tmp_path / f"{key}.json").read_text())
+    assert data["engine"] == "batch"

@@ -1,0 +1,109 @@
+"""Injection-process and TrafficSource gap-batching contracts.
+
+The batch engine's whole fidelity story rests on one property: a
+vectorized gap refill consumes the PCG64 stream exactly like successive
+scalar draws, at *any* chunk size.  These tests pin that property at
+chunk sizes 1, 256 (the default) and 4096.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
+from repro.traffic.injection import (
+    GAP_CHUNK,
+    BernoulliProcess,
+    PoissonProcess,
+    TrafficSource,
+)
+from repro.traffic.patterns import PATTERNS
+
+N_NODES = 16
+N_GAPS = 1000
+
+
+def make_source(gap_chunk, pattern="complement", seed=11):
+    registry = RngRegistry(seed=seed)
+    return TrafficSource(
+        node=3,
+        pattern=PATTERNS[pattern](N_NODES),
+        process=BernoulliProcess(0.3),
+        rng=registry.stream("source.3"),
+        gap_chunk=gap_chunk,
+    )
+
+
+def scalar_reference(seed=11, n=N_GAPS):
+    """Gap sequence from pure scalar draws on an identical stream."""
+    rng = RngRegistry(seed=seed).stream("source.3")
+    process = BernoulliProcess(0.3)
+    return [process.next_gap(rng) for _ in range(n)]
+
+
+@pytest.mark.parametrize("gap_chunk", [1, 256, 4096])
+def test_gap_stream_is_identical_at_any_chunk_size(gap_chunk):
+    source = make_source(gap_chunk)
+    gaps = [source.next_gap() for _ in range(N_GAPS)]
+    assert gaps == scalar_reference()
+    # Values must be plain Python numbers, not numpy scalars — repr-based
+    # fingerprints downstream depend on it.
+    assert all(type(g) in (int, float) for g in gaps)
+
+
+def test_default_chunk_is_the_module_constant():
+    source = make_source(GAP_CHUNK)
+    assert source.gap_chunk == GAP_CHUNK == 256
+    assert TrafficSource(
+        node=0,
+        pattern=PATTERNS["complement"](N_NODES),
+        process=BernoulliProcess(0.3),
+    ).gap_chunk == GAP_CHUNK
+
+
+def test_gap_chunk_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        make_source(0)
+    with pytest.raises(ConfigurationError):
+        make_source(-5)
+
+
+def test_uniform_pattern_stays_on_the_scalar_path():
+    """Uniform traffic interleaves dest draws with gap draws, so batching
+    would desynchronize the stream — the source must never buffer."""
+    registry = RngRegistry(seed=11)
+    source = TrafficSource(
+        node=3,
+        pattern=PATTERNS["uniform"](N_NODES),
+        process=BernoulliProcess(0.3),
+        rng=registry.stream("source.3"),
+        gap_chunk=256,
+    )
+    rng = RngRegistry(seed=11).stream("source.3")
+    process = BernoulliProcess(0.3)
+    pattern = PATTERNS["uniform"](N_NODES)
+    for t in range(200):
+        assert source.next_gap() == process.next_gap(rng)
+        assert source.next_packet(float(t)).dst == pattern.dest(3, rng)
+    assert source._gap_buffer == []
+
+
+def test_degenerate_rate_disables_batching_without_desync():
+    # rate=1.0 -> geometric_gap never touches the rng, gap_batch declines.
+    registry = RngRegistry(seed=5)
+    source = TrafficSource(
+        node=1,
+        pattern=PATTERNS["complement"](N_NODES),
+        process=BernoulliProcess(1.0),
+        rng=registry.stream("source.1"),
+    )
+    assert [source.next_gap() for _ in range(10)] == [1] * 10
+    assert source._gap_buffer == []
+
+
+def test_poisson_gap_batch_is_stream_identical():
+    rng_a = RngRegistry(seed=3).stream("x")
+    rng_b = RngRegistry(seed=3).stream("x")
+    process = PoissonProcess(0.25)
+    batch = process.gap_batch(rng_a, 64)
+    scalar = [process.next_gap(rng_b) for _ in range(64)]
+    assert batch == scalar
