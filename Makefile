@@ -54,7 +54,11 @@ bench-detailed:
 # Just the batch-engine benchmark: vectorized struct-of-arrays sweep vs
 # the scalar process pool on the paper's 144-point grid, gated on the
 # statistical-equivalence tolerances, the permutation-subset bit-identity
-# fingerprint, and the >=5x speedup bar (non-zero exit on any failure).
-# Rewrites BENCH_batch.json at the repo root.
+# fingerprint, the shard-layout fingerprint-identity check, the >=5x
+# single-process speedup bar, and (on hosts with >=2 cores) the >=2x
+# sharded jobs-scaling bar (non-zero exit on any failure).  JOBS= sets
+# the top pool width, e.g. `make bench-batch JOBS=8`.  Rewrites
+# BENCH_batch.json at the repo root.
+JOBS ?= 4
 bench-batch:
-	$(PYTHON) -m repro.perf bench --only batch
+	$(PYTHON) -m repro.perf bench --only batch --jobs $(JOBS)

@@ -4,8 +4,11 @@ Wall-time numbers are informational in quick mode (the ≥5x bar applies
 only to the full 144-point grid in CI's bench-smoke job); what is
 asserted hard at every size is the fidelity contract that makes the
 batch tier shippable: the statistical-equivalence harness passes its
-declared tolerances, and the stream-identical permutation subset is
-bit-identical to the scalar engine.
+declared tolerances, the stream-identical permutation subset is
+bit-identical to the scalar engine, every sharded (jobs, slab_shard)
+layout fingerprints identical to single-process batch, and the
+struct-of-arrays transport payload pickles smaller than the RunResult
+list it decodes into.
 """
 
 import json
@@ -34,6 +37,29 @@ def test_bench_batch_smoke(results_dir):
     assert report["batch_seconds"] > 0
     assert report["scalar_seconds"] > 0
     assert report["speedup"] > 0
+    assert report["cpu_count"] >= 1
+
+    # Sharded jobs-scaling dimension: every (jobs, slab_shard) layout
+    # variant must fingerprint-identical to single-process batch — shard
+    # layout is pure scheduling, never results.
+    sharded = report["sharded"]
+    assert sharded["jobs_identity"] is True
+    assert len(sharded["variants"]) >= 3  # jobs=1, jobs=2, shard override
+    assert sharded["variants"][0]["jobs"] == 1
+    assert any(v["slab_shard"] is not None for v in sharded["variants"])
+    for variant in sharded["variants"]:
+        assert variant["fingerprint_matches_jobs1"] is True, variant
+        assert variant["seconds"] > 0
+        assert variant["plan"].startswith("shard plan:")
+    assert sharded["top_jobs"] == 2
+    assert sharded["sharded_speedup"] > 0
+
+    # Compact result transport: the struct-of-arrays payload must pickle
+    # smaller than the decoded RunResult list it reconstructs.
+    transport = report["transport"]
+    assert transport["shard_runs"] > 0
+    assert 0 < transport["payload_bytes"] < transport["results_bytes"]
+    assert transport["bytes_ratio"] > 1
 
     path = results_dir / "bench_batch_quick.json"
     write_report(report, path)

@@ -58,11 +58,14 @@ ENGINE_PREFIXES: Tuple[str, ...] = (
 #: The engine scope plus the batch slab orchestrator.  The vectorized
 #: batch tier made ``repro.perf.executor`` engine-adjacent: it groups run
 #: grids into slab dicts (iteration order is part of the result contract)
-#: and is the most likely first home of a stray vectorized draw.  SIM007
-#: uses this as its scope; SIM008's vectorized-draw check (`size=` draws
-#: on an rng-ish receiver) is confined to it.
+#: and is the most likely first home of a stray vectorized draw; PR 9
+#: moved the slab-grouping/shard-planning half into ``repro.perf.shards``,
+#: which inherits the scope for the same reason.  SIM007 uses this as its
+#: scope; SIM008's vectorized-draw check (`size=` draws on an rng-ish
+#: receiver) is confined to it.
 VECTOR_ENGINE_PREFIXES: Tuple[str, ...] = ENGINE_PREFIXES + (
     "repro.perf.executor",
+    "repro.perf.shards",
 )
 
 #: Simulation state packages for SIM009: everything that executes inside a

@@ -4,7 +4,7 @@
 
     erapid run       --pattern complement --policy P-B --load 0.5
     erapid profile   --pattern uniform --load 0.4 [--engine fast|detailed|batch] [--top 25]
-    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--engine fast|batch] [--csv out.csv]
+    erapid sweep     --pattern uniform --loads 0.1,0.3,0.5 [--jobs N] [--engine fast|batch] [--slab-shard N] [-v] [--csv out.csv]
     erapid reproduce --out results/ [--jobs N] [--no-cache] [--engine fast|batch]
     erapid fig3
     erapid table1
@@ -92,7 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="fast", choices=("fast", "batch"),
         help="sweep engine: scalar fast engine (default) or the vectorized "
         "batch engine (statistically equivalent, order-of-magnitude faster "
-        "on large grids)",
+        "on large grids; --jobs shards covered slabs across workers)",
+    )
+    sweep.add_argument(
+        "--slab-shard", type=int, default=None, metavar="N",
+        help="batch engine: override the shard-size heuristic with N runs "
+        "per sub-slab (layout never changes results, only wall-clock time)",
+    )
+    sweep.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the effective shard plan before running (batch engine)",
     )
 
     sub.add_parser("table1", help="regenerate Table 1")
@@ -402,8 +411,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"power={result.power_mw:.1f}mW"
             )
 
+        if args.engine == "batch" and args.verbose:
+            from repro.perf.shards import plan_shards
+
+            print(
+                plan_shards(
+                    spec.tasks(), jobs=args.jobs, slab_shard=args.slab_shard
+                ).describe()
+            )
         panel = FigurePanel.run(
-            spec, progress=sweep_progress, jobs=args.jobs, engine=args.engine
+            spec, progress=sweep_progress, jobs=args.jobs, engine=args.engine,
+            slab_shard=args.slab_shard,
         )
         print(panel.render())
         if args.csv:
@@ -479,6 +497,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "misses": counters["misses"],
             "puts": counters["puts"],
             "hit rate": hit_rate,
+            "batched gets": counters["batched_gets"],
+            "batched puts": counters["batched_puts"],
         }
         if args.by_engine:
             for engine_name, bucket in cache.by_engine_stats().items():
@@ -573,12 +593,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     if counts
                     else ""
                 )
+                shards = s.get("shards") or {}
+                shard_note = (
+                    f" shards={shards.get('batch')}"
+                    f" covered={shards.get('batch_runs')}"
+                    if shards
+                    else ""
+                )
                 print(
                     f"{s.get('job_key', '?')[:12]}  "
                     f"{s.get('state', '?'):<9}  "
                     f"{s.get('kind', '?'):<5}  "
                     f"runs={s.get('runs_done', 0)}/{s.get('runs_total', '?')}"
-                    f"{hit_note}"
+                    f"{hit_note}{shard_note}"
                 )
             return 0
         deadline = (

@@ -47,6 +47,7 @@ batch`` never changes *what* can be swept, only how fast.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,7 +61,14 @@ from repro.sim.rng import RngRegistry, geometric_gap_array, integer_array
 from repro.traffic.capacity import CapacityParams
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["BATCH_KERNEL_VERSION", "coverage_gap", "slab_key", "BatchEngine"]
+__all__ = [
+    "BATCH_KERNEL_VERSION",
+    "coverage_gap",
+    "slab_key",
+    "BatchEngine",
+    "BatchResultPayload",
+    "decode_payload",
+]
 
 #: Version of the vectorized kernel, folded into batch cache keys so batch
 #: results can never alias scalar entries (and are invalidated together
@@ -73,6 +81,95 @@ _GAP_DRAW_CHUNK = 4096
 #: Delivery/exit ring length in cycles; must exceed the longest scheduled
 #: lead (wake + DVS stall + lowest-rate service + fiber/pipeline).
 _RING = 512
+
+
+# ----------------------------------------------------------------------
+# Compact result transport
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class BatchResultPayload:
+    """Struct-of-arrays transport of one slab's results.
+
+    A batch worker returns this instead of a list of
+    :class:`~repro.metrics.collector.RunResult` objects: ten flat numpy
+    arrays (one slot per run) pickle in a handful of buffer copies,
+    where the equivalent ``RunResult`` list would serialize one Python
+    object graph per run.  :func:`decode_payload` rebuilds the exact
+    ``RunResult`` sequence in the parent from the caller's own run
+    descriptions — the payload carries *measurements*, never config —
+    and :meth:`BatchEngine.run` itself goes through the same decode, so
+    in-process and cross-process execution share one code path and are
+    bit-identical by construction.
+    """
+
+    delivered_measure: np.ndarray
+    inj_measure: np.ndarray
+    lab_inj: np.ndarray
+    lab_del: np.ndarray
+    avg_latency: np.ndarray
+    power_mw: np.ndarray
+    grants: np.ndarray
+    dpm_transitions: np.ndarray
+    sleeps: np.ndarray
+    lasers_on_final: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.delivered_measure)
+
+    @property
+    def nbytes(self) -> int:
+        """Total buffer bytes (the transported volume, headers aside)."""
+        return sum(
+            getattr(self, f).nbytes for f in self.__dataclass_fields__
+        )
+
+
+def decode_payload(
+    payload: BatchResultPayload,
+    runs: Sequence[Tuple[ERapidConfig, WorkloadSpec, MeasurementPlan]],
+) -> List[RunResult]:
+    """Rebuild the per-run :class:`RunResult` list from a slab payload.
+
+    ``runs`` must be the exact run descriptions the producing
+    :class:`BatchEngine` was built from (same order); the decoder takes
+    policy/pattern/load metadata and the throughput denominators from
+    them, so a payload can never be replayed against the wrong slab
+    without tripping the length check.
+    """
+    if len(runs) != len(payload):
+        raise ConfigurationError(
+            f"payload carries {len(payload)} runs, caller described "
+            f"{len(runs)}"
+        )
+    out: List[RunResult] = []
+    for r, (config, workload, plan) in enumerate(runs):
+        nodes = config.topology.total_nodes
+        measure = float(plan.measure)
+        out.append(
+            RunResult(
+                throughput=int(payload.delivered_measure[r]) / (measure * nodes),
+                offered=int(payload.inj_measure[r]) / (measure * nodes),
+                avg_latency=float(payload.avg_latency[r]),
+                p99_latency=0.0,
+                max_latency=0.0,
+                power_mw=float(payload.power_mw[r]),
+                labeled_injected=int(payload.lab_inj[r]),
+                labeled_delivered=int(payload.lab_del[r]),
+                delivered_measure=int(payload.delivered_measure[r]),
+                extra={
+                    "policy": config.policy.name,
+                    "pattern": workload.pattern,
+                    "load": workload.load,
+                    "grants": int(payload.grants[r]),
+                    "dpm_transitions": int(payload.dpm_transitions[r]),
+                    "sleeps": int(payload.sleeps[r]),
+                    "lasers_on_final": int(payload.lasers_on_final[r]),
+                    "events": 0,
+                    "engine": "batch",
+                },
+            )
+        )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -96,10 +193,6 @@ def coverage_gap(
         return f"pattern {workload.pattern!r} is neither uniform nor a permutation"
     if config.policy.dpm_smoothing != 0.0:
         return "dpm_smoothing requires per-window EWMA state (scalar only)"
-    if config.policy.max_grants_per_dest is not None:
-        # Supported by dbr_plan directly, but kept scalar until the
-        # ablation harness grows batch coverage tests for it.
-        return "max_grants_per_dest ablation is scalar only"
     for name in ("warmup", "measure", "drain_limit"):
         value = float(getattr(plan, name))
         if not value.is_integer():
@@ -573,7 +666,12 @@ class BatchEngine:
                     if s != d
                 ]
                 for w, new_owner in dbr_plan(
-                    d, states, demands, thresholds, self.rwa, max_grants=None
+                    d,
+                    states,
+                    demands,
+                    thresholds,
+                    self.rwa,
+                    max_grants=self._policies[r].max_grants_per_dest,
                 ):
                     rcs.append(r * CH + w * B + d)
                     owners.append(new_owner)
@@ -677,7 +775,16 @@ class BatchEngine:
     # The cycle loop
     # ------------------------------------------------------------------
     def run(self) -> List[RunResult]:
-        """Advance the slab cycle by cycle.
+        """Advance the slab and return one :class:`RunResult` per run.
+
+        Delegates to :meth:`run_payload` + :func:`decode_payload` so the
+        in-process path and the cross-process (worker shard) path share a
+        single results pipeline.
+        """
+        return decode_payload(self.run_payload(), self.runs)
+
+    def run_payload(self) -> BatchResultPayload:
+        """Advance the slab cycle by cycle; returns the compact payload.
 
         Every phase is event-driven: the only indices examined each cycle
         are the ones carried by the event rings (injections, port exits,
@@ -890,7 +997,7 @@ class BatchEngine:
                     if not self.active_r.any():
                         break
         self._flush_base(np.arange(self.R, dtype=np.int64), he)
-        return self._results()
+        return self._payload()
 
     def _dispatch(self, t: int, cand: np.ndarray, frozen: bool = False) -> None:
         """Serve the candidate channels (sorted, possibly repeated) at ``t``."""
@@ -1002,43 +1109,36 @@ class BatchEngine:
             self.blk = self.blk[self.active_n[self.blk]]
 
     # ------------------------------------------------------------------
-    def _results(self) -> List[RunResult]:
-        out: List[RunResult] = []
-        nodes = self.N
-        owned = (self.c_owner >= 0).reshape(self.R, self.CH)
+    def _payload(self) -> BatchResultPayload:
+        """Condense the accumulator arrays into the transport payload.
+
+        The per-run arithmetic (labeled-latency FIFO proxy, energy /
+        measure-window division) happens here, on the producer side, with
+        the exact scalar expressions the engine always used — the decoder
+        only unpacks, so where a payload is produced never affects the
+        bits of the results.
+        """
+        R = self.R
+        owned = (self.c_owner >= 0).reshape(R, self.CH)
         power = (
             self.idle_frac * self.base_E + (1.0 - self.idle_frac) * self.busy_E
         ) / self.measure
-        for r, (config, workload, _) in enumerate(self.runs):
+        avg_latency = np.zeros(R, dtype=np.float64)
+        for r in range(R):
             lab_del = int(self.lab_del[r])
             if lab_del > 0:
-                lat = float(
+                avg_latency[r] = float(
                     (self.sum_del_t[r] - self.lab_prefix[r][lab_del]) / lab_del
                 )
-            else:
-                lat = 0.0
-            out.append(
-                RunResult(
-                    throughput=int(self.delivered_measure[r]) / (self.measure * nodes),
-                    offered=int(self.inj_measure[r]) / (self.measure * nodes),
-                    avg_latency=lat,
-                    p99_latency=0.0,
-                    max_latency=0.0,
-                    power_mw=float(power[r]),
-                    labeled_injected=int(self.lab_inj[r]),
-                    labeled_delivered=lab_del,
-                    delivered_measure=int(self.delivered_measure[r]),
-                    extra={
-                        "policy": config.policy.name,
-                        "pattern": workload.pattern,
-                        "load": workload.load,
-                        "grants": int(self.grants[r]),
-                        "dpm_transitions": int(self.dpm_transitions[r]),
-                        "sleeps": int(self.sleeps[r]),
-                        "lasers_on_final": int(np.count_nonzero(owned[r])),
-                        "events": 0,
-                        "engine": "batch",
-                    },
-                )
-            )
-        return out
+        return BatchResultPayload(
+            delivered_measure=self.delivered_measure.astype(np.int64, copy=True),
+            inj_measure=self.inj_measure.astype(np.int64, copy=True),
+            lab_inj=self.lab_inj.astype(np.int64, copy=True),
+            lab_del=self.lab_del.astype(np.int64, copy=True),
+            avg_latency=avg_latency,
+            power_mw=np.asarray(power, dtype=np.float64),
+            grants=self.grants.astype(np.int64, copy=True),
+            dpm_transitions=self.dpm_transitions.astype(np.int64, copy=True),
+            sleeps=self.sleeps.astype(np.int64, copy=True),
+            lasers_on_final=np.count_nonzero(owned, axis=1).astype(np.int64),
+        )

@@ -53,6 +53,10 @@ PAPER_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
 #: ``progress(policy, load, result)`` — per-run completion hook.
 SweepProgress = Callable[[str, float, RunResult], None]
+
+#: Fresh results buffered per batched cache write (see
+#: :meth:`repro.perf.cache.RunCache.put_many`).
+_PUT_CHUNK = 32
 #: ``progress(panel, policy, load, result, cached)`` — matrix-wide hook.
 MatrixProgress = Callable[[str, str, float, RunResult, bool], None]
 
@@ -80,6 +84,34 @@ class SweepSpec:
             if p not in POLICIES:
                 raise ConfigurationError(f"unknown policy {p!r}")
 
+    def tasks(
+        self, base_config: Optional[ERapidConfig] = None
+    ) -> List["RunTask"]:
+        """The exact run-task list :func:`run_sweep` executes, in order.
+
+        Exposed so callers (the CLI's verbose shard-plan output, the
+        shard planner) can reason about a sweep's layout without running
+        it; kept in lock-step with :func:`run_sweep_matrix`'s cell
+        construction by test.
+        """
+        from repro.perf.executor import RunTask
+
+        base = base_config or _default_config(self)
+        out: List[RunTask] = []
+        for policy_name in self.policies:
+            config = base.with_policy(POLICIES[policy_name])
+            for load in self.loads:
+                out.append(
+                    RunTask(
+                        config,
+                        WorkloadSpec(
+                            pattern=self.pattern, load=load, seed=self.seed
+                        ),
+                        self.plan,
+                    )
+                )
+        return out
+
 
 def _default_config(spec: SweepSpec) -> ERapidConfig:
     from repro.network.topology import ERapidTopology
@@ -98,13 +130,15 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional["RunCache"] = None,
     engine: str = "fast",
+    slab_shard: Optional[int] = None,
 ) -> Dict[str, List[RunResult]]:
     """Run the full (policy × load) matrix; returns {policy: [results]}.
 
     ``progress(policy, load, result)`` is invoked after each run when
     given (the CLI uses it for live output).  ``jobs``/``cache``/
-    ``engine`` behave as documented on :func:`run_sweep_matrix`; outputs
-    are bit-identical for every ``jobs`` value and across cache hits.
+    ``engine``/``slab_shard`` behave as documented on
+    :func:`run_sweep_matrix`; outputs are bit-identical for every
+    ``jobs`` value, every shard layout, and across cache hits.
     """
     matrix_progress: Optional[MatrixProgress] = None
     if progress is not None:
@@ -122,6 +156,7 @@ def run_sweep(
         jobs=jobs,
         cache=cache,
         engine=engine,
+        slab_shard=slab_shard,
     )["sweep"]
 
 
@@ -132,6 +167,7 @@ def run_sweep_matrix(
     jobs: int = 1,
     cache: Optional["RunCache"] = None,
     engine: str = "fast",
+    slab_shard: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[RunResult]]]:
     """Run several sweep panels as one flat (panel × policy × load) batch.
 
@@ -150,16 +186,23 @@ def run_sweep_matrix(
         reassembled by task index, so every ``jobs`` value yields
         byte-identical output.
     cache:
-        Optional :class:`repro.perf.cache.RunCache`; hits skip execution,
-        misses are stored after running.
+        Optional :class:`repro.perf.cache.RunCache`; hits skip execution
+        (answered by one batched :meth:`~repro.perf.cache.RunCache.
+        get_many` lookup), misses are stored after running through
+        chunked :meth:`~repro.perf.cache.RunCache.put_many` writes.
     engine:
         ``"fast"`` (default) runs every point on the scalar
         :class:`~repro.core.engine.FastEngine`; ``"batch"`` routes points
-        the vectorized model covers through
-        :func:`repro.perf.executor.run_sweep_batched` (scalar fallback for
-        the rest).  Cache keys are engine-aware per point: a point the
-        batch engine executes is keyed in the batch keyspace, a fallback
-        point keeps its scalar key (its result *is* a scalar result).
+        the vectorized model covers through the sharded
+        :func:`repro.perf.executor.run_sweep_batched` path — under
+        ``jobs > 1`` covered runs are split into per-worker sub-slabs
+        scheduled alongside scalar fallback on one pool.  Cache keys are
+        engine-aware per point: a point the batch engine executes is
+        keyed in the batch keyspace, a fallback point keeps its scalar
+        key (its result *is* a scalar result).
+    slab_shard:
+        Batch-engine shard-size override (see :mod:`repro.perf.shards`);
+        layout never changes results, only wall-clock time.
 
     Returns ``{panel: {policy: [RunResult per load]}}``.
     """
@@ -179,11 +222,9 @@ def run_sweep_matrix(
         name: {p: [None] * len(spec.loads) for p in spec.policies}
         for name, spec in specs.items()
     }
-    tasks: List[RunTask] = []
-    #: Parallel to ``tasks``: (panel, policy, load, slot index, cache key,
-    #: engine keyspace of the point).
-    meta: List[Tuple[str, str, float, int, Optional[str], str]] = []
-
+    #: Every (panel, policy, load, slot, config, workload, plan, key,
+    #: point engine) cell in deterministic spec order.
+    cells: List[Tuple] = []
     for name, spec in specs.items():
         base = (base_configs or {}).get(name) or _default_config(spec)
         for policy_name in spec.policies:
@@ -202,27 +243,57 @@ def run_sweep_matrix(
                     key = cache.key_for(
                         config, workload, spec.plan, engine=point_engine
                     )
-                    hit = cache.get(key)
-                    if hit is not None:
-                        results[name][policy_name][li] = hit
-                        if progress is not None:
-                            progress(name, policy_name, load, hit, True)
-                        continue
-                tasks.append(RunTask(config, workload, spec.plan))
-                meta.append((name, policy_name, load, li, key, point_engine))
+                cells.append(
+                    (name, policy_name, load, li, config, workload,
+                     spec.plan, key, point_engine)
+                )
+
+    # One batched lookup answers every cache-addressable cell up front;
+    # hits report in deterministic spec order, exactly as before.
+    cached: List[Optional[RunResult]] = (
+        cache.get_many([c[7] for c in cells])
+        if cache is not None
+        else [None] * len(cells)
+    )
+
+    tasks: List[RunTask] = []
+    #: Parallel to ``tasks``: (panel, policy, load, slot index, cache key,
+    #: engine keyspace of the point).
+    meta: List[Tuple[str, str, float, int, Optional[str], str]] = []
+    for cell, hit in zip(cells, cached):
+        name, policy_name, load, li, config, workload, plan, key, pe = cell
+        if hit is not None:
+            results[name][policy_name][li] = hit
+            if progress is not None:
+                progress(name, policy_name, load, hit, True)
+            continue
+        tasks.append(RunTask(config, workload, plan))
+        meta.append((name, policy_name, load, li, key, pe))
+
+    put_buffer: List[Tuple] = []
+
+    def flush_puts() -> None:
+        if cache is not None and put_buffer:
+            cache.put_many(put_buffer)
+            put_buffer.clear()
 
     def on_result(index: int, result: RunResult) -> None:
         name, policy_name, load, li, key, point_engine = meta[index]
         results[name][policy_name][li] = result
         if cache is not None and key is not None:
-            cache.put(key, result, engine=point_engine)
+            put_buffer.append((key, result, point_engine))
+            if len(put_buffer) >= _PUT_CHUNK:
+                flush_puts()
         if progress is not None:
             progress(name, policy_name, load, result, False)
 
     if engine == "batch":
-        run_sweep_batched(tasks, jobs=jobs, on_result=on_result)
+        run_sweep_batched(
+            tasks, jobs=jobs, on_result=on_result, slab_shard=slab_shard
+        )
     else:
         execute_tasks(tasks, jobs=jobs, on_result=on_result)
+    flush_puts()
 
     # All slots are filled now; narrow Optional away for callers.
     return {
@@ -235,3 +306,4 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.cache import RunCache
+    from repro.perf.executor import RunTask

@@ -9,19 +9,29 @@ The paper's evaluation is a (pattern × policy × load) matrix of
     :class:`~repro.sim.rng.RngRegistry` from the workload seed via
     ``SeedSequence`` spawn keys, so worker scheduling cannot perturb any
     stream (the common-random-numbers contract survives parallelism).
+    ``run_sweep_batched`` routes batch-covered runs through the vectorized
+    engine as per-worker sub-slab shards next to scalar fallback on one
+    unified pool queue, with struct-of-arrays result transport.
+
+``repro.perf.shards``
+    Shard planning for the sharded batch path: the deterministic
+    ``(tasks, jobs, slab_shard) -> ShardPlan`` layout, the shard-size
+    heuristic, and the ``ShardReport`` timings that land in job manifests.
 
 ``repro.perf.cache``
     A content-addressed on-disk store keyed on the full run description
     ``(ERapidConfig, WorkloadSpec, MeasurementPlan, kernel version)``;
     repeated ``reproduce_all``/bench invocations skip already-computed
-    runs.
+    runs.  ``get_many``/``put_many`` batch whole-job lookups and
+    crash-safe writes into one counter flush each.
 
 ``repro.perf.bench``
     The tracked benchmark harness (``python -m repro.perf bench``): kernel
     events/sec against the frozen pre-optimization reference kernel
-    (:mod:`repro.perf.legacy`), and end-to-end sweep wall time
-    serial vs parallel vs cached.  Writes ``BENCH_kernel.json`` and
-    ``BENCH_sweep.json`` at the repo root.
+    (:mod:`repro.perf.legacy`), end-to-end sweep wall time serial vs
+    parallel vs cached, and the batch-tier report with its sharded
+    jobs-scaling and transport dimensions.  Writes the ``BENCH_*.json``
+    reports at the repo root.
 """
 
 from repro.perf.cache import RunCache, default_cache_dir, run_cache_key

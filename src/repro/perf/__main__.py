@@ -180,6 +180,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 c="OK" if bit["matches"] else "MISMATCH",
             )
         )
+        sharded = b["sharded"]
+        print(
+            "  sharded: jobs={tj} {speed:.2f}x vs single-process batch "
+            "(cpu_count={cores}); {n} layout variants fingerprint-identical: "
+            "{ok}".format(
+                tj=sharded["top_jobs"],
+                speed=sharded["sharded_speedup"],
+                cores=b["cpu_count"],
+                n=len(sharded["variants"]),
+                ok="OK" if sharded["jobs_identity"] else "MISMATCH",
+            )
+        )
         print(f"  -> {args.output / 'BENCH_batch.json'}")
         if not equiv["ok"]:
             print(
@@ -192,10 +204,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "bench: batch bit-identity cross-check FAILED", file=sys.stderr
             )
             return 1
+        if not sharded["jobs_identity"]:
+            print(
+                "bench: sharded jobs/slab_shard fingerprint-identity gate "
+                "FAILED",
+                file=sys.stderr,
+            )
+            return 1
         if not b["quick"] and b["speedup"] < 5:
             print(
                 "bench: batch speedup {:.2f}x below the 5x gate".format(
                     b["speedup"]
+                ),
+                file=sys.stderr,
+            )
+            return 1
+        # The multi-core bar is only measurable on a multi-core host;
+        # cpu_count is recorded in the report so a single-core run is
+        # honest rather than silently waved through.
+        cores = b["cpu_count"] or 1
+        if not b["quick"] and cores >= 2 and sharded["sharded_speedup"] < 2:
+            print(
+                "bench: sharded jobs={} speedup {:.2f}x below the 2x gate "
+                "(cpu_count={})".format(
+                    sharded["top_jobs"], sharded["sharded_speedup"], cores
                 ),
                 file=sys.stderr,
             )

@@ -44,7 +44,11 @@ performance is tracked *in the tree* alongside the code it measures:
     144-point grid — plus the adapted correctness gates: the statistical-
     equivalence harness (:mod:`repro.analysis.equivalence`, declared
     throughput/latency/power tolerances) and a bit-identity fingerprint
-    of the stream-identical permutation-pattern injection fields.
+    of the stream-identical permutation-pattern injection fields.  A
+    ``sharded`` section re-runs the grid across ``jobs``/``slab_shard``
+    layouts (every variant must fingerprint equal to single-process
+    batch) and a ``transport`` section measures the struct-of-arrays
+    payload pickle against the decoded ``RunResult`` list.
 
 Timing uses ``time.perf_counter`` (wall clock is fine here: this module is
 *about* wall time and is exempt from SIM001, which guards the simulation
@@ -592,16 +596,41 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
     the stream-identical permutation subset.  Quick mode shrinks the grid
     and plan for CI smoke; the equivalence and bit-identity gates apply
     at every size, the ≥5x speedup bar only to the full grid.
+
+    Two further dimensions measure the sharded tier:
+
+    * ``sharded`` — the same grid re-run under ``jobs`` ∈ {2, 4} (quick:
+      {2}) and under explicit ``slab_shard`` overrides; every variant
+      must :func:`~repro.analysis.determinism.sweep_fingerprint` equal to
+      the single-process batch baseline (shard layout changes wall time,
+      never bits), and ``sharded_speedup`` tracks the top-``jobs`` run
+      against single-process batch.  The ≥2x bar applies only on the full
+      grid when the host has ≥2 cores (``cpu_count`` is recorded so a
+      single-core report is honest rather than silently failing).
+    * ``transport`` — one covered shard is executed and its struct-of-
+      arrays :class:`~repro.core.batch.BatchResultPayload` pickled
+      against the equivalent decoded ``RunResult`` list, recording the
+      byte and wall-time win of compact result transport.
     """
+    import os
+    import pickle
+
+    from repro.analysis.determinism import sweep_fingerprint
     from repro.analysis.equivalence import (
         DEFAULT_TOLERANCES,
         bit_identity_fingerprint,
         compare_runs,
     )
-    from repro.core.batch import BATCH_KERNEL_VERSION, coverage_gap
+    from repro.core.batch import (
+        BATCH_KERNEL_VERSION,
+        BatchEngine,
+        coverage_gap,
+        decode_payload,
+    )
     from repro.core.policies import POLICIES
     from repro.experiments.sweep import PAPER_LOADS
     from repro.perf.executor import RunTask, execute_tasks, run_sweep_batched
+    from repro.perf.shards import plan_shards
 
     if quick:
         patterns: Tuple[str, ...] = ("complement", "uniform")
@@ -638,14 +667,93 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
         for t in tasks
         if coverage_gap(t.config, t.workload, t.plan) is None
     )
+    runs = len(tasks)
 
     start = perf_counter()
     batch_results = run_sweep_batched(tasks, jobs=1)
     batch_s = perf_counter() - start
+    base_fp = sweep_fingerprint({"grid": batch_results})
 
     start = perf_counter()
     scalar_results = execute_tasks(tasks, jobs=jobs)
     scalar_s = perf_counter() - start
+
+    # --- Sharded multi-process variants --------------------------------
+    # Shard layout is pure scheduling: every (jobs, slab_shard) variant
+    # must reproduce the single-process batch sweep bit-for-bit.
+    if quick:
+        jobs_grid: Tuple[int, ...] = (2,)
+        shard_perms: Tuple[int, ...] = (5,)
+    else:
+        jobs_grid = (2, 4)
+        shard_perms = (16, 96)
+    variants = [(j, None) for j in jobs_grid] + [(2, s) for s in shard_perms]
+    sharded_runs = [
+        {
+            "jobs": 1,
+            "slab_shard": None,
+            "plan": plan_shards(tasks, jobs=1).describe(),
+            "seconds": batch_s,
+            "runs_per_sec": runs / batch_s if batch_s > 0 else 0.0,
+            "fingerprint_matches_jobs1": True,
+        }
+    ]
+    jobs_identity = True
+    for j, shard in variants:
+        plan_desc = plan_shards(tasks, jobs=j, slab_shard=shard).describe()
+        start = perf_counter()
+        res = run_sweep_batched(tasks, jobs=j, slab_shard=shard)
+        secs = perf_counter() - start
+        matches = sweep_fingerprint({"grid": res}) == base_fp
+        jobs_identity = jobs_identity and matches
+        sharded_runs.append(
+            {
+                "jobs": j,
+                "slab_shard": shard,
+                "plan": plan_desc,
+                "seconds": secs,
+                "runs_per_sec": runs / secs if secs > 0 else 0.0,
+                "fingerprint_matches_jobs1": matches,
+            }
+        )
+    top_jobs = max(jobs_grid)
+    top = next(
+        r
+        for r in sharded_runs
+        if r["jobs"] == top_jobs and r["slab_shard"] is None
+    )
+    top_seconds = float(top["seconds"])  # type: ignore[arg-type]
+    sharded_speedup = batch_s / top_seconds if top_seconds > 0 else 0.0
+
+    # --- Transport: payload vs RunResult-list pickling -----------------
+    transport: Dict[str, Any] = {}
+    batch_shards = plan_shards(tasks, jobs=max(2, jobs)).batch_shards
+    if batch_shards:
+        shard0 = batch_shards[0]
+        engine = BatchEngine(
+            [
+                (tasks[i].config, tasks[i].workload, tasks[i].plan)
+                for i in shard0.indices
+            ]
+        )
+        payload = engine.run_payload()
+        start = perf_counter()
+        payload_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        payload_pickle_s = perf_counter() - start
+        decoded = decode_payload(payload, engine.runs)
+        start = perf_counter()
+        results_blob = pickle.dumps(decoded, protocol=pickle.HIGHEST_PROTOCOL)
+        results_pickle_s = perf_counter() - start
+        transport = {
+            "shard_runs": shard0.runs,
+            "payload_bytes": len(payload_blob),
+            "results_bytes": len(results_blob),
+            "bytes_ratio": (
+                len(results_blob) / len(payload_blob) if payload_blob else 0.0
+            ),
+            "payload_pickle_seconds": payload_pickle_s,
+            "results_pickle_seconds": results_pickle_s,
+        }
 
     equivalence = compare_runs(scalar_results, batch_results)
     perm_scalar = [scalar_results[i] for i in perm_indices]
@@ -653,7 +761,6 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
     scalar_fp = bit_identity_fingerprint(perm_scalar)
     batch_fp = bit_identity_fingerprint(perm_batch)
 
-    runs = len(tasks)
     return {
         "benchmark": "batch",
         "kernel_version": KERNEL_VERSION,
@@ -663,6 +770,7 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
         "runs": runs,
         "covered_runs": covered,
         "jobs": jobs,
+        "cpu_count": os.cpu_count(),
         "grid": {
             "patterns": list(patterns),
             "policies": list(policies),
@@ -675,6 +783,13 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
         "batch_runs_per_sec": runs / batch_s if batch_s > 0 else 0.0,
         "scalar_runs_per_sec": runs / scalar_s if scalar_s > 0 else 0.0,
         "speedup": scalar_s / batch_s if batch_s > 0 else 0.0,
+        "sharded": {
+            "variants": sharded_runs,
+            "jobs_identity": jobs_identity,
+            "top_jobs": top_jobs,
+            "sharded_speedup": sharded_speedup,
+        },
+        "transport": transport,
         "tolerances": [
             {
                 "metric": t.metric,

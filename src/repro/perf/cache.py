@@ -30,7 +30,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import ERapidConfig
 from repro.errors import CacheError
@@ -184,6 +184,8 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.batched_gets = 0
+        self.batched_puts = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -259,6 +261,114 @@ class RunCache:
             self.puts += 1
 
     # ------------------------------------------------------------------
+    # Batched I/O (slab-granular)
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Sequence[str]) -> List[Optional[RunResult]]:
+        """Look up many keys; one counter update for the whole batch.
+
+        Results are positional (``None`` per miss).  Semantically
+        identical to ``[self.get(k) for k in keys]`` but takes the
+        counter lock once instead of ``len(keys)`` times and bumps
+        ``batched_gets`` so ``erapid cache stats`` can show how much
+        traffic goes through the batched path.
+        """
+        out: List[Optional[RunResult]] = []
+        hits = misses = 0
+        for key in keys:
+            try:
+                data = json.loads(self._path(key).read_text(encoding="utf-8"))
+                result = RunResult.from_dict(data["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                # Missing, corrupt or truncated entry: a miss, never an
+                # error (same contract as :meth:`get`).
+                misses += 1
+                out.append(None)
+                continue
+            hits += 1
+            out.append(result)
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.batched_gets += 1
+        return out
+
+    def put_many(
+        self, items: Sequence[Tuple[str, RunResult, str]]
+    ) -> int:
+        """Store ``(key, result, engine)`` triples; returns the count.
+
+        Two-phase publish with a batched fsync policy:
+
+        1. **Stage** — every payload is written to its own ``mkstemp``
+           temp file, flushed and fsynced (the slow, coalescible I/O all
+           happens before anything becomes visible);
+        2. **Publish** — each staged file is ``os.replace``d into place.
+
+        PR 7's crash-safety invariant is preserved *per entry*: an entry
+        is only ever observable as a complete, fsynced file, because the
+        only publish operation is the atomic rename of a fully-synced
+        temp.  A failure anywhere during staging unlinks every temp file
+        and publishes nothing; a crash mid-publish leaves a prefix of
+        complete entries (each individually valid) and no torn ones.
+        Counters are updated once for the whole batch.
+        """
+        for _, _, engine in items:
+            if engine not in ENGINES:
+                raise CacheError(f"unknown engine keyspace {engine!r}")
+        if not items:
+            return 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        staged: List[Tuple[str, Path]] = []
+        try:
+            for key, result, engine in items:
+                payload = json.dumps(
+                    {
+                        "cache_format": CACHE_FORMAT,
+                        "engine": engine,
+                        "result": result.to_dict(),
+                    },
+                    sort_keys=True,
+                )
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.root, prefix=f".put-{key[:16]}-", suffix=".tmp"
+                )
+                staged.append((tmp_name, self._path(key)))
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        except BaseException:
+            # Staging failed: publish nothing, leave no temp files.
+            for tmp_name, _ in staged:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            raise
+        published = 0
+        try:
+            for tmp_name, path in staged:
+                os.replace(tmp_name, path)
+                published += 1
+        except BaseException:
+            for tmp_name, _ in staged[published + 1 :]:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            # The entry whose replace failed still has its temp on disk.
+            try:
+                os.unlink(staged[published][0])
+            except OSError:
+                pass
+            raise
+        finally:
+            with self._lock:
+                self.puts += published
+                self.batched_puts += 1
+        return published
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[Path]:
@@ -323,7 +433,13 @@ class RunCache:
     def stats(self) -> Dict[str, int]:
         """This instance's session counters (not the persistent totals)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "batched_gets": self.batched_gets,
+                "batched_puts": self.batched_puts,
+            }
 
     # ------------------------------------------------------------------
     # Persistent counters
@@ -333,14 +449,18 @@ class RunCache:
         return self.root / _STATS_NAME
 
     def persistent_stats(self) -> Dict[str, int]:
-        """Cumulative counters from the ``_stats.json`` sidecar."""
+        """Cumulative counters from the ``_stats.json`` sidecar.
+
+        Sidecars written before the batched-I/O counters existed simply
+        report them as 0.
+        """
         try:
             data = json.loads(self._stats_path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             data = {}
         return {
             k: int(data.get(k, 0)) if isinstance(data.get(k, 0), int) else 0
-            for k in ("hits", "misses", "puts")
+            for k in ("hits", "misses", "puts", "batched_gets", "batched_puts")
         }
 
     def flush_counters(self) -> Dict[str, int]:
@@ -351,8 +471,15 @@ class RunCache:
         :meth:`put`.
         """
         with self._lock:
-            session = {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+            session = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "batched_gets": self.batched_gets,
+                "batched_puts": self.batched_puts,
+            }
             self.hits = self.misses = self.puts = 0
+            self.batched_gets = self.batched_puts = 0
         totals = self.persistent_stats()
         for k, v in sorted(session.items()):
             totals[k] += v
@@ -369,6 +496,7 @@ class RunCache:
         """Zero the session counters and delete the persistent sidecar."""
         with self._lock:
             self.hits = self.misses = self.puts = 0
+            self.batched_gets = self.batched_puts = 0
         self._stats_path.unlink(missing_ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

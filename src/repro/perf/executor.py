@@ -16,7 +16,12 @@ thing to get right is determinism:
 * **Transport.**  A :class:`RunTask` carries only frozen declarative
   dataclasses (config/workload/plan) into the worker; the
   :class:`~repro.metrics.collector.RunResult` coming back is plain data.
-  Both pickle cleanly under every multiprocessing start method.
+  Both pickle cleanly under every multiprocessing start method.  Batch
+  shards return a :class:`~repro.core.batch.BatchResultPayload`
+  (struct-of-arrays numpy buffers) instead of a RunResult list; the
+  parent decodes it against its own task descriptions, so the wire
+  volume is ten flat arrays per shard rather than one object graph per
+  run.
 
 * **Assembly.**  Results are reassembled by task index, so the output
   sequence never depends on completion order.
@@ -24,25 +29,31 @@ thing to get right is determinism:
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, cast
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence, Tuple, cast
 
 from repro.core.config import ERapidConfig
 from repro.metrics.collector import MeasurementPlan, RunResult
+from repro.perf.shards import SLAB_CAP, ShardReport, ShardSpec, plan_shards
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["RunTask", "execute_run", "execute_tasks", "run_sweep_batched"]
-
-#: Run points per :class:`~repro.core.batch.BatchEngine` slab.  Bounds the
-#: struct-of-arrays working set (state is O(runs x wavelengths x boards^2))
-#: while keeping slabs wide enough to amortize the per-cycle numpy
-#: dispatch overhead.
-SLAB_CAP = 256
+__all__ = [
+    "RunTask",
+    "execute_run",
+    "execute_tasks",
+    "run_sweep_batched",
+    "SLAB_CAP",
+]
 
 #: ``on_result(index, result)`` — invoked as runs complete (completion
 #: order under ``jobs > 1``, task order serially).
 ResultHook = Callable[[int, RunResult], None]
+
+#: ``on_shard(report)`` — invoked once per shard as it finishes; the
+#: service layer collects these into the job manifest.
+ShardHook = Callable[[ShardReport], None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,63 +116,186 @@ def execute_tasks(
     return cast(List[RunResult], results)
 
 
+def _shard_runs(
+    tasks: Sequence[RunTask], shard: ShardSpec
+) -> List[Tuple[ERapidConfig, WorkloadSpec, MeasurementPlan]]:
+    return [
+        (tasks[i].config, tasks[i].workload, tasks[i].plan)
+        for i in shard.indices
+    ]
+
+
+def _execute_batch_shard(
+    args: Tuple[int, Tuple[RunTask, ...]],
+) -> Tuple[int, float, object]:
+    """Worker entry point for one batch shard (module-level: picklable).
+
+    Returns ``(shard_id, worker_seconds, BatchResultPayload)`` — the
+    compact struct-of-arrays transport, never a pickled RunResult list;
+    the parent decodes it against its own task descriptions.
+    """
+    from repro.core.batch import BatchEngine
+
+    shard_id, shard_tasks = args
+    start = perf_counter()
+    payload = BatchEngine(
+        [(t.config, t.workload, t.plan) for t in shard_tasks]
+    ).run_payload()
+    return shard_id, perf_counter() - start, payload
+
+
 def run_sweep_batched(
     tasks: Sequence[RunTask],
     jobs: int = 1,
     on_result: Optional[ResultHook] = None,
+    slab_shard: Optional[int] = None,
+    on_shard: Optional[ShardHook] = None,
 ) -> List[RunResult]:
     """Execute ``tasks`` on the vectorized batch engine where possible.
 
     Tasks the batch model covers (:func:`repro.core.batch.coverage_gap`
-    returns None) are grouped by :func:`repro.core.batch.slab_key` into
-    struct-of-arrays slabs of at most :data:`SLAB_CAP` runs, each advanced
-    as one :class:`~repro.core.batch.BatchEngine`; everything else falls
-    back to the scalar :func:`execute_tasks` path (``jobs`` applies to the
-    fallback pool only — a slab is single-process by construction).
+    returns None) are grouped by :func:`repro.core.batch.slab_key` and
+    sharded into per-worker sub-slabs by :func:`repro.perf.shards.
+    plan_shards`; uncovered tasks fall back to the scalar engine.  Under
+    ``jobs > 1`` batch shards and scalar-fallback runs share **one**
+    process pool as a unified work queue, so ``jobs`` saturates the
+    machine regardless of the covered/fallback mix (``slab_shard``
+    overrides the shard-size heuristic; see :mod:`repro.perf.shards`).
+    ``jobs == 1`` executes everything inline with no transport at all.
 
-    The returned list is in task order, like :func:`execute_tasks`;
-    ``on_result(index, result)`` fires per run as its slab (or fallback
-    run) completes.  Slab membership never changes a run's result: every
+    The returned list is in task order, like :func:`execute_tasks`.
+    ``on_result(index, result)`` fires exactly once per index — in task
+    order within a shard as that shard completes, shard completion order
+    across shards.  Shard layout never changes a run's result: every
     run's state rows are independent, so partitioning is purely a
-    throughput concern.
+    throughput concern (the batch benchmark gates fingerprint identity
+    across ``jobs`` and ``slab_shard`` permutations).
+
+    A batch shard that raises is not fatal: its indices are re-routed to
+    the scalar engine (same pool) and the shard is reported with
+    ``kind="fallback"`` via ``on_shard``; a scalar run's exception
+    propagates, as in :func:`execute_tasks`.
     """
-    from repro.core.batch import BatchEngine, coverage_gap, slab_key
+    from repro.core.batch import BatchEngine, decode_payload
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    plan = plan_shards(tasks, jobs=jobs, slab_shard=slab_shard)
     results: List[Optional[RunResult]] = [None] * len(tasks)
-    #: slab key -> task indices, in task order (dict preserves insertion
-    #: order, so slab composition is deterministic in the task sequence).
-    slabs: Dict[Tuple[object, ...], List[int]] = {}
-    scalar_indices: List[int] = []
-    for i, task in enumerate(tasks):
-        if coverage_gap(task.config, task.workload, task.plan) is None:
-            key = slab_key(task.config, task.workload, task.plan)
-            slabs.setdefault(key, []).append(i)
-        else:
-            scalar_indices.append(i)
+    started = perf_counter()
 
-    # Slab order is immaterial: each run's result depends only on its own
-    # (config, workload, plan) row and lands in its own `results` slot.
-    for indices in slabs.values():  # sim-lint: ignore[SIM007]
-        for lo in range(0, len(indices), SLAB_CAP):
-            chunk = indices[lo : lo + SLAB_CAP]
-            engine = BatchEngine(
-                [(tasks[i].config, tasks[i].workload, tasks[i].plan) for i in chunk]
+    def report(
+        shard: ShardSpec,
+        kind: str,
+        seconds: float,
+        payload_bytes: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        if on_shard is not None:
+            on_shard(
+                ShardReport(
+                    shard_id=shard.shard_id,
+                    kind=kind,
+                    runs=shard.runs,
+                    seconds=seconds,
+                    payload_bytes=payload_bytes,
+                    error=error,
+                )
             )
-            for i, result in zip(chunk, engine.run()):
-                results[i] = result
-                if on_result is not None:
-                    on_result(i, result)
 
-    if scalar_indices:
-        fallback = [tasks[i] for i in scalar_indices]
-
-        def forward(j: int, result: RunResult) -> None:
-            i = scalar_indices[j]
+    def deliver(shard: ShardSpec, decoded: Sequence[RunResult]) -> None:
+        # Task order within the shard — the exactly-once, in-order
+        # contract the service's event stream relies on.
+        for i, result in zip(shard.indices, decoded):
             results[i] = result
             if on_result is not None:
                 on_result(i, result)
 
-        execute_tasks(fallback, jobs=jobs, on_result=forward)
+    def run_scalar_inline(i: int) -> None:
+        result = execute_run(tasks[i])
+        results[i] = result
+        if on_result is not None:
+            on_result(i, result)
+
+    if jobs == 1:
+        for shard in plan.batch_shards:
+            runs = _shard_runs(tasks, shard)
+            start = perf_counter()
+            try:
+                payload = BatchEngine(runs).run_payload()
+            except Exception as exc:  # noqa: BLE001 - re-routed, not dropped
+                for i in shard.indices:
+                    run_scalar_inline(i)
+                report(
+                    shard,
+                    "fallback",
+                    perf_counter() - start,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            deliver(shard, decode_payload(payload, runs))
+            report(shard, "batch", perf_counter() - start, payload.nbytes)  # type: ignore[attr-defined]
+        scalar_shard = next(
+            (s for s in plan.shards if s.kind == "scalar"), None
+        )
+        if scalar_shard is not None:
+            for i in scalar_shard.indices:
+                run_scalar_inline(i)
+            report(scalar_shard, "scalar", perf_counter() - started)
+        return cast(List[RunResult], results)
+
+    scalar_shard = next((s for s in plan.shards if s.kind == "scalar"), None)
+    n_items = len(plan.batch_shards) + (
+        scalar_shard.runs if scalar_shard is not None else 0
+    )
+    scalar_open = scalar_shard.runs if scalar_shard is not None else 0
+    with ProcessPoolExecutor(max_workers=min(jobs, max(n_items, 1))) as pool:
+        pending: dict[Future, Tuple[str, object]] = {}
+        for shard in plan.batch_shards:
+            fut = pool.submit(
+                _execute_batch_shard,
+                (shard.shard_id, tuple(tasks[i] for i in shard.indices)),
+            )
+            pending[fut] = ("batch", shard)
+        if scalar_shard is not None:
+            for i in scalar_shard.indices:
+                fut = pool.submit(_execute_indexed, (i, tasks[i]))
+                pending[fut] = ("scalar", i)
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                kind, obj = pending.pop(fut)
+                if kind == "batch":
+                    shard = cast(ShardSpec, obj)
+                    try:
+                        _, seconds, payload = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - re-route
+                        for i in shard.indices:
+                            f2 = pool.submit(_execute_indexed, (i, tasks[i]))
+                            pending[f2] = ("rescued", (i, shard))
+                        report(
+                            shard,
+                            "fallback",
+                            perf_counter() - started,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        continue
+                    deliver(
+                        shard,
+                        decode_payload(payload, _shard_runs(tasks, shard)),
+                    )
+                    report(shard, "batch", seconds, payload.nbytes)  # type: ignore[attr-defined]
+                else:
+                    index, result = fut.result()
+                    results[index] = result
+                    if on_result is not None:
+                        on_result(index, result)
+                    if kind == "scalar":
+                        scalar_open -= 1
+                        if scalar_open == 0 and scalar_shard is not None:
+                            report(
+                                scalar_shard,
+                                "scalar",
+                                perf_counter() - started,
+                            )
     return cast(List[RunResult], results)

@@ -103,6 +103,15 @@ class Job:
                 "executed": self.execution.executed,
             }
             status["sweep_fingerprint"] = self.execution.fingerprint
+            if self.execution.shards:
+                shards = self.execution.shards
+                batch = [s for s in shards if s.kind == "batch"]
+                status["shards"] = {
+                    "total": len(shards),
+                    "batch": len(batch),
+                    "batch_runs": sum(s.runs for s in batch),
+                    "max_shard_seconds": max(s.seconds for s in shards),
+                }
         return status
 
 
@@ -403,7 +412,7 @@ class SweepService:
     def _manifest(self, job: Job, execution: JobExecution) -> Dict[str, Any]:
         from repro.sim.kernel import KERNEL_VERSION
 
-        return {
+        manifest = {
             "job_id": job.job_id,
             "job_key": job.key,
             "kind": job.spec.kind,
@@ -426,6 +435,15 @@ class SweepService:
             },
             "subscribers": job.subscribers,
         }
+        if execution.shards:
+            # Shard layout + per-shard timings of the sharded batch path
+            # (absent for scalar jobs), so a job's parallel execution is
+            # auditable shard by shard.
+            manifest["shard_layout"] = {
+                "jobs": self.jobs,
+                "shards": [s.to_dict() for s in execution.shards],
+            }
+        return manifest
 
     def _notify(self, job: Job) -> None:
         """Run the update hook outside the lock (it does file I/O)."""

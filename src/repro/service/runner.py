@@ -20,16 +20,23 @@ job is auditable run by run.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, cast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, cast
 
 from repro.analysis.determinism import sweep_fingerprint
 from repro.metrics.collector import RunResult
 from repro.perf.cache import RunCache
 from repro.perf.executor import RunTask, execute_tasks
+from repro.perf.shards import ShardReport
 from repro.service.spec import JobSpec
 
 __all__ = ["RunRecord", "JobExecution", "execute_job", "EventHook", "ExecuteFn"]
+
+#: Fresh results buffered per :meth:`~repro.perf.cache.RunCache.put_many`
+#: flush.  Bounds how many completed runs a crash could lose from the
+#: cache (they are never lost from the job itself) while still batching
+#: the fsync traffic.
+PUT_CHUNK = 32
 
 #: ``on_event(kind, policy, load, result)`` with kind in
 #: {"run_cached", "run_done"} — invoked per run (deterministic spec order
@@ -69,6 +76,9 @@ class JobExecution:
     executed: int
     fingerprint: str
     execute_seconds: float
+    #: Per-shard layout and timings when the job ran on the sharded batch
+    #: path (empty for scalar jobs and injected executors).
+    shards: Tuple[ShardReport, ...] = field(default=())
 
     @property
     def total(self) -> int:
@@ -81,16 +91,28 @@ def execute_job(
     jobs: int = 1,
     execute: Optional[ExecuteFn] = None,
     on_event: Optional[EventHook] = None,
+    slab_shard: Optional[int] = None,
 ) -> JobExecution:
     """Execute one job: cache lookups, pool fan-out, result storage.
 
-    ``spec.engine == "batch"`` routes execution through
-    :func:`repro.perf.executor.run_sweep_batched` (unless ``execute`` is
-    injected); cache keys are then engine-aware per run — batch keyspace
-    for points the vectorized model covers, scalar keyspace for fallback
+    ``spec.engine == "batch"`` routes execution through the sharded
+    :func:`repro.perf.executor.run_sweep_batched` path (unless
+    ``execute`` is injected): covered runs are split into per-worker
+    sub-slabs scheduled next to scalar-fallback tasks on one pool, the
+    resulting shard layout and per-shard timings land in
+    :attr:`JobExecution.shards`, and ``slab_shard`` overrides the shard
+    size.  Cache keys are engine-aware per run — batch keyspace for
+    points the vectorized model covers, scalar keyspace for fallback
     points.
+
+    Cache I/O is slab-granular: one :meth:`~repro.perf.cache.RunCache.
+    get_many` answers every lookup up front (an all-hit replay costs one
+    counter flush, not one per run), and fresh results are stored through
+    :meth:`~repro.perf.cache.RunCache.put_many` in chunks of
+    :data:`PUT_CHUNK`.
     """
     batch_covers: Optional[Callable[..., Optional[str]]] = None
+    shard_reports: List[ShardReport] = []
     if spec.engine == "batch":
         from repro.core.batch import coverage_gap
         from repro.perf.executor import run_sweep_batched
@@ -111,20 +133,31 @@ def execute_job(
     meta: List[tuple] = []
     start = time.perf_counter()
 
-    load_index = {load: li for li, load in enumerate(spec.loads)}
-    for di, desc in enumerate(descriptions):
+    # One batched lookup for the whole job, in deterministic spec order.
+    point_engines: List[str] = []
+    keys: List[Optional[str]] = []
+    for desc in descriptions:
         point_engine = "fast"
         if batch_covers is not None and (
             batch_covers(desc.config, desc.workload, plan) is None
         ):
             point_engine = "batch"
-        key: Optional[str] = None
-        hit: Optional[RunResult] = None
-        if cache is not None:
-            key = cache.key_for(
-                desc.config, desc.workload, plan, engine=point_engine
-            )
-            hit = cache.get(key)
+        point_engines.append(point_engine)
+        keys.append(
+            cache.key_for(desc.config, desc.workload, plan, engine=point_engine)
+            if cache is not None
+            else None
+        )
+    cached: List[Optional[RunResult]] = (
+        cache.get_many(cast(List[str], keys))
+        if cache is not None
+        else [None] * len(descriptions)
+    )
+
+    load_index = {load: li for li, load in enumerate(spec.loads)}
+    for di, desc in enumerate(descriptions):
+        key = keys[di]
+        hit = cached[di]
         if hit is not None:
             records[di] = RunRecord(desc.policy, desc.load, key, hit=True)
             results[desc.policy][load_index[desc.load]] = hit
@@ -133,17 +166,38 @@ def execute_job(
             continue
         records[di] = RunRecord(desc.policy, desc.load, key, hit=False)
         tasks.append(RunTask(desc.config, desc.workload, plan))
-        meta.append((di, desc.policy, load_index[desc.load], key, point_engine))
+        meta.append(
+            (di, desc.policy, load_index[desc.load], key, point_engines[di])
+        )
+
+    put_buffer: List[tuple] = []
+
+    def flush_puts() -> None:
+        if cache is not None and put_buffer:
+            cache.put_many(put_buffer)
+            put_buffer.clear()
 
     def on_result(index: int, result: RunResult) -> None:
         _, policy, li, key, point_engine = meta[index]
         results[policy][li] = result
         if cache is not None and key is not None:
-            cache.put(key, result, engine=point_engine)
+            put_buffer.append((key, result, point_engine))
+            if len(put_buffer) >= PUT_CHUNK:
+                flush_puts()
         if on_event is not None:
             on_event("run_done", policy, spec.loads[li], result)
 
-    run_execute(tasks, jobs=jobs, on_result=on_result)
+    if execute is None and spec.engine == "batch":
+        run_execute(
+            tasks,
+            jobs=jobs,
+            on_result=on_result,
+            slab_shard=slab_shard,
+            on_shard=shard_reports.append,
+        )
+    else:
+        run_execute(tasks, jobs=jobs, on_result=on_result)
+    flush_puts()
     if cache is not None:
         cache.flush_counters()
 
@@ -157,4 +211,5 @@ def execute_job(
         executed=len(tasks),
         fingerprint=sweep_fingerprint(full),
         execute_seconds=time.perf_counter() - start,
+        shards=tuple(shard_reports),
     )

@@ -1,5 +1,7 @@
 """Service execution of batch-engine jobs: routing, keyspaces, replay."""
 
+import json
+
 from repro.analysis.equivalence import compare_runs
 from repro.perf.cache import RunCache
 from repro.service.runner import execute_job
@@ -82,3 +84,60 @@ def test_injected_execute_overrides_batch_routing(tmp_path):
     for runs in execution.results.values():
         for result in runs:
             assert result.extra.get("engine") != "batch"
+    assert execution.shards == ()  # shard reports come from the real path
+
+
+# ----------------------------------------------------------------------
+# Sharded parallel execution
+# ----------------------------------------------------------------------
+def test_sharded_job_is_fingerprint_identical_across_layouts(tmp_path):
+    """jobs and slab_shard are pure scheduling: every layout must produce
+    the same sweep fingerprint as single-process execution."""
+    baseline = execute_job(batch_spec(), None, jobs=1)
+    pooled = execute_job(batch_spec(), None, jobs=2)
+    resharded = execute_job(batch_spec(), None, jobs=2, slab_shard=1)
+    assert pooled.fingerprint == baseline.fingerprint
+    assert resharded.fingerprint == baseline.fingerprint
+
+    # The shard reports mirror the layout actually executed.
+    assert all(s.kind == "batch" for s in baseline.shards)
+    assert sum(s.runs for s in baseline.shards) == 4
+    assert len(resharded.shards) == 4  # slab_shard=1 -> one run per shard
+    for report in resharded.shards:
+        assert report.runs == 1
+        assert report.seconds > 0
+        assert report.payload_bytes > 0
+
+
+def test_manifest_records_shard_layout(tmp_path):
+    """A batch job run through the real service persists its shard layout
+    and per-shard timings in the artifact manifest."""
+    from repro.service.artifacts import ArtifactStore
+    from repro.service.orchestrator import SweepService
+
+    cache = RunCache(tmp_path / "cache")
+    store = ArtifactStore(tmp_path / "store")
+    service = SweepService(cache, store, jobs=2).start()
+    try:
+        handle = service.submit(batch_spec())
+        execution = handle.wait(timeout=120)
+    finally:
+        service.stop()
+
+    assert execution.shards
+    status = handle.status()
+    assert status["shards"]["total"] == len(execution.shards)
+    assert status["shards"]["batch_runs"] == 4
+
+    from pathlib import Path
+
+    manifest = json.loads(Path(status["manifest"]).read_text())
+    layout = manifest["shard_layout"]
+    assert layout["jobs"] == 2
+    assert [s["shard_id"] for s in layout["shards"]] == [
+        s.shard_id for s in execution.shards
+    ]
+    for entry in layout["shards"]:
+        assert entry["kind"] == "batch"
+        assert entry["runs"] >= 1
+        assert entry["seconds"] > 0

@@ -155,6 +155,35 @@ def test_cli_sweep_engine_batch(capsys):
     assert "complement sweep" in out and "throughput" in out
 
 
+def test_cli_sweep_verbose_prints_effective_shard_plan(capsys):
+    rc = main([
+        "sweep", "--pattern", "complement", "--loads", "0.3",
+        "--boards", "4", "--nodes", "4", "--engine", "batch",
+        "--jobs", "2", "--slab-shard", "1", "--verbose",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shard plan:" in out
+    assert "--slab-shard 1" in out and "jobs=2" in out
+    # Without --verbose the plan stays out of the output.
+    rc = main([
+        "sweep", "--pattern", "complement", "--loads", "0.3",
+        "--boards", "4", "--nodes", "4", "--engine", "batch",
+    ])
+    assert rc == 0
+    assert "shard plan:" not in capsys.readouterr().out
+
+
+def test_cli_sweep_shard_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--slab-shard", "16", "-v"])
+    assert args.slab_shard == 16
+    assert args.verbose is True
+    defaults = parser.parse_args(["sweep"])
+    assert defaults.slab_shard is None
+    assert defaults.verbose is False
+
+
 def test_cli_cache_stats_by_engine(tmp_path, capsys):
     rc = main(["cache", "stats", "--by-engine", "--dir", str(tmp_path)])
     assert rc == 0

@@ -76,6 +76,49 @@ def test_coverage_gap_reasons_stay_accurate():
     assert "integer cycle grid" in coverage_gap(config, ok, fractional)
 
 
+def capped_config(cap, policy="P-B"):
+    from dataclasses import replace
+
+    capped = replace(
+        POLICIES[policy], name=f"{policy}[cap={cap}]", max_grants_per_dest=cap
+    )
+    return ERapidConfig(
+        topology=ERapidTopology(boards=4, nodes_per_board=4), policy=capped
+    )
+
+
+def test_limited_dbr_policies_are_batch_covered():
+    """max_grants_per_dest no longer forces the scalar fallback: the
+    vectorized DBR planner takes the cap directly."""
+    workload = WorkloadSpec(pattern="complement", load=0.5, seed=1)
+    for cap in (0, 1, 2, None):
+        assert coverage_gap(capped_config(cap), workload, PLAN) is None, cap
+
+
+def test_limited_dbr_matches_scalar_engine():
+    """The §5 "limited flexibility" ablation axis on the batch engine:
+    every grant cap must stay inside the declared tolerances against the
+    scalar engine, and capped grant counts must agree exactly (the cap is
+    enforced by the same dbr_plan on both paths)."""
+    workload = WorkloadSpec(pattern="complement", load=0.6, seed=1)
+    tasks = [
+        RunTask(capped_config(cap), workload, PLAN) for cap in (0, 1, 2, None)
+    ]
+    batch = run_sweep_batched(tasks)
+    scalar = execute_tasks(tasks)
+    for result in batch:
+        assert result.extra["engine"] == "batch"
+    report = compare_runs(scalar, batch)
+    assert report.ok, report.to_dict()["failures"]
+    for b, s in zip(batch, scalar):
+        assert b.extra["grants"] == s.extra["grants"]
+    # A zero cap means DBR can never move a wavelength; tighter caps can
+    # never grant more than looser ones on the same workload.
+    grants = [r.extra["grants"] for r in batch]
+    assert grants[0] == 0
+    assert grants[0] <= grants[1] <= grants[2] <= grants[3]
+
+
 # ----------------------------------------------------------------------
 # Slab grouping
 # ----------------------------------------------------------------------
@@ -143,6 +186,43 @@ def test_batch_run_is_deterministic():
     first = BatchEngine([(t.config, t.workload, t.plan) for t in tasks]).run()
     second = BatchEngine([(t.config, t.workload, t.plan) for t in tasks]).run()
     assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+
+
+# ----------------------------------------------------------------------
+# Struct-of-arrays result transport
+# ----------------------------------------------------------------------
+def test_payload_round_trip_is_bit_identical_to_run():
+    """run() is defined as decode_payload(run_payload()), so the compact
+    transport a pool worker ships must reconstruct the exact RunResults
+    in-process execution produces."""
+    import pickle
+
+    from repro.core.batch import BatchResultPayload, decode_payload
+
+    tasks = grid_tasks()
+    runs = [(t.config, t.workload, t.plan) for t in tasks]
+    direct = BatchEngine(runs).run()
+    payload = BatchEngine(runs).run_payload()
+    assert isinstance(payload, BatchResultPayload)
+    assert len(payload) == len(tasks)
+    assert payload.nbytes > 0
+
+    # Through a pickle round trip, as the process pool ships it.
+    wire = pickle.loads(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+    decoded = decode_payload(wire, runs)
+    assert [r.to_dict() for r in decoded] == [r.to_dict() for r in direct]
+
+
+def test_decode_payload_rejects_length_mismatch():
+    from repro.errors import ConfigurationError
+
+    from repro.core.batch import decode_payload
+
+    tasks = grid_tasks(patterns=("complement",), loads=(0.4,))
+    runs = [(t.config, t.workload, t.plan) for t in tasks]
+    payload = BatchEngine(runs).run_payload()
+    with pytest.raises(ConfigurationError):
+        decode_payload(payload, runs[:-1])
 
 
 # ----------------------------------------------------------------------

@@ -95,7 +95,13 @@ def test_miss_then_hit_round_trips_exactly(tmp_path, run_desc):
     got = cache.get(key)
     assert got is not None
     assert got.to_dict() == result.to_dict()
-    assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+    assert cache.stats() == {
+        "hits": 1,
+        "misses": 1,
+        "puts": 1,
+        "batched_gets": 0,
+        "batched_puts": 0,
+    }
 
 
 def test_corrupt_entry_is_a_miss(tmp_path, run_desc):
@@ -182,6 +188,138 @@ def test_put_failure_leaves_no_temp_file(tmp_path, run_desc, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Batched (slab-granular) cache I/O
+# ----------------------------------------------------------------------
+def batch_keys(cache, run_desc, n=3):
+    config, workload, plan = run_desc
+    return [
+        cache.key_for(
+            config, WorkloadSpec("uniform", 0.1 * (i + 1), seed=1), plan
+        )
+        for i in range(n)
+    ]
+
+
+def test_get_many_is_positional_and_counts_once(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    keys = batch_keys(cache, run_desc, n=3)
+    results = [fake_result(throughput=0.1 * (i + 1)) for i in range(3)]
+    cache.put(keys[0], results[0])
+    cache.put(keys[2], results[2])
+
+    got = cache.get_many(keys)
+    assert got[0].to_dict() == results[0].to_dict()
+    assert got[1] is None
+    assert got[2].to_dict() == results[2].to_dict()
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 1
+    assert stats["batched_gets"] == 1
+
+
+def test_get_many_treats_corrupt_entries_as_misses(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    keys = batch_keys(cache, run_desc, n=2)
+    cache.put(keys[0], fake_result())
+    (tmp_path / f"{keys[0]}.json").write_text("{ truncated")
+    assert cache.get_many(keys) == [None, None]
+
+
+def test_put_many_round_trips_and_counts_once(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    keys = batch_keys(cache, run_desc, n=3)
+    items = [
+        (keys[i], fake_result(throughput=0.1 * (i + 1)), "batch")
+        for i in range(3)
+    ]
+    assert cache.put_many(items) == 3
+    for key, result, _ in items:
+        assert cache.get(key).to_dict() == result.to_dict()
+        assert json.loads((tmp_path / f"{key}.json").read_text())["engine"] == "batch"
+    stats = cache.stats()
+    assert stats["puts"] == 3
+    assert stats["batched_puts"] == 1
+    assert cache.put_many([]) == 0  # no-op, no counter churn
+    assert cache.stats()["batched_puts"] == 1
+
+
+def test_put_many_rejects_unknown_engine_before_writing(tmp_path, run_desc):
+    cache = RunCache(tmp_path)
+    keys = batch_keys(cache, run_desc, n=2)
+    with pytest.raises(CacheError):
+        cache.put_many(
+            [(keys[0], fake_result(), "fast"), (keys[1], fake_result(), "warp")]
+        )
+    assert cache.get(keys[0]) is None  # validation precedes any I/O
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_put_many_staging_failure_publishes_nothing(
+    tmp_path, run_desc, monkeypatch
+):
+    """An injected fsync failure mid-stage leaves zero entries and zero
+    temp files: the batch either fully stages or fully unwinds."""
+    cache = RunCache(tmp_path)
+    keys = batch_keys(cache, run_desc, n=3)
+    calls = {"n": 0}
+    import os as os_mod
+
+    real_fsync = os_mod.fsync
+
+    def flaky_fsync(fd):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise OSError("injected staging failure")
+        return real_fsync(fd)
+
+    monkeypatch.setattr("repro.perf.cache.os.fsync", flaky_fsync)
+    with pytest.raises(OSError):
+        cache.put_many([(k, fake_result(), "fast") for k in keys])
+    monkeypatch.undo()
+    assert cache.get_many(keys) == [None, None, None]
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert cache.stats()["puts"] == 0
+
+
+def test_put_many_publish_failure_leaves_complete_prefix(
+    tmp_path, run_desc, monkeypatch
+):
+    """An injected os.replace failure mid-publish leaves only complete,
+    individually-valid entries (a prefix) — no torn files, no temps."""
+    cache = RunCache(tmp_path)
+    keys = batch_keys(cache, run_desc, n=3)
+    items = [
+        (keys[i], fake_result(throughput=0.1 * (i + 1)), "fast")
+        for i in range(3)
+    ]
+    calls = {"n": 0}
+    import os as os_mod
+
+    real_replace = os_mod.replace
+
+    def flaky_replace(src, dst):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise OSError("injected publish failure")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr("repro.perf.cache.os.replace", flaky_replace)
+    with pytest.raises(OSError):
+        cache.put_many(items)
+    monkeypatch.undo()
+    # Exactly the first entry was published, and it is complete.
+    assert cache.get(keys[0]).to_dict() == items[0][1].to_dict()
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is None
+    payload = json.loads((tmp_path / f"{keys[0]}.json").read_text())
+    assert payload["cache_format"] == 1
+    assert list(tmp_path.glob("*.tmp")) == []
+    stats = cache.stats()
+    assert stats["puts"] == 1  # only what was actually published
+    assert stats["batched_puts"] == 1
+
+
+# ----------------------------------------------------------------------
 # Counters and introspection
 # ----------------------------------------------------------------------
 def test_persistent_counters_accumulate_across_instances(tmp_path, run_desc):
@@ -191,14 +329,15 @@ def test_persistent_counters_accumulate_across_instances(tmp_path, run_desc):
     cache.put(key, fake_result())
     cache.get(key)  # hit
     totals = cache.flush_counters()
-    assert totals == {"hits": 1, "misses": 1, "puts": 1}
+    base = {"batched_gets": 0, "batched_puts": 0}
+    assert totals == {"hits": 1, "misses": 1, "puts": 1, **base}
     # Session counters reset: a second flush adds nothing.
     assert cache.flush_counters() == totals
     # A fresh instance sees the persisted totals and merges its own.
     other = RunCache(tmp_path)
     other.get(key)  # hit
-    assert other.flush_counters() == {"hits": 2, "misses": 1, "puts": 1}
-    assert other.persistent_stats() == {"hits": 2, "misses": 1, "puts": 1}
+    assert other.flush_counters() == {"hits": 2, "misses": 1, "puts": 1, **base}
+    assert other.persistent_stats() == {"hits": 2, "misses": 1, "puts": 1, **base}
 
 
 def test_entries_and_size_exclude_stats_sidecar(tmp_path, run_desc):
@@ -216,7 +355,13 @@ def test_entries_and_size_exclude_stats_sidecar(tmp_path, run_desc):
     assert cache.persistent_stats()["puts"] == 1
     cache.reset_counters()
     assert not (tmp_path / "_stats.json").exists()
-    assert cache.persistent_stats() == {"hits": 0, "misses": 0, "puts": 0}
+    assert cache.persistent_stats() == {
+        "hits": 0,
+        "misses": 0,
+        "puts": 0,
+        "batched_gets": 0,
+        "batched_puts": 0,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -98,3 +98,167 @@ def test_progress_streams_one_line_per_run():
     assert sorted(lines) == sorted(
         (p, l) for p in spec.policies for l in spec.loads
     )
+
+
+def test_sweepspec_tasks_matches_executed_task_list(monkeypatch):
+    """SweepSpec.tasks() must stay in lock-step with run_sweep_matrix's
+    cell construction — the CLI's verbose shard-plan preview and the
+    shard planner reason about exactly this list."""
+    import repro.perf.executor as executor_mod
+
+    spec = tiny_spec()
+    captured = {}
+    real = executor_mod.execute_tasks
+
+    def recording(tasks, jobs=1, on_result=None):
+        captured["tasks"] = list(tasks)
+        return real(tasks, jobs=jobs, on_result=on_result)
+
+    monkeypatch.setattr(executor_mod, "execute_tasks", recording)
+    run_sweep(spec, jobs=1)
+    # Compare by canonical content (PowerLevelTable compares by identity,
+    # so freshly-built configs are never `==` even when identical).
+    from repro.perf.cache import canonical_payload
+
+    def canon(tasks):
+        return [canonical_payload(t.config, t.workload, t.plan) for t in tasks]
+
+    assert canon(captured["tasks"]) == canon(spec.tasks())
+
+
+# ----------------------------------------------------------------------
+# Sharded batch execution: hooks and error paths
+# ----------------------------------------------------------------------
+def mixed_tasks():
+    """Covered (uniform/complement) plus uncovered (hotspot) points."""
+    from repro.core.config import ERapidConfig
+    from repro.core.policies import POLICIES
+    from repro.network.topology import ERapidTopology
+    from repro.traffic.workload import WorkloadSpec
+
+    config = ERapidConfig(
+        topology=ERapidTopology(boards=2, nodes_per_board=4)
+    ).with_policy(POLICIES["P-B"])
+    tasks = []
+    for pattern in ("uniform", "complement", "hotspot"):
+        for load in (0.2, 0.3, 0.4, 0.5):
+            tasks.append(
+                RunTask(config, WorkloadSpec(pattern, load, seed=1), TINY_PLAN)
+            )
+    return tasks
+
+
+def test_on_result_fires_exactly_once_in_task_order_within_shard():
+    from repro.perf.executor import run_sweep_batched
+    from repro.perf.shards import plan_shards
+
+    tasks = mixed_tasks()
+    plan = plan_shards(tasks, jobs=1, slab_shard=3)
+    seen = []
+    results = run_sweep_batched(
+        tasks, jobs=1, slab_shard=3, on_result=lambda i, r: seen.append(i)
+    )
+    assert sorted(seen) == list(range(len(tasks)))  # exactly once each
+    # Within every shard, delivery follows task order.
+    position = {index: pos for pos, index in enumerate(seen)}
+    for shard in plan.shards:
+        shard_positions = [position[i] for i in shard.indices]
+        assert shard_positions == sorted(shard_positions), shard
+    assert all(r is not None for r in results)
+
+
+def test_on_shard_reports_layout_and_transport():
+    from repro.perf.executor import run_sweep_batched
+    from repro.perf.shards import plan_shards
+
+    tasks = mixed_tasks()
+    plan = plan_shards(tasks, jobs=1, slab_shard=3)
+    reports = []
+    run_sweep_batched(tasks, jobs=1, slab_shard=3, on_shard=reports.append)
+
+    batch_reports = [r for r in reports if r.kind == "batch"]
+    scalar_reports = [r for r in reports if r.kind == "scalar"]
+    assert len(batch_reports) == len(plan.batch_shards)
+    assert len(scalar_reports) == 1
+    assert scalar_reports[0].runs == len(plan.scalar_indices)
+    for r in batch_reports:
+        assert r.seconds > 0
+        assert r.payload_bytes > 0  # struct-of-arrays transport volume
+    assert sum(r.runs for r in reports) == len(tasks)
+
+
+def _check_fallback_rescues_shard(jobs):
+    """A batch shard that raises must be transparently re-run scalar."""
+    import pytest
+
+    from repro.core.batch import BatchEngine
+    from repro.perf.executor import run_sweep_batched
+    from repro.perf.shards import plan_shards
+
+    tasks = mixed_tasks()
+    plan = plan_shards(tasks, jobs=jobs, slab_shard=3)
+    # The failure is keyed on shard *content* (the shard holding the
+    # uniform load=0.2 point) so it triggers deterministically in the
+    # parent and in forked pool workers alike.
+    (doomed,) = [
+        s
+        for s in plan.batch_shards
+        if any(
+            tasks[i].workload.pattern == "uniform"
+            and tasks[i].workload.load == 0.2
+            for i in s.indices
+        )
+    ]
+    baseline = run_sweep_batched(tasks, jobs=1, slab_shard=3)
+    expected = [
+        execute_run(t) if i in doomed.indices else baseline[i]
+        for i, t in enumerate(tasks)
+    ]
+
+    if jobs > 1:
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("monkeypatch only reaches pool workers under fork")
+
+    original = BatchEngine.run_payload
+
+    def boom(self):
+        if any(
+            wl.pattern == "uniform" and wl.load == 0.2
+            for _, wl, _ in self.runs
+        ):
+            raise RuntimeError("injected shard failure")
+        return original(self)
+
+    reports = []
+    seen = []
+    try:
+        BatchEngine.run_payload = boom
+        results = run_sweep_batched(
+            tasks,
+            jobs=jobs,
+            slab_shard=3,
+            on_result=lambda i, r: seen.append(i),
+            on_shard=reports.append,
+        )
+    finally:
+        BatchEngine.run_payload = original
+
+    # The doomed shard's runs carry scalar-engine results; every other
+    # run is bit-identical to the unfailed batch sweep.
+    assert [r.to_dict() for r in results] == [r.to_dict() for r in expected]
+    assert sorted(seen) == list(range(len(tasks)))  # still exactly once
+    fallbacks = [r for r in reports if r.kind == "fallback"]
+    assert len(fallbacks) == 1
+    assert fallbacks[0].shard_id == doomed.shard_id
+    assert fallbacks[0].runs == doomed.runs
+    assert "injected shard failure" in fallbacks[0].error
+
+
+def test_failed_shard_falls_back_to_scalar_inline():
+    _check_fallback_rescues_shard(jobs=1)
+
+
+def test_failed_shard_falls_back_to_scalar_in_pool():
+    _check_fallback_rescues_shard(jobs=2)
