@@ -55,10 +55,15 @@ bench-detailed:
 # the scalar process pool on the paper's 144-point grid, gated on the
 # statistical-equivalence tolerances, the permutation-subset bit-identity
 # fingerprint, the shard-layout fingerprint-identity check, the >=5x
-# single-process speedup bar, and (on hosts with >=2 cores) the >=2x
-# sharded jobs-scaling bar (non-zero exit on any failure).  JOBS= sets
-# the top pool width, e.g. `make bench-batch JOBS=8`.  Rewrites
-# BENCH_batch.json at the repo root.
+# single-process speedup bar, (on hosts with >=2 cores) the >=2x sharded
+# jobs-scaling bar, and the time-skipping gates: skip/no-skip
+# fingerprint identity at every size, cycles_executed < horizon on the
+# load-0.1 slabs (the skip machinery actually engages — asserted in
+# quick mode too), and in full mode the low-load (<=0.3) subgrid running
+# at >=2x the batch rate of the high-load (>=0.7) subgrid on same-width
+# single-load slabs (non-zero exit on any failure).
+# JOBS= sets the top pool width, e.g. `make bench-batch JOBS=8`.
+# Rewrites BENCH_batch.json at the repo root.
 JOBS ?= 4
 bench-batch:
 	$(PYTHON) -m repro.perf bench --only batch --jobs $(JOBS)

@@ -6,9 +6,11 @@ asserted hard at every size is the fidelity contract that makes the
 batch tier shippable: the statistical-equivalence harness passes its
 declared tolerances, the stream-identical permutation subset is
 bit-identical to the scalar engine, every sharded (jobs, slab_shard)
-layout fingerprints identical to single-process batch, and the
+layout fingerprints identical to single-process batch, the
 struct-of-arrays transport payload pickles smaller than the RunResult
-list it decodes into.
+list it decodes into, and the event-horizon time-skipping loop is
+bit-identical to the unskipped loop while visibly engaging (cycles
+skipped, telemetry present) on the load-0.1 slabs.
 """
 
 import json
@@ -60,6 +62,46 @@ def test_bench_batch_smoke(results_dir):
     assert transport["shard_runs"] > 0
     assert 0 < transport["payload_bytes"] < transport["results_bytes"]
     assert transport["bytes_ratio"] > 1
+
+    # Event-horizon time-skipping: bit-identity between skip and no-skip
+    # at every size, cycles_skipped telemetry present in quick mode, and
+    # the skip machinery visibly engaged on the load-0.1 slabs
+    # (cycles_executed < horizon — cost tracks events, not the horizon).
+    skip = report["skip"]
+    assert skip["grid_identity"] is True
+    assert skip["identity"] is True
+    assert skip["skip_engaged_low_load"] is True
+    assert skip["grid_noskip_seconds"] > 0
+    loads = {e["load"] for e in skip["by_load"]}
+    assert 0.1 in loads
+    for entry in skip["by_load"]:
+        assert entry["identical_to_noskip"] is True, entry
+        assert entry["matches_grid"] is True, entry
+        tel = entry["telemetry"]
+        assert tel["cycles_executed"] > 0
+        assert tel["cycles_skipped"] >= 0
+        assert 0.0 <= tel["skip_ratio"] <= 1.0
+        assert (
+            tel["cycles_executed"] + tel["cycles_skipped"] <= tel["horizon"]
+        )
+        if entry["load"] == 0.1:
+            assert tel["cycles_executed"] < tel["horizon"]
+            assert tel["cycles_skipped"] > 0
+    lowload = skip["lowload"]
+    assert lowload["runs"] > 0
+    assert lowload["batch_runs_per_sec"] > 0
+    assert lowload["speedup_vs_grid"] > 0
+    # Load scaling — the gated claim (>=2x low-vs-high is full-mode
+    # only; quick mode just requires both rates measured on same-width
+    # single-load slabs so the ratio is well-defined).
+    scaling = skip["load_scaling"]
+    assert scaling["low_runs"] > 0
+    assert scaling["high_runs"] > 0
+    assert scaling["low_runs_per_sec"] > 0
+    assert scaling["high_runs_per_sec"] > 0
+    assert scaling["low_vs_high"] > 0
+    assert set(scaling["low_loads"]) <= {e["load"] for e in skip["by_load"]}
+    assert set(scaling["high_loads"]) <= {e["load"] for e in skip["by_load"]}
 
     path = results_dir / "bench_batch_quick.json"
     write_report(report, path)

@@ -15,7 +15,9 @@ and gated:
   the reference actually drained; throughput and power are tight.
 * :func:`compare_runs` evaluates a candidate result list against a
   reference list pairwise and returns an :class:`EquivalenceReport` with
-  the worst deviation per metric and every out-of-tolerance pair.
+  the worst deviation per metric, every out-of-tolerance pair, and a
+  :class:`MetricExclusion` for every (run, metric) pair a ``drained_only``
+  tolerance skipped — no run leaves the check without a recorded reason.
 * :func:`bit_identity_fingerprint` hashes the stream-identical fields so
   the bit-identical subset is asserted exactly, not approximately.
 
@@ -37,6 +39,7 @@ __all__ = [
     "ToleranceSpec",
     "DEFAULT_TOLERANCES",
     "MetricDeviation",
+    "MetricExclusion",
     "EquivalenceReport",
     "compare_runs",
     "bit_identity_fingerprint",
@@ -102,6 +105,27 @@ class MetricDeviation:
 
 
 @dataclass(frozen=True, slots=True)
+class MetricExclusion:
+    """Why one (run, metric) pair was left out of tolerance checking.
+
+    Every skipped pair carries one of these, so an unchecked run is an
+    auditable decision, never a silent blind spot: ``checked[metric] +
+    len(excluded for metric) == total`` for every declared metric.
+    """
+
+    metric: str
+    index: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "index": self.index,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True, slots=True)
 class EquivalenceReport:
     """Outcome of one candidate-vs-reference comparison."""
 
@@ -112,6 +136,8 @@ class EquivalenceReport:
     #: metric -> the pair with the largest deviation/limit ratio.
     worst: Dict[str, MetricDeviation]
     failures: Tuple[MetricDeviation, ...]
+    #: one entry per (run, metric) pair skipped, with its reason.
+    excluded: Tuple[MetricExclusion, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -124,6 +150,7 @@ class EquivalenceReport:
             "checked": dict(self.checked),
             "worst": {m: d.to_dict() for m, d in sorted(self.worst.items())},
             "failures": [d.to_dict() for d in self.failures],
+            "excluded": [e.to_dict() for e in self.excluded],
         }
 
 
@@ -152,9 +179,24 @@ def compare_runs(
     checked: Dict[str, int] = {t.metric: 0 for t in tolerances}
     worst: Dict[str, MetricDeviation] = {}
     failures: List[MetricDeviation] = []
+    excluded: List[MetricExclusion] = []
     for i, (ref, cand) in enumerate(zip(reference, candidate)):
         for tol in tolerances:
             if tol.drained_only and not _drained(ref):
+                if ref.labeled_injected <= 0:
+                    reason = (
+                        "reference injected no labeled packets in the "
+                        "measurement window"
+                    )
+                else:
+                    reason = (
+                        "reference undrained at drain_limit "
+                        f"({ref.labeled_delivered}/{ref.labeled_injected} "
+                        "labeled packets delivered)"
+                    )
+                excluded.append(
+                    MetricExclusion(metric=tol.metric, index=i, reason=reason)
+                )
                 continue
             r = float(getattr(ref, tol.metric))
             c = float(getattr(cand, tol.metric))
@@ -179,6 +221,7 @@ def compare_runs(
         checked=checked,
         worst=worst,
         failures=tuple(failures),
+        excluded=tuple(excluded),
     )
 
 

@@ -113,10 +113,16 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
 #:   (``repro.network``) or the stateful power package (``repro.power``);
 #:   growing such an import would mean the "vectorized" engine quietly
 #:   re-entered scalar simulation territory.
+#: * ``repro.core.skip`` — the batch engine's next-event computation and
+#:   telemetry counters.  It is pure arithmetic over arrays the engine
+#:   hands it, so it may import nothing from :mod:`repro` at all; an
+#:   import appearing here would mean engine state leaked into what must
+#:   stay a layout-independent helper.
 MODULE_LAYERS: Dict[str, FrozenSet[str]] = {
     "repro.core.batch": frozenset(
         {"core", "errors", "metrics", "optics", "sim", "traffic"}
     ),
+    "repro.core.skip": frozenset(),
 }
 
 #: Deliberate module-level exceptions to the package DAG, as

@@ -391,6 +391,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if flits is not None:
             summary["flits routed"] = flits
             summary["flits/sec"] = flits / elapsed if elapsed > 0 else 0.0
+        if args.engine == "batch" and batch.telemetry is not None:
+            tel = batch.telemetry
+            summary["cycles executed"] = tel.cycles_executed
+            summary["cycles skipped"] = tel.cycles_skipped
+            summary["skip ratio"] = tel.skip_ratio
         print(format_kv(summary, title="== profile summary =="))
         return 0
 

@@ -12,12 +12,18 @@ in flat numpy struct-of-arrays indexed ``run-major``:
   toward board ``d``),
 * channel ``rc = r * (W * B) + w * B + d``  (wavelength ``w`` into ``d``).
 
-Each cycle applies masked updates to every run simultaneously; runs that
-drain their labeled packets are frozen (their rows masked out) until the
-whole slab finishes.  The Lock-Step control plane (window snapshots, DPM
-decisions, DBR grant plans with the real :func:`repro.core.dbr.dbr_plan`)
-runs at the same window boundaries and protocol latencies as the fast
-engine.
+Each cycle applies updates to every run simultaneously, and the loop is
+doubly event-driven: phases scan only the indices carried by the event
+rings, and the loop itself jumps over cycles that provably execute no
+event (:mod:`repro.core.skip` computes the next-event time from per-slot
+ring occupancy, the injection schedule, the Lock-Step grid and the drain
+grid), so wall-clock cost scales with events executed, not cycles
+simulated.  Runs that drain their labeled packets mid-slab are compacted
+out of the state arrays (their finished metrics scattered to their
+original slab positions) instead of being re-masked every phase.  The
+Lock-Step control plane (window snapshots, DPM decisions, DBR grant
+plans with the real :func:`repro.core.dbr.dbr_plan`) runs at the same
+window boundaries and protocol latencies as the fast engine.
 
 Fidelity contract (enforced by the statistical-equivalence harness in
 :mod:`repro.analysis.equivalence` and the batch benchmark gate):
@@ -54,6 +60,7 @@ import numpy as np
 
 from repro.core.config import ERapidConfig
 from repro.core.dbr import DestDemand, WavelengthState, dbr_plan
+from repro.core.skip import BatchTelemetry, next_event_time
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MeasurementPlan, RunResult
 from repro.optics.rwa import StaticRWA
@@ -81,6 +88,24 @@ _GAP_DRAW_CHUNK = 4096
 #: Delivery/exit ring length in cycles; must exceed the longest scheduled
 #: lead (wake + DVS stall + lowest-rate service + fiber/pipeline).
 _RING = 512
+
+
+def _cat(parts: List[np.ndarray], buf: np.ndarray) -> np.ndarray:
+    """Concatenate index arrays into a preallocated staging buffer.
+
+    With a single part the part itself is returned (zero copy); callers
+    treat the result as scratch either way, so the in-place sorts in the
+    dispatch/recv phases stay safe.  Replaces the per-cycle
+    ``np.concatenate`` chains — the cycle loop never allocates staging.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    n = 0
+    for p in parts:
+        k = len(p)
+        buf[n : n + k] = p
+        n += k
+    return buf[:n]
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +251,11 @@ def coverage_gap(
         return f"window_cycles={config.control.window_cycles} < 2x max lead {lead:.0f}"
     if lead + 8 >= _RING:
         return f"max event lead {lead:.0f} exceeds the ring horizon {_RING}"
+    send_lead = int(config.router.packet_serialization_cycles) + int(
+        config.router.pipeline_cycles
+    )
+    if send_lead + 8 >= _RING:
+        return f"send lead {send_lead} exceeds the ring horizon {_RING}"
     boards = config.topology.boards
     if config.control.power_cycle_latency(d_nodes) >= config.control.window_cycles:
         return "power cycle latency spills past the next window"
@@ -282,11 +312,20 @@ def slab_key(
 # The engine
 # ----------------------------------------------------------------------
 class BatchEngine:
-    """Advance a slab of run points simultaneously in numpy."""
+    """Advance a slab of run points simultaneously in numpy.
+
+    ``time_skip`` (default on) lets the cycle loop jump over spans that
+    provably execute no event; results are bit-identical either way (the
+    batch benchmark gates the fingerprints against each other), so
+    ``time_skip=False`` exists as the always-step reference and for
+    debugging.  After :meth:`run_payload` the engine exposes a
+    :class:`~repro.core.skip.BatchTelemetry` on ``self.telemetry``.
+    """
 
     def __init__(
         self,
         runs: Sequence[Tuple[ERapidConfig, WorkloadSpec, MeasurementPlan]],
+        time_skip: bool = True,
     ) -> None:
         if not runs:
             raise ConfigurationError("BatchEngine needs at least one run")
@@ -346,6 +385,8 @@ class BatchEngine:
         self.idle_frac = float(config.link_power.idle_fraction)
         self._policies = [cfg.policy for cfg, _, _ in self.runs]
         self._workloads = [wl for _, wl, _ in self.runs]
+        self.time_skip = bool(time_skip)
+        self.telemetry: Optional[BatchTelemetry] = None
         self._build_state()
 
     # ------------------------------------------------------------------
@@ -391,10 +432,20 @@ class BatchEngine:
         self.grants = np.zeros(R, dtype=np.int64)
         self.dpm_transitions = np.zeros(R, dtype=np.int64)
         self.sleeps = np.zeros(R, dtype=np.int64)
-        # Active masks (runs freeze as they drain).
-        self.active_r = np.ones(R, dtype=bool)
-        self.active_n = np.ones(RN, dtype=bool)
-        self.active_rc = np.ones(RC, dtype=bool)
+        # Original-index bookkeeping + per-run outputs: drained runs are
+        # compacted out of the live arrays (never re-masked), their final
+        # metrics scattered here at their original slab positions.
+        self.orig = np.arange(R, dtype=np.int64)
+        self.out_delivered = np.zeros(R, dtype=np.int64)
+        self.out_inj = np.zeros(R, dtype=np.int64)
+        self.out_lab_inj = np.zeros(R, dtype=np.int64)
+        self.out_lab_del = np.zeros(R, dtype=np.int64)
+        self.out_avg_lat = np.zeros(R)
+        self.out_power = np.zeros(R)
+        self.out_grants = np.zeros(R, dtype=np.int64)
+        self.out_dpm = np.zeros(R, dtype=np.int64)
+        self.out_sleeps = np.zeros(R, dtype=np.int64)
+        self.out_lasers = np.zeros(R, dtype=np.int64)
         # Static RWA ownership, replicated per run: owner[d][w] = s.
         for s in range(B):
             for d in range(B):
@@ -438,9 +489,42 @@ class BatchEngine:
         self.ring_rexit: List[List[np.ndarray]] = [[] for _ in range(_RING)]
         # Channels whose service ends (and may redispatch) at a cycle.
         self.ring_cend: List[List[np.ndarray]] = [[] for _ in range(_RING)]
+        # Per-slot ring occupancy: number of scheduled index arrays across
+        # all four rings.  The time-skip loop's next-event index — every
+        # ring append pairs with an increment; the slot is zeroed when the
+        # loop lands on it.
+        self.ring_occ = np.zeros(_RING, dtype=np.int64)
         # Pending control-plane applications, keyed by apply cycle.
         self._pend_dpm: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
         self._pend_dbr: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # Preallocated staging/scratch: per-cycle candidate concatenation
+        # and mask temporaries never allocate.  Sizing: each send part is
+        # a disjoint node set (<= RN total); deliveries are bounded by one
+        # in-flight packet per channel (RC) plus local hand-offs and recv
+        # completions (RN each); dispatch candidates by service ends +
+        # poked pair channels + fresh grants (3 * RC).
+        self._st_send = np.empty(RN, dtype=np.int64)
+        self._st_pexit = np.empty(RN, dtype=np.int64)
+        self._st_rexit = np.empty(RN, dtype=np.int64)
+        self._st_deliv = np.empty(RC + RN, dtype=np.int64)
+        self._st_recv = np.empty(RC + 2 * RN, dtype=np.int64)
+        self._st_disp = np.empty(3 * RC, dtype=np.int64)
+        self._st_prn = np.empty(RN, dtype=np.int64)
+        self._st_ppq = np.empty(RN, dtype=np.int64)
+        self._st_ploc = np.empty(RN, dtype=np.int64)
+        scratch = max(3 * RC, RC + 2 * RN)
+        self._bm1 = np.empty(scratch, dtype=bool)
+        # Rank-scan scratch (push/dispatch group ranking): a read-only
+        # iota, two int64 work buffers, and bool mask buffers.  _bm3 is
+        # returned from _push_pairs as the admit mask — valid until the
+        # next push, which is at least one cycle away.
+        self._iota = np.arange(scratch, dtype=np.int64)
+        self._rk1 = np.empty(scratch, dtype=np.int64)
+        self._rk2 = np.empty(scratch, dtype=np.int64)
+        self._bm2 = np.empty(scratch, dtype=bool)
+        self._bm3 = np.empty(scratch, dtype=bool)
+        self._fp1 = np.empty(scratch, dtype=np.float64)
+        self._fp2 = np.empty(scratch, dtype=np.float64)
 
     def _build_traffic(self) -> None:
         """Draw every run's full injection schedule up front.
@@ -531,6 +615,12 @@ class BatchEngine:
         self.evt_off = np.zeros(he + 2, dtype=np.int64)
         np.cumsum(per_cycle, out=self.evt_off[1 : len(per_cycle) + 1])
         self.evt_off[len(per_cycle) + 1 :] = self.evt_off[len(per_cycle)]
+        # Compressed nonzero-injection-cycle index (ascending) — the
+        # time-skip loop's "next injection" pointer walks this instead of
+        # scanning the dense CSR offsets.
+        self.inj_cycles = np.flatnonzero(np.diff(self.evt_off) > 0).astype(
+            np.int64
+        )
 
     # ------------------------------------------------------------------
     # Energy bookkeeping
@@ -576,20 +666,41 @@ class BatchEngine:
         spq = pq[order]
         sloc = loc[order]
         srn = rn[order]
-        first = np.searchsorted(spq, spq, side="left")
-        rank = np.arange(len(spq), dtype=np.int64) - first
-        admit = rank < (self.CAP - self.tx_qlen[spq])
+        # Rank within each pair group.  spq is sorted, so the first index
+        # of the group containing i is the running maximum of group-start
+        # indices — an O(n) scan instead of searchsorted's n·log n binary
+        # searches, with identical (integer) results.  All temporaries
+        # live in preallocated scratch (allocation-free cycle loop).
+        n = len(spq)
+        idx = self._iota[:n]
+        sneq = self._bm2[:n]
+        sneq[0] = True
+        np.not_equal(spq[1:], spq[:-1], out=sneq[1:])
+        rank = self._rk1[:n]
+        np.multiply(sneq, idx, out=rank)
+        np.maximum.accumulate(rank, out=rank)
+        np.subtract(idx, rank, out=rank)
+        cap_left = self.tx_qlen[spq]
+        np.subtract(self.CAP, cap_left, out=cap_left)
+        admit = self._bm3[:n]
+        np.less(rank, cap_left, out=admit)
         apq = spq[admit]
         m = len(apq)
         if m:
-            slot = (self.tx_head[apq] + self.tx_qlen[apq] + rank[admit]) % self.CAP
+            slot = self.tx_head[apq]
+            slot += self.tx_qlen[apq]
+            slot += rank[admit]
+            slot %= self.CAP
             neq = np.empty(m, dtype=bool)
             neq[0] = True
             np.not_equal(apq[1:], apq[:-1], out=neq[1:])
             cut = neq.nonzero()[0]
             upq = apq[cut]
             self._flush_occ(upq, t)
-            self.tx_ring[apq * self.CAP + slot] = sloc[admit]
+            ri = self._rk2[:m]
+            np.multiply(apq, self.CAP, out=ri)
+            ri += slot
+            self.tx_ring[ri] = sloc[admit]
             cnt = np.empty(len(cut), dtype=np.int64)
             np.subtract(cut[1:], cut[:-1], out=cnt[:-1])
             cnt[-1] = m - cut[-1]
@@ -610,8 +721,9 @@ class BatchEngine:
         owned = self.c_owner >= 0
         bu_rc = np.where(owned, buf_p[self.c_pq], 0.0)
         qe_rc = np.where(owned, qe_p[self.c_pq], True)
-        run_power = self.run_dpm & (~self.run_dbr | (k % 2 == 1)) & self.active_r
-        run_bw = self.run_dbr & (~self.run_dpm | (k % 2 == 0)) & self.active_r
+        # Every live row is active — drained runs are compacted away.
+        run_power = self.run_dpm & (~self.run_dbr | (k % 2 == 1))
+        run_bw = self.run_dbr & (~self.run_dpm | (k % 2 == 0))
         if run_power.any():
             self._pend_dpm[t + self.power_lat] = (util, bu_rc, qe_rc, run_power)
         if run_bw.any():
@@ -683,11 +795,7 @@ class BatchEngine:
     def _apply_dpm(self, t: int, pend: Tuple[np.ndarray, ...]) -> None:
         util, bu, qe, run_power = pend
         CH = self.CH
-        mask = (
-            np.repeat(run_power, CH)
-            & (self.c_owner >= 0)
-            & self.active_rc
-        )
+        mask = np.repeat(run_power, CH) & (self.c_owner >= 0)
         sleep_cond = (util <= 0.0) & qe
         sleep_m = mask & sleep_cond & ~self.c_sleep
         down_m = mask & ~sleep_cond & (util < self.thr_lmin_rc) & (self.c_level > 0)
@@ -731,10 +839,12 @@ class BatchEngine:
     def _apply_dbr(
         self, t: int, pend: Tuple[np.ndarray, np.ndarray]
     ) -> Optional[np.ndarray]:
-        """Apply a pending grant plan; returns the granted channel ids."""
+        """Apply a pending grant plan; returns the granted channel ids.
+
+        Pending plans are remapped (and emptied entries dropped) when runs
+        compact out, so every entry here targets a live channel.
+        """
         rc_idx, new_owner = pend
-        keep = self.active_rc[rc_idx]
-        rc_idx, new_owner = rc_idx[keep], new_owner[keep]
         if not len(rc_idx):
             return None
         CH, B = self.CH, self.B
@@ -784,12 +894,20 @@ class BatchEngine:
         return decode_payload(self.run_payload(), self.runs)
 
     def run_payload(self) -> BatchResultPayload:
-        """Advance the slab cycle by cycle; returns the compact payload.
+        """Advance the slab and return the compact payload.
 
         Every phase is event-driven: the only indices examined each cycle
         are the ones carried by the event rings (injections, port exits,
         deliveries, service ends) plus the compact blocked-sender list, so
         per-cycle cost scales with actual activity, not with slab size.
+        With ``time_skip`` (the default) the loop additionally jumps over
+        cycles that provably execute no event — see
+        :func:`repro.core.skip.next_event_time` — so wall-clock cost
+        scales with events executed, not cycles simulated.  Runs that
+        drain mid-slab are compacted away (:meth:`_compact`), never
+        re-masked.  Neither mechanism changes a result bit: the batch
+        benchmark gates ``time_skip=True`` against ``time_skip=False``
+        fingerprints at every grid size.
         """
         SEND, SER = self.SEND, self.SER
         N, B, D = self.N, self.B, self.D
@@ -798,23 +916,34 @@ class BatchEngine:
         flat_dest, p_off = self.flat_dest, self.p_off
         p_started, p_injcnt = self.p_started, self.p_injcnt
         p_busy, p_blocked = self.p_busy, self.p_blocked
-        r_qlen, r_busy, active_n = self.r_qlen, self.r_busy, self.active_n
+        r_qlen, r_busy = self.r_qlen, self.r_busy
         ring_deliv, ring_pexit = self.ring_deliv, self.ring_pexit
         ring_rexit, ring_cend = self.ring_rexit, self.ring_cend
+        ring_occ = self.ring_occ
+        bm1 = self._bm1
         push = self._push_pairs
         lockstep = self.lockstep_on
+        time_skip = self.time_skip
+        inj_cycles = self.inj_cycles
+        inj_ptr = 0
+        tel = BatchTelemetry(horizon=he + 1)
+        self.telemetry = tel
         lab_cur = np.empty(self.R, dtype=np.int64)
-        frozen = False  # becomes True once any run drains (enables masking)
-        for t in range(he + 1):
+        t = 0
+        while t <= he:
+            tel.cycles_executed += 1
             slot_i = t % _RING
+            ring_occ[slot_i] = 0
             send_cand: List[np.ndarray] = []
             recv_cand: List[np.ndarray] = []
             disp_cand = ring_cend[slot_i]
             poked: List[np.ndarray] = []
+            served = 0
             # (0) Control plane: window boundaries and pending applies.
             if lockstep:
                 if t and t % Wc == 0:
                     self._window_boundary(t)
+                    tel.window_boundaries += 1
                 pend = self._pend_dpm.pop(t, None)
                 if pend is not None:
                     self._apply_dpm(t, pend)
@@ -831,38 +960,34 @@ class BatchEngine:
             hi = evt_off[t + 1]
             if hi > lo:
                 inj = evt_rn[lo:hi]
+                tel.injections += int(hi - lo)
                 p_injcnt[inj] += 1
-                m = ~p_busy[inj] & ~p_blocked[inj]
-                if frozen:
-                    m &= active_n[inj]
+                m = np.bitwise_or(
+                    p_busy[inj], p_blocked[inj], out=self._bm2[: len(inj)]
+                )
+                np.logical_not(m, out=m)
                 inj_f = inj[m]
                 if len(inj_f):
                     send_cand.append(inj_f)
             # (2) Optical deliveries landing this cycle.
             slot = ring_deliv[slot_i]
             if slot:
-                arr = slot[0] if len(slot) == 1 else np.concatenate(slot)
+                arr = _cat(slot, self._st_deliv)
                 slot.clear()
-                if frozen:
-                    arr = arr[active_n[arr]]
-                if len(arr):
-                    np.add.at(r_qlen, arr, 1)
-                    recv_cand.append(arr)
+                tel.deliveries += len(arr)
+                np.add.at(r_qlen, arr, 1)
+                recv_cand.append(arr)
             # (3) Send-port exits route their packet; blocked senders
             # retry in the same ranked push (blocked first, so they keep
             # their earlier admission priority).
             rn_e = None
             slot = ring_pexit[slot_i]
             if slot:
-                rn_e = slot[0] if len(slot) == 1 else np.concatenate(slot)
+                rn_e = _cat(slot, self._st_pexit)
                 slot.clear()
-                if frozen:
-                    rn_e = rn_e[active_n[rn_e]]
-                if len(rn_e):
-                    p_busy[rn_e] = False
-                    send_cand.append(rn_e)
-                else:
-                    rn_e = None
+                tel.port_exits += len(rn_e)
+                p_busy[rn_e] = False
+                send_cand.append(rn_e)
             rem_rn = None
             if rn_e is not None:
                 dest_e = flat_dest[p_off[rn_e] + p_started[rn_e] - 1].astype(
@@ -884,15 +1009,16 @@ class BatchEngine:
             nblk = len(self.blk)
             if nblk or rem_rn is not None:
                 if nblk:
+                    tel.blocked_retries += nblk
                     blk = self.blk
                     dest_b = flat_dest[
                         p_off[blk] + p_started[blk] - 1
                     ].astype(np.int64)
                     blk_pq = ((blk // N) * B + (blk % N) // D) * B + dest_b // D
                     if rem_rn is not None:
-                        rn_p = np.concatenate([blk, rem_rn])
-                        pq_p = np.concatenate([blk_pq, rem_pq])
-                        loc_p = np.concatenate([dest_b % D, rem_loc])
+                        rn_p = _cat([blk, rem_rn], self._st_prn)
+                        pq_p = _cat([blk_pq, rem_pq], self._st_ppq)
+                        loc_p = _cat([dest_b % D, rem_loc], self._st_ploc)
                     else:
                         rn_p, pq_p, loc_p = blk, blk_pq, dest_b % D
                 else:
@@ -919,21 +1045,21 @@ class BatchEngine:
             # (5) Send-port starts (same-cycle turnaround): candidates are
             # exactly the nodes whose state changed this cycle.
             if send_cand:
-                cand = (
-                    send_cand[0]
-                    if len(send_cand) == 1
-                    else np.concatenate(send_cand)
+                cand = _cat(send_cand, self._st_send)
+                m = np.bitwise_or(
+                    p_busy[cand], p_blocked[cand], out=self._bm2[: len(cand)]
                 )
-                m = (
-                    ~p_busy[cand]
-                    & ~p_blocked[cand]
-                    & (p_injcnt[cand] > p_started[cand])
+                np.logical_not(m, out=m)
+                m &= np.greater(
+                    p_injcnt[cand], p_started[cand], out=self._bm3[: len(cand)]
                 )
                 idx = cand[m]
                 if len(idx):
                     p_busy[idx] = True
                     p_started[idx] += 1
-                    ring_pexit[(t + SEND) % _RING].append(idx)
+                    s = (t + SEND) % _RING
+                    ring_pexit[s].append(idx)
+                    ring_occ[s] += 1
             # (6) Channel dispatch: channels whose service just ended, plus
             # channels of pairs that were pushed to, plus fresh grants.
             if poked:
@@ -943,42 +1069,36 @@ class BatchEngine:
                 if len(chs):
                     disp_cand.append(chs)
             if disp_cand:
-                rcs = (
-                    disp_cand[0]
-                    if len(disp_cand) == 1
-                    else np.concatenate(disp_cand)
-                )
+                rcs = _cat(disp_cand, self._st_disp)
                 disp_cand.clear()
                 rcs.sort()
-                self._dispatch(t, rcs, frozen)
+                served = self._dispatch(t, rcs)
+                tel.dispatches += served
             # (7) Receive ports: completions then starts.
             slot = ring_rexit[slot_i]
             if slot:
-                rn_c = slot[0] if len(slot) == 1 else np.concatenate(slot)
+                rn_c = _cat(slot, self._st_rexit)
                 slot.clear()
-                if frozen:
-                    rn_c = rn_c[active_n[rn_c]]
-                if len(rn_c):
-                    r_busy[rn_c] = False
-                    add = np.bincount(rn_c // N, minlength=self.R)
-                    self.delivered_total += add
-                    if wu <= t < me:
-                        self.delivered_measure += add
-                    np.subtract(self.delivered_total, self.pre_wu_inj, out=lab_cur)
-                    np.maximum(lab_cur, 0, out=lab_cur)
-                    np.minimum(lab_cur, self.lab_inj, out=lab_cur)
-                    self.sum_del_t += t * (lab_cur - self.lab_del)
-                    self.lab_del[:] = lab_cur
-                    recv_cand.append(rn_c)
+                tel.recv_completions += len(rn_c)
+                r_busy[rn_c] = False
+                add = np.bincount(rn_c // N, minlength=self.R)
+                self.delivered_total += add
+                if wu <= t < me:
+                    self.delivered_measure += add
+                np.subtract(self.delivered_total, self.pre_wu_inj, out=lab_cur)
+                np.maximum(lab_cur, 0, out=lab_cur)
+                np.minimum(lab_cur, self.lab_inj, out=lab_cur)
+                d = self._rk1[: self.R]
+                np.subtract(lab_cur, self.lab_del, out=d)
+                d *= t
+                self.sum_del_t += d
+                self.lab_del[:] = lab_cur
+                recv_cand.append(rn_c)
             if recv_cand:
-                cand = (
-                    recv_cand[0]
-                    if len(recv_cand) == 1
-                    else np.concatenate(recv_cand)
-                )
+                cand = _cat(recv_cand, self._st_recv)
                 cand.sort()
                 k = len(cand)
-                m = np.empty(k, dtype=bool)
+                m = bm1[:k]
                 m[0] = True
                 np.not_equal(cand[1:], cand[:-1], out=m[1:])
                 m &= ~r_busy[cand] & (r_qlen[cand] > 0)
@@ -986,54 +1106,135 @@ class BatchEngine:
                 if len(idx):
                     r_busy[idx] = True
                     r_qlen[idx] -= 1
-                    ring_rexit[(t + SER) % _RING].append(idx)
-            # (8) Drain checks on the scalar engine's chunk grid.
+                    s = (t + SER) % _RING
+                    ring_rexit[s].append(idx)
+                    ring_occ[s] += 1
+            # (8) Drain checks on the scalar engine's chunk grid; drained
+            # runs are compacted out of the live state entirely.
             if t >= me and (t - me) % self.chunk == 0:
-                done = self.active_r & (self.lab_del == self.lab_inj)
+                tel.drain_checks += 1
+                done = self.lab_del == self.lab_inj
                 if done.any():
-                    self._freeze(done)
-                    active_n = self.active_n
-                    frozen = True
-                    if not self.active_r.any():
+                    self._compact(done, t)
+                    tel.compactions += 1
+                    if self.R == 0:
                         break
+                    p_started, p_injcnt = self.p_started, self.p_injcnt
+                    p_busy, p_blocked = self.p_busy, self.p_blocked
+                    r_qlen, r_busy = self.r_qlen, self.r_busy
+                    evt_rn, evt_off = self.evt_rn, self.evt_off
+                    flat_dest, p_off = self.flat_dest, self.p_off
+                    lockstep = self.lockstep_on
+                    inj_cycles = self.inj_cycles
+                    inj_ptr = 0
+                    lab_cur = np.empty(self.R, dtype=np.int64)
+            # Advance: one grid cycle in always-step mode, or jump to the
+            # next cycle that can observably do something.  The two
+            # mandatory-stop conditions that fire on nearly every busy
+            # cycle (a freed queue slot with senders waiting, an occupied
+            # ring slot at t+1) are checked inline so the full next-event
+            # computation only runs when a jump is actually possible.
+            if time_skip:
+                if (served and len(self.blk)) or ring_occ[(t + 1) % _RING]:
+                    t += 1
+                else:
+                    pend_min = None
+                    if lockstep and (self._pend_dpm or self._pend_dbr):
+                        pend_min = min(
+                            min(self._pend_dpm, default=he + 1),
+                            min(self._pend_dbr, default=he + 1),
+                        )
+                    t2, inj_ptr = next_event_time(
+                        t,
+                        he,
+                        ring_occ,
+                        inj_cycles,
+                        inj_ptr,
+                        lockstep,
+                        Wc,
+                        me,
+                        self.chunk,
+                        pend_min,
+                        False,
+                    )
+                    tel.cycles_skipped += t2 - t - 1
+                    t = t2
+            else:
+                t += 1
         self._flush_base(np.arange(self.R, dtype=np.int64), he)
         return self._payload()
 
-    def _dispatch(self, t: int, cand: np.ndarray, frozen: bool = False) -> None:
-        """Serve the candidate channels (sorted, possibly repeated) at ``t``."""
+    def _dispatch(self, t: int, cand: np.ndarray) -> int:
+        """Serve the candidate channels (sorted, possibly repeated) at ``t``.
+
+        Returns the number of packets taken off pair queues — the signal
+        the time-skip loop uses to force a stop at ``t + 1`` while any
+        sender sits blocked (a freed queue slot admits a blocked sender on
+        the following cycle in the always-step engine).
+
+        Small candidate sets (the common case outside saturation) take a
+        scalar per-channel path that mirrors the vectorized arithmetic
+        operation for operation: iterating channels in ascending id order
+        reproduces the wavelength ranking, sequential queue pops read the
+        same ring slots as the gathered ranks, and a second same-cycle
+        integral flush adds exactly ``0.0`` — IEEE doubles round
+        identically either way, so the fast path is bit-invisible.
+        """
         n = len(cand)
-        keep = np.empty(n, dtype=bool)
+        if n <= 16:
+            served = 0
+            prev = -1
+            one = self._dispatch_one
+            for rc in cand.tolist():
+                if rc != prev:
+                    prev = rc
+                    served += one(t, rc)
+            return served
+        keep = self._bm1[:n]
         keep[0] = True
         np.not_equal(cand[1:], cand[:-1], out=keep[1:])
         keep &= self.c_busy_until[cand] <= t
-        if frozen:
-            keep &= self.active_rc[cand]
         cand = cand[keep]
         if not len(cand):
-            return
+            return 0
         pqs = self.c_pq[cand]
         has = self.tx_qlen[pqs] > 0
         cand = cand[has]
         n = len(cand)
         if not n:
-            return
+            return 0
         pqs = pqs[has]
         CAP, B, D, N, CH = self.CAP, self.B, self.D, self.N, self.CH
         # Rank same-pair channels by ascending wavelength (cand is sorted
         # rc-ascending = wavelength-ascending within a pair).
         order = np.argsort(pqs, kind="stable")
         spq = pqs[order]
-        first = np.searchsorted(spq, spq, side="left")
-        rank = np.arange(n, dtype=np.int64) - first
-        serve = rank < self.tx_qlen[spq]
+        # O(n) group-rank scan (see _push_pairs): identical integer ranks
+        # without searchsorted's n·log n binary searches.  Temporaries
+        # live in the shared scratch pools — _push_pairs's slices are dead
+        # by dispatch time (phase 4 completes before phase 6).
+        idx = self._iota[:n]
+        sneq = self._bm2[:n]
+        sneq[0] = True
+        np.not_equal(spq[1:], spq[:-1], out=sneq[1:])
+        rank = self._rk1[:n]
+        np.multiply(sneq, idx, out=rank)
+        np.maximum.accumulate(rank, out=rank)
+        np.subtract(idx, rank, out=rank)
+        serve = sneq
+        np.less(rank, self.tx_qlen[spq], out=serve)
         chosen = cand[order][serve]
         if not len(chosen):
-            return
+            return 0
         cpq = spq[serve]
         crank = rank[serve]
-        loc = self.tx_ring[cpq * CAP + (self.tx_head[cpq] + crank) % CAP].astype(
-            np.int64
-        )
+        ri = self._rk2[: len(cpq)]
+        np.add(self.tx_head[cpq], crank, out=ri)
+        ri %= CAP
+        slot_base = self._rk1[: len(cpq)]  # rank's storage, dead here
+        np.multiply(cpq, CAP, out=slot_base)
+        ri += slot_base
+        loc = self.tx_ring[ri].astype(np.int64)
         m = len(cpq)
         neq = np.empty(m, dtype=bool)
         neq[0] = True
@@ -1056,26 +1257,52 @@ class BatchEngine:
             self._flush_base(np.unique(wruns), t)
             np.add.at(self.base_A, wruns, self.P_mw[self.c_level[widx]])
             self.c_sleep[widx] = False
-        start = np.maximum(t + self.WAKE * slp, self.c_stall[chosen]).astype(float)
+        # From here on the float temporaries chain through the scratch
+        # pools with ``out=``; every arithmetic op, and the order of the
+        # unbuffered ``np.add.at`` accumulations, is unchanged — the
+        # results are bit-identical, only the allocator traffic is gone.
+        k2 = len(chosen)
+        wake = self._rk1[:k2]  # rank/slot_base storage, dead here
+        np.multiply(slp, self.WAKE, out=wake)
+        wake += t
+        start = self.c_stall[chosen].astype(float)
+        np.maximum(start, wake, out=start)
         lvl = self.c_level[chosen].astype(np.int64)
-        end = start + self.svc_by_level[lvl]
+        end = self.svc_by_level[lvl]
+        end += start
         self.c_busy_until[chosen] = end
         # Busy energy over the measurement window.
-        ov = np.minimum(end, self.me) - np.maximum(start, self.wu)
+        ov = self._fp1[:k2]
+        np.minimum(end, self.me, out=ov)
+        hi = self._fp2[:k2]
+        np.maximum(start, self.wu, out=hi)
+        ov -= hi
         np.maximum(ov, 0.0, out=ov)
-        np.add.at(self.busy_E, runs, self.P_mw[lvl] * ov)
+        pw = hi  # reuse: the window-clip bound is dead
+        np.multiply(self.P_mw[lvl], ov, out=pw)
+        np.add.at(self.busy_E, runs, pw)
         # Link_util busy time, split at the next window boundary.
         wend = (t // self.Wc + 1) * self.Wc
-        wb = np.minimum(end, wend) - start
+        wb = ov  # reuse: the energy overlap is dead
+        np.minimum(end, wend, out=wb)
+        wb -= start
         np.maximum(wb, 0.0, out=wb)
         self.win_busy[chosen] += wb
-        wc = end - np.maximum(start, wend)
+        wc = pw  # reuse: the power weights are dead
+        np.maximum(start, wend, out=wc)
+        np.subtract(end, wc, out=wc)
         np.maximum(wc, 0.0, out=wc)
         self.win_carry[chosen] += wc
         # Deliveries (fiber + destination pipeline after service) and the
         # channel's own re-dispatch moment, grouped by completion cycle.
-        end_i = np.ceil(end).astype(np.int64)
-        rn_dest = runs * N + (cpq % B) * D + loc
+        np.ceil(end, out=end)
+        end_i = end.astype(np.int64)
+        rn_dest = self._rk2[:k2]  # ring-slot indices, dead here
+        np.remainder(cpq, B, out=rn_dest)
+        rn_dest *= D
+        rn_dest += loc
+        runs *= N
+        rn_dest += runs
         order2 = np.argsort(end_i, kind="stable")
         end_s = end_i[order2]
         rn_s = rn_dest[order2]
@@ -1089,28 +1316,68 @@ class BatchEngine:
         bounds.append(k)
         times = end_s[cut2].tolist()
         ring_deliv, ring_cend = self.ring_deliv, self.ring_cend
+        ring_occ = self.ring_occ
         deliv = self.DELIV
         for i, et in enumerate(times):
             lo = bounds[i]
             hi = bounds[i + 1]
-            ring_cend[et % _RING].append(ch_s[lo:hi])
-            ring_deliv[(et + deliv) % _RING].append(rn_s[lo:hi])
+            s1 = et % _RING
+            ring_cend[s1].append(ch_s[lo:hi])
+            ring_occ[s1] += 1
+            s2 = (et + deliv) % _RING
+            ring_deliv[s2].append(rn_s[lo:hi])
+            ring_occ[s2] += 1
+        return len(chosen)
 
-    def _freeze(self, done: np.ndarray) -> None:
-        """Mask out drained runs; stale ring events are filtered on pop."""
-        self.active_r &= ~done
-        self.active_n = np.repeat(self.active_r, self.N)
-        self.active_rc = np.repeat(self.active_r, self.CH)
-        rows = np.flatnonzero(np.repeat(done, self.N))
-        self.p_busy[rows] = False
-        self.p_blocked[rows] = False
-        self.r_busy[rows] = False
-        if len(self.blk):
-            self.blk = self.blk[self.active_n[self.blk]]
+    def _dispatch_one(self, t: int, rc: int) -> int:
+        """Scalar dispatch of a single candidate channel (see _dispatch).
 
-    # ------------------------------------------------------------------
-    def _payload(self) -> BatchResultPayload:
-        """Condense the accumulator arrays into the transport payload.
+        Every expression mirrors the vectorized path's elementwise
+        arithmetic exactly; only the array machinery is gone.
+        """
+        if self.c_busy_until[rc] > t:
+            return 0
+        pq = int(self.c_pq[rc])
+        qlen = int(self.tx_qlen[pq])
+        if qlen <= 0:
+            return 0
+        CAP = self.CAP
+        head = int(self.tx_head[pq])
+        loc = int(self.tx_ring[pq * CAP + head % CAP])
+        self.occ_acc[pq] += qlen * (t - int(self.q_last[pq]))
+        self.q_last[pq] = t
+        self.tx_qlen[pq] = qlen - 1
+        self.tx_head[pq] = (head + 1) % CAP
+        run = rc // self.CH
+        lvl = int(self.c_level[rc])
+        slp = bool(self.c_sleep[rc])
+        if slp:
+            bl = float(self.base_last[run])
+            ovb = max(min(t, self.me) - max(bl, self.wu), 0.0)
+            self.base_E[run] += self.base_A[run] * ovb
+            self.base_last[run] = t
+            self.base_A[run] += self.P_mw[lvl]
+            self.c_sleep[rc] = False
+        start = float(max(t + self.WAKE * slp, int(self.c_stall[rc])))
+        end = start + float(self.svc_by_level[lvl])
+        self.c_busy_until[rc] = end
+        ov = max(min(end, self.me) - max(start, self.wu), 0.0)
+        self.busy_E[run] += float(self.P_mw[lvl]) * ov
+        wend = (t // self.Wc + 1) * self.Wc
+        self.win_busy[rc] += max(min(end, wend) - start, 0.0)
+        self.win_carry[rc] += max(end - max(start, wend), 0.0)
+        end_i = math.ceil(end)
+        rn_dest = run * self.N + (pq % self.B) * self.D + loc
+        s1 = end_i % _RING
+        self.ring_cend[s1].append(np.array([rc], dtype=np.int64))
+        self.ring_occ[s1] += 1
+        s2 = (end_i + self.DELIV) % _RING
+        self.ring_deliv[s2].append(np.array([rn_dest], dtype=np.int64))
+        self.ring_occ[s2] += 1
+        return 1
+
+    def _scatter(self, rows: np.ndarray) -> None:
+        """Write these live rows' final metrics at their original slots.
 
         The per-run arithmetic (labeled-latency FIFO proxy, energy /
         measure-window division) happens here, on the producer side, with
@@ -1118,27 +1385,175 @@ class BatchEngine:
         only unpacks, so where a payload is produced never affects the
         bits of the results.
         """
-        R = self.R
-        owned = (self.c_owner >= 0).reshape(R, self.CH)
-        power = (
-            self.idle_frac * self.base_E + (1.0 - self.idle_frac) * self.busy_E
+        if not len(rows):
+            return
+        o = self.orig[rows]
+        self.out_delivered[o] = self.delivered_measure[rows]
+        self.out_inj[o] = self.inj_measure[rows]
+        self.out_lab_inj[o] = self.lab_inj[rows]
+        self.out_lab_del[o] = self.lab_del[rows]
+        self.out_grants[o] = self.grants[rows]
+        self.out_dpm[o] = self.dpm_transitions[rows]
+        self.out_sleeps[o] = self.sleeps[rows]
+        self.out_power[o] = (
+            self.idle_frac * self.base_E[rows]
+            + (1.0 - self.idle_frac) * self.busy_E[rows]
         ) / self.measure
-        avg_latency = np.zeros(R, dtype=np.float64)
-        for r in range(R):
+        owned = (self.c_owner >= 0).reshape(self.R, self.CH)
+        self.out_lasers[o] = np.count_nonzero(owned[rows], axis=1)
+        for i, r in zip(o.tolist(), rows.tolist()):
             lab_del = int(self.lab_del[r])
             if lab_del > 0:
-                avg_latency[r] = float(
+                self.out_avg_lat[i] = float(
                     (self.sum_del_t[r] - self.lab_prefix[r][lab_del]) / lab_del
                 )
+
+    def _compact(self, done: np.ndarray, t: int) -> None:
+        """Remove drained runs from the live state (order-preserving).
+
+        Scatters their final metrics into the original-index output
+        arrays, then compacts every run/node/pair/channel array and remaps
+        every stored index (ring events, blocked senders, injection CSR,
+        channel<->pair cross-references, pending control-plane plans).
+        The remap preserves relative order, so every later stable sort
+        produces the same permutation of the surviving rows — compaction
+        is bit-invisible to the results.  Replaces the old per-phase
+        active-mask filtering: the loop pays for drained runs exactly
+        once, here.
+        """
+        R, N, B, CH, CAP = self.R, self.N, self.B, self.CH, self.CAP
+        BB = B * B
+        frozen = np.flatnonzero(done)
+        self._flush_base(frozen, t)
+        self._scatter(frozen)
+        keep_r = ~done
+        R2 = int(np.count_nonzero(keep_r))
+        self.orig = self.orig[keep_r]
+        new_of_old = np.cumsum(keep_r, dtype=np.int64) - 1
+        for name in (
+            "inj_measure", "pre_wu_inj", "lab_inj", "delivered_total",
+            "delivered_measure", "lab_del", "sum_del_t", "base_A",
+            "base_last", "base_E", "busy_E", "grants", "dpm_transitions",
+            "sleeps", "run_dpm", "run_dbr",
+        ):
+            setattr(self, name, getattr(self, name)[keep_r])
+        keep_list = keep_r.tolist()
+        self.lab_prefix = [p for p, k in zip(self.lab_prefix, keep_list) if k]
+        self._policies = [p for p, k in zip(self._policies, keep_list) if k]
+        self._workloads = [w for w, k in zip(self._workloads, keep_list) if k]
+        # Node-major arrays + the blocked-sender list.
+        keep_n = np.repeat(keep_r, N)
+        for name in (
+            "p_injcnt", "p_started", "p_busy", "p_blocked", "r_qlen", "r_busy",
+        ):
+            setattr(self, name, getattr(self, name)[keep_n])
+        if len(self.blk):
+            blk = self.blk[keep_n[self.blk]]
+            self.blk = new_of_old[blk // N] * N + blk % N
+        # Pair-major arrays (tx_ring is CAP-wide per pair) and the
+        # pair -> channels reverse index (values are channel ids).
+        keep_pq = np.repeat(keep_r, BB)
+        for name in ("tx_head", "tx_qlen", "occ_acc", "q_last", "pair_nch"):
+            setattr(self, name, getattr(self, name)[keep_pq])
+        self.tx_ring = self.tx_ring.reshape(R, BB * CAP)[keep_r].ravel()
+        pc = self.pair_ch[keep_pq]
+        pos = pc >= 0
+        v = pc[pos]
+        pc[pos] = new_of_old[v // CH] * CH + v % CH
+        self.pair_ch = pc
+        # Channel-major arrays and the channel -> pair index.
+        keep_rc = np.repeat(keep_r, CH)
+        for name in (
+            "c_owner", "c_level", "c_sleep", "c_stall", "c_busy_until",
+            "win_busy", "win_carry", "thr_lmin_rc", "thr_lmax_rc",
+            "thr_bmax_rc",
+        ):
+            setattr(self, name, getattr(self, name)[keep_rc])
+        cpq = self.c_pq[keep_rc]
+        cpq = new_of_old[cpq // BB] * BB + cpq % BB
+        # Unowned channels keep the placeholder pair 0 (never read).
+        cpq[self.c_owner < 0] = 0
+        self.c_pq = cpq
+        # Injection CSR: drop removed nodes' events, recount offsets.
+        ev_keep = keep_n[self.evt_rn]
+        csum = np.zeros(len(ev_keep) + 1, dtype=np.int64)
+        np.cumsum(ev_keep, dtype=np.int64, out=csum[1:])
+        self.evt_off = csum[self.evt_off]
+        rn = self.evt_rn[ev_keep]
+        self.evt_rn = new_of_old[rn // N] * N + rn % N
+        self.inj_cycles = np.flatnonzero(np.diff(self.evt_off) > 0).astype(
+            np.int64
+        )
+        # Destination streams.
+        node_counts = np.diff(self.p_off)
+        el_keep = np.repeat(keep_n, node_counts)
+        self.flat_dest = self.flat_dest[el_keep]
+        kept_counts = node_counts[keep_n]
+        self.p_off = np.zeros(len(kept_counts) + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=self.p_off[1:])
+        # Event rings: filter each slot's arrays, remap, recount occupancy.
+        self.ring_occ.fill(0)
+        for ring, div, keep_i in (
+            (self.ring_deliv, N, keep_n),
+            (self.ring_pexit, N, keep_n),
+            (self.ring_rexit, N, keep_n),
+            (self.ring_cend, CH, keep_rc),
+        ):
+            for s, slot in enumerate(ring):
+                if not slot:
+                    continue
+                new_slot = []
+                for arr in slot:
+                    arr = arr[keep_i[arr]]
+                    if len(arr):
+                        new_slot.append(
+                            new_of_old[arr // div] * div + arr % div
+                        )
+                slot[:] = new_slot
+                self.ring_occ[s] += len(new_slot)
+        # Pending control-plane plans: snapshots shrink with the state.
+        for key in list(self._pend_dpm):
+            util, bu, qe, run_power = self._pend_dpm[key]
+            self._pend_dpm[key] = (
+                util[keep_rc], bu[keep_rc], qe[keep_rc], run_power[keep_r]
+            )
+        for key in list(self._pend_dbr):
+            rc_idx, new_owner = self._pend_dbr[key]
+            m = keep_rc[rc_idx]
+            rc_idx, new_owner = rc_idx[m], new_owner[m]
+            if len(rc_idx):
+                rc_idx = new_of_old[rc_idx // CH] * CH + rc_idx % CH
+                self._pend_dbr[key] = (rc_idx, new_owner)
+            else:
+                del self._pend_dbr[key]
+        self.R = R2
+        self.lockstep_on = bool((self.run_dpm | self.run_dbr).any())
+        if not self.lockstep_on:
+            # No surviving run is power-aware: any leftover pending plan
+            # could only have touched removed runs (a provable no-op), so
+            # drop it rather than have the skip loop stop for it.
+            self._pend_dpm.clear()
+            self._pend_dbr.clear()
+
+    # ------------------------------------------------------------------
+    def _payload(self) -> BatchResultPayload:
+        """Package the original-index output arrays as the transport.
+
+        Runs that drained mid-slab were scattered at compaction time;
+        this scatters whatever is still live, so the payload always spans
+        the engine's original run list regardless of how many compactions
+        happened along the way.
+        """
+        self._scatter(np.arange(self.R, dtype=np.int64))
         return BatchResultPayload(
-            delivered_measure=self.delivered_measure.astype(np.int64, copy=True),
-            inj_measure=self.inj_measure.astype(np.int64, copy=True),
-            lab_inj=self.lab_inj.astype(np.int64, copy=True),
-            lab_del=self.lab_del.astype(np.int64, copy=True),
-            avg_latency=avg_latency,
-            power_mw=np.asarray(power, dtype=np.float64),
-            grants=self.grants.astype(np.int64, copy=True),
-            dpm_transitions=self.dpm_transitions.astype(np.int64, copy=True),
-            sleeps=self.sleeps.astype(np.int64, copy=True),
-            lasers_on_final=np.count_nonzero(owned, axis=1).astype(np.int64),
+            delivered_measure=self.out_delivered,
+            inj_measure=self.out_inj,
+            lab_inj=self.out_lab_inj,
+            lab_del=self.out_lab_del,
+            avg_latency=self.out_avg_lat,
+            power_mw=self.out_power,
+            grants=self.out_grants,
+            dpm_transitions=self.out_dpm,
+            sleeps=self.out_sleeps,
+            lasers_on_final=self.out_lasers,
         )

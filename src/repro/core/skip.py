@@ -1,0 +1,156 @@
+"""Event-horizon bookkeeping for the batch engine's time-skipping loop.
+
+:class:`~repro.core.batch.BatchEngine` advances a slab of runs on one
+shared integer cycle grid.  At the low-load end of the paper's sweep —
+exactly where the DPM/Lock-Step savings the paper cares about live —
+most grid cycles execute no event at all: no injection arrives, no ring
+slot holds a delivery/port-exit/service-end, no Lock-Step boundary or
+pending control-plane apply or drain check falls on the cycle, and no
+blocked sender can possibly be admitted.  Such a cycle is an exact no-op
+on the engine state (the energy and queue-occupancy integrals are lazy),
+so the loop may jump straight to the next cycle that can observably do
+something without changing a single result bit.
+
+This module holds the two pieces of that machinery that are independent
+of the engine's array layout:
+
+* :func:`next_event_time` — the pure next-event computation: a min over
+  the occupied ring slots (per-slot occupancy counters maintained by the
+  engine), the next nonempty injection cycle (a compressed index over
+  the precomputed injection CSR), the next Lock-Step window boundary and
+  earliest pending ``_pend_dpm``/``_pend_dbr`` apply, the drain-check
+  grid, and the blocked-sender retry condition.
+* :class:`BatchTelemetry` — per-slab counters (cycles executed/skipped,
+  events per phase) surfaced through ``erapid profile --engine batch``,
+  shard reports, and the ``skip`` dimension of ``BENCH_batch.json``.
+
+Both are covered by the same linter/layering scope as the engine itself
+(``MODULE_LAYERS['repro.core.skip']``, SIM007's vectorized-engine scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BatchTelemetry",
+    "next_event_time",
+]
+
+
+@dataclass(slots=True)
+class BatchTelemetry:
+    """Per-slab activity counters for one :meth:`BatchEngine.run_payload`.
+
+    ``cycles_executed + cycles_skipped == horizon`` whenever the slab ran
+    to its hard end; a slab that drained early stops short of the horizon
+    (the remaining cycles are neither executed nor skipped).  The event
+    counters are phase totals across all runs in the slab, so they are
+    layout-dependent diagnostics — never part of the result payload,
+    which stays bit-identical across skip modes and shard layouts.
+    """
+
+    horizon: int = 0
+    cycles_executed: int = 0
+    cycles_skipped: int = 0
+    injections: int = 0
+    deliveries: int = 0
+    port_exits: int = 0
+    dispatches: int = 0
+    recv_completions: int = 0
+    blocked_retries: int = 0
+    window_boundaries: int = 0
+    drain_checks: int = 0
+    compactions: int = 0
+
+    @property
+    def skip_ratio(self) -> float:
+        """Fraction of visited grid cycles that were skipped."""
+        total = self.cycles_executed + self.cycles_skipped
+        return self.cycles_skipped / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "horizon": self.horizon,
+            "cycles_executed": self.cycles_executed,
+            "cycles_skipped": self.cycles_skipped,
+            "skip_ratio": self.skip_ratio,
+            "injections": self.injections,
+            "deliveries": self.deliveries,
+            "port_exits": self.port_exits,
+            "dispatches": self.dispatches,
+            "recv_completions": self.recv_completions,
+            "blocked_retries": self.blocked_retries,
+            "window_boundaries": self.window_boundaries,
+            "drain_checks": self.drain_checks,
+            "compactions": self.compactions,
+        }
+
+
+def next_event_time(
+    t: int,
+    hard_end: int,
+    ring_occ: np.ndarray,
+    inj_cycles: np.ndarray,
+    inj_ptr: int,
+    lockstep: bool,
+    window_cycles: int,
+    measure_end: int,
+    chunk: int,
+    pend_min: Optional[int],
+    retry_pending: bool,
+) -> Tuple[int, int]:
+    """Earliest cycle after ``t`` at which the batch loop must execute.
+
+    Returns ``(t_next, inj_ptr)`` with ``t < t_next <= hard_end + 1``
+    (``hard_end + 1`` terminates the loop) and the advanced injection-
+    cycle pointer.  A cycle is a mandatory stop when any of these can
+    fire on it:
+
+    * an occupied ring slot — ``ring_occ[s] > 0`` means slot ``s`` holds
+      at least one scheduled delivery/port-exit/recv-exit/service-end
+      array.  All scheduled times live in ``(t, t + ring_len)`` (the
+      coverage gate bounds every lead below the ring length), so slot
+      ``s`` denotes absolute cycle ``t+1 + ((s - t - 1) mod ring_len)``
+      without aliasing.
+    * the next nonempty injection cycle (``inj_cycles``, ascending).
+    * a Lock-Step window boundary or the earliest pending DPM/DBR apply
+      (only when the slab has any power-aware run left).
+    * a drain-check grid point ``measure_end + k * chunk`` — mandatory
+      even though no packet moves, because *when* a run freezes gates
+      which control-plane updates still touch its counters.
+    * ``t + 1`` itself when a dispatch served packets this cycle while
+      senders sit blocked (``retry_pending``): a freed queue slot admits
+      a blocked sender on the very next cycle in the unskipped engine.
+      While no pop occurs, a blocked sender's pair queue stays full and
+      every retry is an exact no-op, so blocked senders alone never
+      force single-stepping.
+    """
+    t1 = t + 1
+    if retry_pending:
+        return t1, inj_ptr
+    n = len(inj_cycles)
+    while inj_ptr < n and inj_cycles[inj_ptr] <= t:
+        inj_ptr += 1
+    ring_len = len(ring_occ)
+    if ring_occ[t1 % ring_len]:
+        return t1, inj_ptr
+    nxt = hard_end + 1
+    if inj_ptr < n:
+        nxt = int(inj_cycles[inj_ptr])
+    occupied = np.flatnonzero(ring_occ)
+    if len(occupied):
+        nxt = min(nxt, t1 + int(((occupied - t1) % ring_len).min()))
+    if lockstep:
+        nxt = min(nxt, (t // window_cycles + 1) * window_cycles)
+        if pend_min is not None:
+            nxt = min(nxt, pend_min)
+    if t1 <= measure_end:
+        grid = measure_end
+    else:
+        grid = measure_end + -((measure_end - t1) // chunk) * chunk
+    nxt = min(nxt, grid)
+    return max(t1, min(nxt, hard_end + 1)), inj_ptr

@@ -192,6 +192,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ok="OK" if sharded["jobs_identity"] else "MISMATCH",
             )
         )
+        skip = b["skip"]
+        ratios = ", ".join(
+            "{:.2f}@{:.1f}".format(
+                e["telemetry"].get("skip_ratio", 0.0), e["load"]
+            )
+            for e in skip["by_load"]
+        )
+        scaling = skip["load_scaling"]
+        print(
+            "  skip: low-load {low:.2f}x high-load rate ({lrate:.2f} vs "
+            "{hrate:.2f} runs/s); skip ratio by load [{ratios}]; "
+            "identity {ok}".format(
+                low=scaling["low_vs_high"],
+                lrate=scaling["low_runs_per_sec"],
+                hrate=scaling["high_runs_per_sec"],
+                ratios=ratios,
+                ok=(
+                    "OK"
+                    if skip["identity"] and skip["grid_identity"]
+                    else "MISMATCH"
+                ),
+            )
+        )
         print(f"  -> {args.output / 'BENCH_batch.json'}")
         if not equiv["ok"]:
             print(
@@ -229,6 +252,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "(cpu_count={})".format(
                     sharded["top_jobs"], sharded["sharded_speedup"], cores
                 ),
+                file=sys.stderr,
+            )
+            return 1
+        # Time-skipping gates: bit-identity at every size, the skip
+        # machinery visibly engaged on the load-0.1 slabs at every size,
+        # and in full mode the low-load (<=0.3) subgrid running at >=2x
+        # the batch rate of the high-load (>=0.7) subgrid on same-width
+        # single-load slabs (cost scales with events, not cycles — the
+        # pre-skip engine held this ratio at ~1 because every point paid
+        # the fixed per-cycle cost out to the same horizon).
+        if not (skip["identity"] and skip["grid_identity"]):
+            print(
+                "bench: time-skip fingerprint-identity gate FAILED",
+                file=sys.stderr,
+            )
+            return 1
+        if not skip["skip_engaged_low_load"]:
+            print(
+                "bench: skip machinery did not engage on the load-0.1 "
+                "slabs (cycles_executed == horizon or cycles_skipped == 0)",
+                file=sys.stderr,
+            )
+            return 1
+        if not b["quick"] and scaling["low_vs_high"] < 2:
+            print(
+                "bench: low-load batch rate {:.2f}x high-load rate, below "
+                "the 2x gate".format(scaling["low_vs_high"]),
                 file=sys.stderr,
             )
             return 1

@@ -595,7 +595,11 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
     (:mod:`repro.analysis.equivalence`) and a bit-identity fingerprint of
     the stream-identical permutation subset.  Quick mode shrinks the grid
     and plan for CI smoke; the equivalence and bit-identity gates apply
-    at every size, the ≥5x speedup bar only to the full grid.
+    at every size, the ≥5x speedup bar only to the full grid.  The gated
+    timings (grid batch, scalar pool, per-load skip slabs) are
+    best-of-3 in full mode, per the module's timing policy — the engines
+    are deterministic, so repeats damp scheduler noise without touching
+    results (which always come from the first run).
 
     Two further dimensions measure the sharded tier:
 
@@ -611,6 +615,27 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
       arrays :class:`~repro.core.batch.BatchResultPayload` pickled
       against the equivalent decoded ``RunResult`` list, recording the
       byte and wall-time win of compact result transport.
+    * ``skip`` — the event-horizon time-skipping dimension.  The whole
+      grid re-runs with ``time_skip=False`` and must fingerprint equal to
+      the skipping baseline (``grid_identity``); each load then runs as
+      its own single-load slab in both modes, recording wall time, the
+      slab's :class:`~repro.core.skip.BatchTelemetry` counters (cycles
+      executed/skipped, events per phase), and two per-load identity
+      bits (skip == no-skip, and sub-slab == the same rows of the full
+      grid slab).  The load-0.1 entry must show the skip machinery
+      engaged (``cycles_executed < horizon`` and ``cycles_skipped > 0``)
+      at every size.  ``lowload`` aggregates the load ≤ 0.3 subgrid
+      (batch rate plus ungated scalar-pool and full-grid comparisons),
+      and ``load_scaling`` states the gated claim: the load ≤ 0.3
+      subgrid must run at ≥2x the batch runs/sec of the load ≥ 0.7
+      subgrid in full mode.  In the pre-skip engine that ratio was ~1 —
+      every point paid the fixed per-cycle cost out to the same horizon
+      regardless of how little happened — so "cost scales with events
+      executed, not cycles simulated" is exactly what the ratio
+      measures, on the subgrid where the paper's DPM savings live.
+      Comparing same-width single-load slabs keeps slab-size
+      amortization out of the measurement (the full-grid rate benefits
+      from 144-row slabs, so it is recorded but not gated against).
     """
     import os
     import pickle
@@ -634,7 +659,9 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
 
     if quick:
         patterns: Tuple[str, ...] = ("complement", "uniform")
-        loads: Tuple[float, ...] = (0.2, 0.5, 0.8)
+        # 0.1 (not 0.2) as the low point so quick mode exercises the
+        # skip-engagement gate on the same load the full grid gates.
+        loads: Tuple[float, ...] = (0.1, 0.5, 0.8)
         boards, nodes = 4, 4
         # The measurement window must be long enough that the uniform
         # points (a *different* random realization per engine, by design)
@@ -669,14 +696,27 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
     )
     runs = len(tasks)
 
-    start = perf_counter()
-    batch_results = run_sweep_batched(tasks, jobs=1)
-    batch_s = perf_counter() - start
+    # Gated timings are best-of-N in full mode (module policy, see the
+    # docstring): the engines are deterministic, so repeats only damp
+    # host scheduler noise — results always come from the first run.
+    repeats = 1 if quick else 3
+
+    batch_s = float("inf")
+    for rep in range(repeats):
+        start = perf_counter()
+        results = run_sweep_batched(tasks, jobs=1)
+        batch_s = min(batch_s, perf_counter() - start)
+        if rep == 0:
+            batch_results = results
     base_fp = sweep_fingerprint({"grid": batch_results})
 
-    start = perf_counter()
-    scalar_results = execute_tasks(tasks, jobs=jobs)
-    scalar_s = perf_counter() - start
+    scalar_s = float("inf")
+    for rep in range(repeats):
+        start = perf_counter()
+        results = execute_tasks(tasks, jobs=jobs)
+        scalar_s = min(scalar_s, perf_counter() - start)
+        if rep == 0:
+            scalar_results = results
 
     # --- Sharded multi-process variants --------------------------------
     # Shard layout is pure scheduling: every (jobs, slab_shard) variant
@@ -755,6 +795,133 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
             "results_pickle_seconds": results_pickle_s,
         }
 
+    # --- Skip: time-skipping identity, telemetry, low-load rate --------
+    # The whole grid is ONE slab (load is a per-run column in slab_key),
+    # so per-load skip behaviour needs dedicated single-load sub-sweeps:
+    # each load's tasks form their own slab and report one telemetry
+    # block through ``on_shard``.
+    start = perf_counter()
+    noskip_results = run_sweep_batched(tasks, jobs=1, time_skip=False)
+    noskip_s = perf_counter() - start
+    grid_identity = sweep_fingerprint({"grid": noskip_results}) == base_fp
+
+    def _merge_telemetry(reports: list) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for rep in reports:
+            if rep.kind != "batch" or rep.telemetry is None:
+                continue
+            for key, value in rep.telemetry.items():
+                if key == "horizon":
+                    merged[key] = max(int(merged.get(key, 0)), int(value))
+                elif key != "skip_ratio":
+                    merged[key] = int(merged.get(key, 0)) + int(value)
+        visited = merged.get("cycles_executed", 0) + merged.get(
+            "cycles_skipped", 0
+        )
+        merged["skip_ratio"] = (
+            merged.get("cycles_skipped", 0) / visited if visited else 0.0
+        )
+        return merged
+
+    by_load = []
+    skip_identity = grid_identity
+    skip_engaged = True
+    lowload_loads = [float(x) for x in loads if x <= 0.3]
+    lowload_indices: list = []
+    lowload_skip_s = 0.0
+    for load in loads:
+        idx = [i for i, t in enumerate(tasks) if t.workload.load == load]
+        sub = [tasks[i] for i in idx]
+        shard_reports: list = []
+        sub_skip_s = float("inf")
+        for rep in range(repeats):
+            start = perf_counter()
+            rep_results = run_sweep_batched(
+                sub,
+                jobs=1,
+                on_shard=shard_reports.append if rep == 0 else None,
+            )
+            sub_skip_s = min(sub_skip_s, perf_counter() - start)
+            if rep == 0:
+                sub_skip = rep_results
+        start = perf_counter()
+        sub_noskip = run_sweep_batched(sub, jobs=1, time_skip=False)
+        sub_noskip_s = perf_counter() - start
+        sub_fp = sweep_fingerprint({"grid": sub_skip})
+        identical = sub_fp == sweep_fingerprint({"grid": sub_noskip})
+        matches_grid = sub_fp == sweep_fingerprint(
+            {"grid": [batch_results[i] for i in idx]}
+        )
+        telemetry = _merge_telemetry(shard_reports)
+        skip_identity = skip_identity and identical and matches_grid
+        if load == 0.1:
+            skip_engaged = (
+                skip_engaged
+                and telemetry.get("cycles_executed", 0)
+                < telemetry.get("horizon", 0)
+                and telemetry.get("cycles_skipped", 0) > 0
+            )
+        if load in lowload_loads:
+            lowload_indices.extend(idx)
+            lowload_skip_s += sub_skip_s
+        by_load.append(
+            {
+                "load": float(load),
+                "runs": len(idx),
+                "skip_seconds": sub_skip_s,
+                "noskip_seconds": sub_noskip_s,
+                "telemetry": telemetry,
+                "identical_to_noskip": identical,
+                "matches_grid": matches_grid,
+            }
+        )
+
+    start = perf_counter()
+    execute_tasks([tasks[i] for i in lowload_indices], jobs=jobs)
+    lowload_scalar_s = perf_counter() - start
+    n_low = len(lowload_indices)
+    grid_rps = runs / batch_s if batch_s > 0 else 0.0
+    lowload_rps = n_low / lowload_skip_s if lowload_skip_s > 0 else 0.0
+    # Low-vs-high load scaling, the gated form of "cost tracks events":
+    # both rates come from the same-width single-load slabs timed above,
+    # so slab-size amortization cancels out of the ratio.
+    highload_loads = [float(x) for x in loads if x >= 0.7]
+    high_entries = [e for e in by_load if e["load"] in highload_loads]
+    n_high = sum(e["runs"] for e in high_entries)
+    highload_skip_s = sum(e["skip_seconds"] for e in high_entries)
+    highload_rps = n_high / highload_skip_s if highload_skip_s > 0 else 0.0
+    skip_section: Dict[str, Any] = {
+        "grid_noskip_seconds": noskip_s,
+        "grid_identity": grid_identity,
+        "by_load": by_load,
+        "identity": skip_identity,
+        "skip_engaged_low_load": skip_engaged,
+        "lowload": {
+            "loads": lowload_loads,
+            "runs": n_low,
+            "batch_seconds": lowload_skip_s,
+            "batch_runs_per_sec": lowload_rps,
+            "grid_runs_per_sec": grid_rps,
+            "speedup_vs_grid": lowload_rps / grid_rps if grid_rps else 0.0,
+            "scalar_seconds": lowload_scalar_s,
+            "scalar_runs_per_sec": (
+                n_low / lowload_scalar_s if lowload_scalar_s > 0 else 0.0
+            ),
+            "speedup_vs_scalar": (
+                lowload_scalar_s / lowload_skip_s if lowload_skip_s > 0 else 0.0
+            ),
+        },
+        "load_scaling": {
+            "low_loads": lowload_loads,
+            "high_loads": highload_loads,
+            "low_runs": n_low,
+            "high_runs": n_high,
+            "low_runs_per_sec": lowload_rps,
+            "high_runs_per_sec": highload_rps,
+            "low_vs_high": lowload_rps / highload_rps if highload_rps else 0.0,
+        },
+    }
+
     equivalence = compare_runs(scalar_results, batch_results)
     perm_scalar = [scalar_results[i] for i in perm_indices]
     perm_batch = [batch_results[i] for i in perm_indices]
@@ -769,6 +936,7 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
         "quick": quick,
         "runs": runs,
         "covered_runs": covered,
+        "repeats": repeats,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
         "grid": {
@@ -790,6 +958,7 @@ def bench_batch(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
             "sharded_speedup": sharded_speedup,
         },
         "transport": transport,
+        "skip": skip_section,
         "tolerances": [
             {
                 "metric": t.metric,

@@ -126,22 +126,29 @@ def _shard_runs(
 
 
 def _execute_batch_shard(
-    args: Tuple[int, Tuple[RunTask, ...]],
-) -> Tuple[int, float, object]:
+    args: Tuple[int, Tuple[RunTask, ...], bool],
+) -> Tuple[int, float, object, Optional[dict]]:
     """Worker entry point for one batch shard (module-level: picklable).
 
-    Returns ``(shard_id, worker_seconds, BatchResultPayload)`` — the
-    compact struct-of-arrays transport, never a pickled RunResult list;
-    the parent decodes it against its own task descriptions.
+    Returns ``(shard_id, worker_seconds, BatchResultPayload, telemetry)``
+    — the compact struct-of-arrays transport, never a pickled RunResult
+    list; the parent decodes it against its own task descriptions.  The
+    telemetry dict carries the slab's cycle/event counters (a handful of
+    ints — negligible next to the payload arrays).
     """
     from repro.core.batch import BatchEngine
 
-    shard_id, shard_tasks = args
+    shard_id, shard_tasks, time_skip = args
     start = perf_counter()
-    payload = BatchEngine(
-        [(t.config, t.workload, t.plan) for t in shard_tasks]
-    ).run_payload()
-    return shard_id, perf_counter() - start, payload
+    engine = BatchEngine(
+        [(t.config, t.workload, t.plan) for t in shard_tasks],
+        time_skip=time_skip,
+    )
+    payload = engine.run_payload()
+    telemetry = (
+        engine.telemetry.to_dict() if engine.telemetry is not None else None
+    )
+    return shard_id, perf_counter() - start, payload, telemetry
 
 
 def run_sweep_batched(
@@ -150,6 +157,7 @@ def run_sweep_batched(
     on_result: Optional[ResultHook] = None,
     slab_shard: Optional[int] = None,
     on_shard: Optional[ShardHook] = None,
+    time_skip: bool = True,
 ) -> List[RunResult]:
     """Execute ``tasks`` on the vectorized batch engine where possible.
 
@@ -175,6 +183,11 @@ def run_sweep_batched(
     the scalar engine (same pool) and the shard is reported with
     ``kind="fallback"`` via ``on_shard``; a scalar run's exception
     propagates, as in :func:`execute_tasks`.
+
+    ``time_skip=False`` forces every batch shard onto the engine's
+    unskipped cycle-by-cycle loop — results are bit-identical either way
+    (the benchmark gates it); the flag exists for A/B timing and for the
+    identity gate itself.
     """
     from repro.core.batch import BatchEngine, decode_payload
 
@@ -190,6 +203,7 @@ def run_sweep_batched(
         seconds: float,
         payload_bytes: int = 0,
         error: Optional[str] = None,
+        telemetry: Optional[dict] = None,
     ) -> None:
         if on_shard is not None:
             on_shard(
@@ -200,6 +214,7 @@ def run_sweep_batched(
                     seconds=seconds,
                     payload_bytes=payload_bytes,
                     error=error,
+                    telemetry=telemetry,
                 )
             )
 
@@ -222,7 +237,8 @@ def run_sweep_batched(
             runs = _shard_runs(tasks, shard)
             start = perf_counter()
             try:
-                payload = BatchEngine(runs).run_payload()
+                engine = BatchEngine(runs, time_skip=time_skip)
+                payload = engine.run_payload()
             except Exception as exc:  # noqa: BLE001 - re-routed, not dropped
                 for i in shard.indices:
                     run_scalar_inline(i)
@@ -234,7 +250,17 @@ def run_sweep_batched(
                 )
                 continue
             deliver(shard, decode_payload(payload, runs))
-            report(shard, "batch", perf_counter() - start, payload.nbytes)  # type: ignore[attr-defined]
+            report(
+                shard,
+                "batch",
+                perf_counter() - start,
+                payload.nbytes,
+                telemetry=(
+                    engine.telemetry.to_dict()
+                    if engine.telemetry is not None
+                    else None
+                ),
+            )
         scalar_shard = next(
             (s for s in plan.shards if s.kind == "scalar"), None
         )
@@ -254,7 +280,11 @@ def run_sweep_batched(
         for shard in plan.batch_shards:
             fut = pool.submit(
                 _execute_batch_shard,
-                (shard.shard_id, tuple(tasks[i] for i in shard.indices)),
+                (
+                    shard.shard_id,
+                    tuple(tasks[i] for i in shard.indices),
+                    time_skip,
+                ),
             )
             pending[fut] = ("batch", shard)
         if scalar_shard is not None:
@@ -268,7 +298,7 @@ def run_sweep_batched(
                 if kind == "batch":
                     shard = cast(ShardSpec, obj)
                     try:
-                        _, seconds, payload = fut.result()
+                        _, seconds, payload, telemetry = fut.result()
                     except Exception as exc:  # noqa: BLE001 - re-route
                         for i in shard.indices:
                             f2 = pool.submit(_execute_indexed, (i, tasks[i]))
@@ -284,7 +314,13 @@ def run_sweep_batched(
                         shard,
                         decode_payload(payload, _shard_runs(tasks, shard)),
                     )
-                    report(shard, "batch", seconds, payload.nbytes)  # type: ignore[attr-defined]
+                    report(
+                        shard,
+                        "batch",
+                        seconds,
+                        payload.nbytes,  # type: ignore[attr-defined]
+                        telemetry=telemetry,
+                    )
                 else:
                     index, result = fut.result()
                     results[index] = result

@@ -60,8 +60,12 @@ SLAB_CAP = 256
 
 #: Smallest batch shard the heuristic will cut.  Below this the per-shard
 #: BatchEngine state construction (CSR injection schedules, per-channel
-#: arrays) stops amortizing and sharding costs more than it wins.
-MIN_SHARD = 8
+#: arrays) stops amortizing and sharding costs more than it wins.  The
+#: event-horizon skipping loop and frozen-run compaction cut the fixed
+#: per-cycle overhead a narrow shard used to pay, so the floor dropped
+#: from 8 to 4 — thinner shards now parallelize further without losing
+#: their amortization.
+MIN_SHARD = 4
 
 #: Target batch shards per pool worker.  >1 so the unified queue stays
 #: deep enough for work stealing around scalar-fallback stragglers.
@@ -101,6 +105,9 @@ class ShardReport:
     struct-of-arrays transport volume (0 for scalar shards).  A batch
     shard that raised is reported with ``kind="fallback"``: its indices
     were re-routed to the scalar pool and ``error`` says why.
+    ``telemetry`` is the slab's :class:`~repro.core.skip.BatchTelemetry`
+    counters as a plain dict (batch shards only) — diagnostics, never
+    part of the result payload.
     """
 
     shard_id: int
@@ -109,6 +116,7 @@ class ShardReport:
     seconds: float
     payload_bytes: int = 0
     error: Optional[str] = None
+    telemetry: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -120,6 +128,8 @@ class ShardReport:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
         return out
 
 

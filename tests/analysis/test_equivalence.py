@@ -91,6 +91,48 @@ def test_latency_is_checked_only_on_drained_references():
     assert report.checked["throughput"] == 1
 
 
+def test_every_unchecked_run_carries_an_exclusion_reason():
+    """No silent blind spots: for every declared metric, checked pairs
+    plus recorded exclusions must account for every run, and each
+    exclusion must say why its run was skipped."""
+    runs = [
+        result(),  # drained: checked everywhere
+        result(labeled_injected=100, labeled_delivered=60),  # undrained
+        result(labeled_injected=0, labeled_delivered=0),  # nothing labeled
+    ]
+    report = compare_runs(runs, [dataclasses.replace(r) for r in runs])
+    assert report.ok
+    by_metric = {}
+    for exc in report.excluded:
+        by_metric.setdefault(exc.metric, []).append(exc)
+    for tol in DEFAULT_TOLERANCES:
+        n_excluded = len(by_metric.get(tol.metric, []))
+        assert report.checked[tol.metric] + n_excluded == report.total
+        if not tol.drained_only:
+            assert n_excluded == 0
+    latency = by_metric["avg_latency"]
+    assert [e.index for e in latency] == [1, 2]
+    assert "undrained at drain_limit" in latency[0].reason
+    assert "60/100" in latency[0].reason
+    assert "no labeled packets" in latency[1].reason
+
+
+def test_exclusions_serialize_for_bench_reports():
+    saturated = result(labeled_injected=100, labeled_delivered=60)
+    report = compare_runs([saturated], [dataclasses.replace(saturated)])
+    data = report.to_dict()
+    assert data["excluded"] == [
+        {
+            "metric": "avg_latency",
+            "index": 0,
+            "reason": (
+                "reference undrained at drain_limit "
+                "(60/100 labeled packets delivered)"
+            ),
+        }
+    ]
+
+
 def test_length_mismatch_is_an_error():
     with pytest.raises(ValueError):
         compare_runs([result()], [])

@@ -107,6 +107,28 @@ def test_batch_module_allowed_edges_are_clean():
     assert check_layering(edges) == []
 
 
+def test_skip_module_budget_is_empty():
+    # The next-event helper is pure array arithmetic: it may import
+    # nothing from repro at all.
+    assert MODULE_LAYERS["repro.core.skip"] == frozenset()
+    for dst in ("repro.core.batch", "repro.sim.rng", "repro.network.router"):
+        violations = check_layering([edge("repro.core.skip", dst)])
+        assert len(violations) == 1, dst
+        assert violations[0].kind == "module"
+
+
+def test_skip_module_is_in_the_vector_engine_lint_scope():
+    # SIM007/SIM008's vectorized-engine scope must cover the skip
+    # helper: it sits under repro.core, which the prefix list pins.
+    from repro.analysis.rules import VECTOR_ENGINE_PREFIXES
+
+    module = "repro.core.skip"
+    assert any(
+        module == p or module.startswith(p + ".")
+        for p in VECTOR_ENGINE_PREFIXES
+    )
+
+
 def test_module_budget_overrides_only_the_declared_module():
     # Sibling core modules keep the package-level budget.
     assert check_layering([edge("repro.core.engine", "repro.network.router")]) == []

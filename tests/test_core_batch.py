@@ -295,3 +295,199 @@ def test_run_sweep_rejects_unknown_engine():
     spec = SweepSpec(pattern="complement", loads=(0.3,), plan=PLAN)
     with pytest.raises(ConfigurationError):
         run_sweep(spec, engine="warp")
+
+
+# ----------------------------------------------------------------------
+# Event-horizon time-skipping
+# ----------------------------------------------------------------------
+def payload_bytes(engine):
+    """Every payload array, byte for byte — the bit-identity witness."""
+    from dataclasses import fields
+
+    payload = engine.run_payload()
+    return tuple(
+        getattr(payload, f.name).tobytes() for f in fields(payload)
+    )
+
+
+def run_pair(runs):
+    """(skip payload bytes, no-skip payload bytes, skip telemetry)."""
+    skip = BatchEngine(runs, time_skip=True)
+    skip_bytes = payload_bytes(skip)
+    noskip = BatchEngine(runs, time_skip=False)
+    noskip_bytes = payload_bytes(noskip)
+    return skip_bytes, noskip_bytes, skip.telemetry
+
+
+def test_time_skip_is_bit_identical_on_a_mixed_grid(small_grid):
+    tasks, _, _ = small_grid
+    runs = [(t.config, t.workload, t.plan) for t in tasks]
+    skip_bytes, noskip_bytes, telemetry = run_pair(runs)
+    assert skip_bytes == noskip_bytes
+    assert telemetry.cycles_skipped >= 0
+    assert (
+        telemetry.cycles_executed + telemetry.cycles_skipped
+        <= telemetry.horizon
+    )
+
+
+def test_time_skip_identity_on_single_run_slab():
+    runs = [
+        (
+            make_config("P-B"),
+            WorkloadSpec(pattern="complement", load=0.1, seed=1),
+            PLAN,
+        )
+    ]
+    skip_bytes, noskip_bytes, telemetry = run_pair(runs)
+    assert skip_bytes == noskip_bytes
+    # A 1-run slab at load 0.1 is sparse: skipping must actually engage.
+    assert telemetry.cycles_skipped > 0
+    assert telemetry.cycles_executed < telemetry.horizon
+
+
+def test_time_skip_identity_when_all_runs_drain_in_one_chunk():
+    """Every run drains by the first drain-check grid point, so the
+    engine compacts the whole slab once and breaks immediately."""
+    runs = [
+        (
+            make_config(policy),
+            WorkloadSpec(pattern="complement", load=0.2, seed=1),
+            PLAN,
+        )
+        for policy in ("NP-NB", "P-NB", "NP-B", "P-B")
+    ]
+    skip_bytes, noskip_bytes, telemetry = run_pair(runs)
+    assert skip_bytes == noskip_bytes
+    assert telemetry.compactions == 1
+    assert telemetry.cycles_executed < telemetry.horizon
+
+
+def test_time_skip_identity_with_zero_injections():
+    """load=0.0 schedules no packets at all: the pure-skip path — the
+    loop must visit only the mandatory control-plane/drain stops."""
+    for policy in ("NP-NB", "P-B"):
+        runs = [
+            (
+                make_config(policy),
+                WorkloadSpec(pattern="complement", load=0.0, seed=1),
+                PLAN,
+            )
+        ]
+        skip_bytes, noskip_bytes, telemetry = run_pair(runs)
+        assert skip_bytes == noskip_bytes, policy
+        assert telemetry.injections == 0
+        assert telemetry.deliveries == 0
+        # Nothing to simulate: a handful of executed cycles at most.
+        assert telemetry.cycles_executed <= 8
+
+
+def test_time_skip_identity_across_shard_layouts(small_grid):
+    """run_sweep_batched(time_skip=...) must not change a result bit
+    under any jobs layout (the bench enforces the same on the full
+    grid)."""
+    from repro.analysis.determinism import sweep_fingerprint
+
+    tasks, batch, _ = small_grid
+    base = sweep_fingerprint({"grid": batch})
+    for jobs in (1, 2):
+        res = run_sweep_batched(tasks, jobs=jobs, time_skip=False)
+        assert sweep_fingerprint({"grid": res}) == base, jobs
+
+
+def test_engine_exposes_telemetry_in_both_modes():
+    runs = [
+        (
+            make_config("P-NB"),
+            WorkloadSpec(pattern="complement", load=0.3, seed=1),
+            PLAN,
+        )
+    ]
+    for time_skip in (True, False):
+        engine = BatchEngine(runs, time_skip=time_skip)
+        assert engine.telemetry is None
+        engine.run_payload()
+        tel = engine.telemetry
+        assert tel is not None
+        assert tel.injections > 0
+        assert tel.dispatches > 0
+        d = tel.to_dict()
+        assert d["cycles_executed"] == tel.cycles_executed
+        assert 0.0 <= d["skip_ratio"] <= 1.0
+        if not time_skip:
+            assert tel.cycles_skipped == 0
+
+
+# ----------------------------------------------------------------------
+# next_event_time unit behaviour
+# ----------------------------------------------------------------------
+def test_next_event_time_stops():
+    import numpy as np
+
+    from repro.core.skip import next_event_time
+
+    ring = np.zeros(16, dtype=np.int64)
+    inj = np.array([40], dtype=np.int64)
+    common = dict(
+        lockstep=False, window_cycles=1000, measure_end=500, chunk=100,
+        pend_min=None, retry_pending=False,
+    )
+
+    # A dispatch that served while senders sit blocked forces t+1.
+    t, ptr = next_event_time(10, 900, ring, inj, 0, **{
+        **common, "retry_pending": True,
+    })
+    assert (t, ptr) == (11, 0)
+
+    # An occupied ring slot at t+1 short-circuits to t+1.
+    ring[11 % 16] = 1
+    t, ptr = next_event_time(10, 900, ring, inj, 0, **common)
+    assert t == 11
+    ring[11 % 16] = 0
+
+    # Otherwise: min over ring slots, injections, and the drain grid.
+    ring[(10 + 5) % 16] = 2  # absolute cycle 15
+    t, _ = next_event_time(10, 900, ring, inj, 0, **common)
+    assert t == 15
+    ring[:] = 0
+
+    t, ptr = next_event_time(10, 900, ring, inj, 0, **common)
+    assert (t, ptr) == (40, 0)  # next nonempty injection cycle
+
+    t, _ = next_event_time(60, 900, ring, inj, 1, **common)
+    assert t == 500  # measure_end is the first drain-check stop
+
+    t, _ = next_event_time(520, 900, ring, inj, 1, **common)
+    assert t == 600  # then every chunk on the drain grid
+
+    # Lock-Step adds window boundaries and the earliest pending apply.
+    t, _ = next_event_time(10, 900, ring, inj, 1, **{
+        **common, "lockstep": True,
+    })
+    assert t == 500  # still the drain grid: boundary 1000 is later
+    t, _ = next_event_time(10, 900, ring, inj, 1, **{
+        **common, "lockstep": True, "pend_min": 123,
+    })
+    assert t == 123
+
+    # The jump clamps to hard_end + 1 (loop termination).
+    t, _ = next_event_time(880, 900, ring, np.array([], dtype=np.int64), 0,
+                           **{**common, "measure_end": 100, "chunk": 10000})
+    assert t == 901
+
+
+def test_next_event_time_ring_wraparound():
+    import numpy as np
+
+    from repro.core.skip import next_event_time
+
+    ring = np.zeros(16, dtype=np.int64)
+    # Slot index below t % len: the occupied slot is *ahead* of t on the
+    # wrapped ring, never behind it.
+    ring[2] = 1  # with t=12, len=16 -> absolute cycle 18
+    t, _ = next_event_time(
+        12, 900, ring, np.array([], dtype=np.int64), 0,
+        lockstep=False, window_cycles=1000, measure_end=800, chunk=100,
+        pend_min=None, retry_pending=False,
+    )
+    assert t == 18

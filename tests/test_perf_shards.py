@@ -160,6 +160,35 @@ def test_shard_spec_rejects_unknown_kind():
         ShardSpec(shard_id=0, kind="mystery", indices=(0,))
 
 
+def test_shard_report_carries_optional_telemetry():
+    from repro.perf.shards import ShardReport
+
+    plain = ShardReport(shard_id=0, kind="scalar", runs=3, seconds=0.5)
+    assert plain.telemetry is None
+    assert "telemetry" not in plain.to_dict()
+
+    tel = {"cycles_executed": 10, "cycles_skipped": 90, "horizon": 100}
+    batch = ShardReport(
+        shard_id=1, kind="batch", runs=4, seconds=0.2, telemetry=tel
+    )
+    assert batch.to_dict()["telemetry"] == tel
+
+
+def test_run_sweep_batched_reports_shard_telemetry():
+    from repro.perf.executor import run_sweep_batched
+
+    tasks = make_tasks()
+    reports = []
+    run_sweep_batched(tasks, jobs=1, on_shard=reports.append)
+    batch_reports = [r for r in reports if r.kind == "batch"]
+    assert batch_reports
+    for report in batch_reports:
+        tel = report.telemetry
+        assert tel is not None
+        assert tel["cycles_executed"] > 0
+        assert tel["cycles_executed"] + tel["cycles_skipped"] <= tel["horizon"]
+
+
 def test_plan_rejects_nonpositive_jobs():
     with pytest.raises(ValueError):
         plan_shards(make_tasks(), jobs=0)
